@@ -1,0 +1,285 @@
+//! Anomaly-Transformer-lite (after Xu et al., ICLR 2022).
+//!
+//! Mechanism kept: each timestamp is a token; self-attention reconstructs the
+//! window; the *association discrepancy* between the learned series
+//! association (the attention matrix) and a Gaussian *prior association*
+//! centred on each token modulates the reconstruction error — anomalies
+//! attend narrowly to their own segment, so their discrepancy is small and
+//! the score `recon_error × softmax(−discrepancy)` spikes.
+//!
+//! Simplifications (DESIGN.md): a single attention layer with a fixed prior
+//! bandwidth σ (the original learns σ per token and trains minimax); scores
+//! are blended with the same multiplication the original uses at inference.
+
+use crate::common::{make_segmenter, scatter_pointwise, znorm_windows};
+use crate::Detector;
+use neuro::graph::Graph;
+use neuro::layers::{Linear, SelfAttention};
+use neuro::optim::Adam;
+use neuro::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Anomaly-Transformer-lite configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyTransformerConfig {
+    pub d_model: usize,
+    pub epochs: usize,
+    pub lr: f64,
+    pub seed: u64,
+    /// Prior association bandwidth (in timestamps).
+    pub sigma: f64,
+    /// Weight of the association-discrepancy regulariser during training.
+    pub lambda: f64,
+}
+
+impl Default for AnomalyTransformerConfig {
+    fn default() -> Self {
+        AnomalyTransformerConfig {
+            d_model: 16,
+            epochs: 8,
+            lr: 1e-3,
+            seed: 0,
+            sigma: 5.0,
+            lambda: 0.1,
+        }
+    }
+}
+
+pub struct AnomalyTransformerLite {
+    pub cfg: AnomalyTransformerConfig,
+}
+
+impl AnomalyTransformerLite {
+    pub fn new(cfg: AnomalyTransformerConfig) -> Self {
+        AnomalyTransformerLite { cfg }
+    }
+}
+
+struct Net {
+    embed: Linear,
+    attn: SelfAttention,
+    head: Linear,
+}
+
+impl Net {
+    fn new(rng: &mut StdRng, d: usize) -> Self {
+        Net {
+            embed: Linear::new(rng, 2, d), // (value, position) features
+            attn: SelfAttention::new(rng, d, d, d),
+            head: Linear::new(rng, d, 1),
+        }
+    }
+
+    fn params(&self) -> Vec<neuro::graph::Param> {
+        let mut p = self.embed.params();
+        p.extend(self.attn.params());
+        p.extend(self.head.params());
+        p
+    }
+}
+
+/// Token features for one window: `(z-normalised value, scaled position)`.
+fn tokens(window: &[f64]) -> Tensor {
+    let l = window.len();
+    let mut data = Vec::with_capacity(l * 2);
+    for (t, &v) in window.iter().enumerate() {
+        data.push(v as f32);
+        data.push(t as f32 / l.max(1) as f32);
+    }
+    Tensor::from_vec(&[l, 2], data)
+}
+
+/// Gaussian prior association matrix, row-normalised.
+fn prior(l: usize, sigma: f64) -> Tensor {
+    let mut data = vec![0.0f32; l * l];
+    for i in 0..l {
+        let mut row_sum = 0.0f64;
+        for j in 0..l {
+            let d = (i as f64 - j as f64) / sigma;
+            let v = (-0.5 * d * d).exp();
+            data[i * l + j] = v as f32;
+            row_sum += v;
+        }
+        for j in 0..l {
+            data[i * l + j] /= row_sum as f32;
+        }
+    }
+    Tensor::from_vec(&[l, l], data)
+}
+
+/// One window's `(recon_errors, discrepancy_rows)` — shared by training and
+/// scoring.
+struct Pass {
+    recon_err: Vec<f64>,
+    discrepancy: Vec<f64>,
+    loss_value: f32,
+}
+
+fn run_window(net: &Net, window: &[f64], cfg: &AnomalyTransformerConfig, train: bool) -> Pass {
+    let l = window.len();
+    let mut g = Graph::new();
+    let x = g.input(tokens(window));
+    let h = net.embed.forward(&mut g, x);
+    let (ctx, attn) = net.attn.forward(&mut g, h);
+    let recon = net.head.forward(&mut g, ctx); // [L, 1]
+
+    let target = g.input(Tensor::from_vec(
+        &[l, 1],
+        window.iter().map(|&v| v as f32).collect(),
+    ));
+    let d = g.sub(recon, target);
+    let sq = g.square(d); // [L,1] per-token squared error
+    let recon_loss = g.mean_all(sq);
+
+    // Association discrepancy: KL(P ‖ S) per row = Σ P (ln P − ln S).
+    let p = g.input(prior(l, cfg.sigma));
+    let lnp = g.ln(p);
+    let lns = g.ln(attn);
+    let diff = g.sub(lnp, lns);
+    let w = g.mul(p, diff);
+    let kl_rows = g.row_sum(w); // [L,1]
+    let kl_mean = g.mean_all(kl_rows);
+
+    // Training objective: reconstruction + λ·discrepancy (pulls the series
+    // association toward the smooth prior on normal data).
+    let reg = g.scale(kl_mean, cfg.lambda as f32);
+    let loss = g.add(recon_loss, reg);
+
+    let recon_err: Vec<f64> = (0..l).map(|t| g.value(sq).data()[t] as f64).collect();
+    let discrepancy: Vec<f64> = (0..l).map(|t| g.value(kl_rows).data()[t] as f64).collect();
+    let loss_value = g.value(loss).item();
+    if train && loss_value.is_finite() {
+        g.backward(loss);
+    }
+    Pass {
+        recon_err,
+        discrepancy,
+        loss_value,
+    }
+}
+
+/// The inference criterion: `recon_error ⊙ softmax(−discrepancy)` (row-wise
+/// over the window), rescaled by `L` so magnitudes are window-length
+/// invariant.
+fn window_scores(pass: &Pass) -> Vec<f64> {
+    let l = pass.discrepancy.len();
+    let mx = pass
+        .discrepancy
+        .iter()
+        .fold(f64::NEG_INFINITY, |m, &v| m.max(-v));
+    let exps: Vec<f64> = pass.discrepancy.iter().map(|&v| (-v - mx).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    pass.recon_err
+        .iter()
+        .zip(&exps)
+        .map(|(&e, &w)| e * (w / sum) * l as f64)
+        .collect()
+}
+
+impl Detector for AnomalyTransformerLite {
+    fn name(&self) -> String {
+        "Anomaly Transformer".into()
+    }
+
+    fn score(&mut self, train: &[f64], test: &[f64]) -> Vec<f64> {
+        let seg = make_segmenter(train);
+        let (_, slices) = znorm_windows(train, &seg);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let net = Net::new(&mut rng, self.cfg.d_model);
+        let mut opt = Adam::new(net.params(), self.cfg.lr as f32);
+
+        let mut idxs: Vec<usize> = (0..slices.len()).collect();
+        for _ in 0..self.cfg.epochs {
+            idxs.shuffle(&mut rng);
+            for &i in &idxs {
+                let pass = run_window(&net, &slices[i], &self.cfg, true);
+                if pass.loss_value.is_finite() {
+                    opt.step();
+                } else {
+                    opt.zero_grad();
+                }
+            }
+        }
+
+        let (windows, tslices) = znorm_windows(test, &seg);
+        let per_window: Vec<Vec<f64>> = tslices
+            .iter()
+            .map(|w| window_scores(&run_window(&net, w, &self.cfg, false)))
+            .collect();
+        scatter_pointwise(&windows, &per_window, test.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn quick() -> AnomalyTransformerConfig {
+        AnomalyTransformerConfig {
+            d_model: 8,
+            epochs: 2,
+            ..Default::default()
+        }
+    }
+
+    fn dataset() -> (Vec<f64>, Vec<f64>) {
+        let p = 20.0;
+        let full: Vec<f64> = (0..700)
+            .map(|i| (2.0 * PI * i as f64 / p).sin())
+            .collect();
+        let mut test = full[400..].to_vec();
+        for i in 120..150 {
+            test[i] += 1.2;
+        }
+        (full[..400].to_vec(), test)
+    }
+
+    #[test]
+    fn prior_rows_sum_to_one_and_peak_on_diagonal() {
+        let p = prior(20, 3.0);
+        for i in 0..20 {
+            let row = p.row(i);
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            assert_eq!(argmax, i);
+        }
+    }
+
+    #[test]
+    fn score_shape_and_finiteness() {
+        let (train, test) = dataset();
+        let s = AnomalyTransformerLite::new(quick()).score(&train, &test);
+        assert_eq!(s.len(), test.len());
+        assert!(s.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn window_scores_are_weighted_errors() {
+        let pass = Pass {
+            recon_err: vec![1.0, 1.0, 4.0],
+            discrepancy: vec![0.5, 0.5, 0.5],
+            loss_value: 0.0,
+        };
+        let s = window_scores(&pass);
+        // Equal discrepancies → softmax uniform → score ∝ recon error.
+        assert!((s[0] - 1.0).abs() < 1e-9);
+        assert!((s[2] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (train, test) = dataset();
+        let a = AnomalyTransformerLite::new(quick()).score(&train, &test);
+        let b = AnomalyTransformerLite::new(quick()).score(&train, &test);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared plumbing for the window-based baselines.
+
+use tsops::window::{Segmenter, Windows};
+
+/// Window policy shared with TriAD for comparability: L = 2.5 periods
+/// (estimated from the training split), stride = L/4. Falls back to a fixed
+/// window when no period is detectable.
+pub fn make_segmenter(train: &[f64]) -> Segmenter {
+    match tsops::decompose::estimate_period(train, train.len() / 2) {
+        Some(p) => Segmenter::for_period(p),
+        None => {
+            let w = (train.len() / 8).clamp(16, 128);
+            Segmenter::new(w, (w / 4).max(1))
+        }
+    }
+}
+
+/// Slice a series into z-normalised windows (most baselines operate on
+/// normalised inputs).
+pub fn znorm_windows(series: &[f64], seg: &Segmenter) -> (Windows, Vec<Vec<f64>>) {
+    let windows = if series.len() >= seg.window {
+        seg.segment(series.len())
+    } else {
+        Windows {
+            starts: vec![0],
+            len: series.len(),
+        }
+    };
+    let slices = (0..windows.count())
+        .map(|i| tsops::stats::znormalize(windows.slice(series, i)))
+        .collect();
+    (windows, slices)
+}
+
+/// Spread per-window, per-point scores back onto the series: each point's
+/// score is the mean over all windows covering it.
+pub fn scatter_pointwise(
+    windows: &Windows,
+    per_window: &[Vec<f64>],
+    series_len: usize,
+) -> Vec<f64> {
+    let mut sum = vec![0.0f64; series_len];
+    let mut cnt = vec![0u32; series_len];
+    for (wi, scores) in per_window.iter().enumerate() {
+        let r = windows.range(wi);
+        for (offset, &s) in scores.iter().enumerate() {
+            let t = r.start + offset;
+            if t < series_len {
+                sum[t] += s;
+                cnt[t] += 1;
+            }
+        }
+    }
+    sum.iter()
+        .zip(&cnt)
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect()
+}
+
+/// Spread one scalar score per window onto the points it covers (mean over
+/// covering windows).
+pub fn scatter_window_scores(
+    windows: &Windows,
+    per_window: &[f64],
+    series_len: usize,
+) -> Vec<f64> {
+    let expanded: Vec<Vec<f64>> = per_window
+        .iter()
+        .map(|&s| vec![s; windows.len])
+        .collect();
+    scatter_pointwise(windows, &expanded, series_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segmenter_uses_period_when_present() {
+        let x: Vec<f64> = (0..600)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 30.0).sin())
+            .collect();
+        let s = make_segmenter(&x);
+        assert_eq!(s.window, 75);
+        assert_eq!(s.stride, 18);
+    }
+
+    #[test]
+    fn segmenter_fallback_for_noise_like_input() {
+        let x = vec![5.0; 400]; // constant: no detectable period
+        let s = make_segmenter(&x);
+        assert!(s.window >= 16 && s.window <= 128);
+    }
+
+    #[test]
+    fn znorm_windows_are_normalised() {
+        let x: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let seg = Segmenter::new(50, 25);
+        let (w, slices) = znorm_windows(&x, &seg);
+        assert_eq!(w.count(), slices.len());
+        for s in &slices {
+            assert!(tsops::stats::mean(s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn znorm_windows_short_series_single_window() {
+        let x = vec![1.0, 2.0, 3.0];
+        let seg = Segmenter::new(50, 25);
+        let (w, slices) = znorm_windows(&x, &seg);
+        assert_eq!(w.count(), 1);
+        assert_eq!(slices[0].len(), 3);
+    }
+
+    #[test]
+    fn scatter_averages_overlaps() {
+        let seg = Segmenter::new(4, 2);
+        let w = seg.segment(8);
+        // Windows at 0, 2, 4: point 2..4 covered twice, etc.
+        let per_window = vec![vec![1.0; 4], vec![3.0; 4], vec![5.0; 4]];
+        let s = scatter_pointwise(&w, &per_window, 8);
+        assert_eq!(s[0], 1.0);
+        assert_eq!(s[2], 2.0); // covered by windows at 0 and 2: (1+3)/2
+        assert_eq!(s[4], 4.0); // covered by windows at 2 and 4: (3+5)/2
+    }
+
+    #[test]
+    fn scatter_window_scalar() {
+        let seg = Segmenter::new(3, 3);
+        let w = seg.segment(6);
+        let s = scatter_window_scores(&w, &[2.0, 4.0], 6);
+        assert_eq!(s, vec![2.0, 2.0, 2.0, 4.0, 4.0, 4.0]);
+    }
+}

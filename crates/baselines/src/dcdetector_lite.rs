@@ -1,0 +1,255 @@
+//! DCdetector-lite (after Yang et al., KDD 2023).
+//!
+//! Mechanism kept: two attention branches view every window at different
+//! granularities — a *patch-level* branch attends over patch summaries, an
+//! *in-patch* (point-level) branch attends over raw timestamps — and a purely
+//! contrastive objective (no reconstruction) pulls the two branches'
+//! per-timestamp representations together on normal data. At inference the
+//! branch **discrepancy** at each timestamp is the anomaly score: anomalies
+//! break the cross-granularity consistency the model learned from normal
+//! patterns.
+//!
+//! Simplifications (DESIGN.md): single-head attention, one patch size, and a
+//! cosine-distance consistency loss standing in for the original's pair of
+//! KL divergences (same fixed point: branch agreement).
+
+use crate::common::{make_segmenter, scatter_pointwise, znorm_windows};
+use crate::Detector;
+use neuro::graph::Graph;
+use neuro::layers::{Linear, SelfAttention};
+use neuro::optim::Adam;
+use neuro::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// DCdetector-lite configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcDetectorConfig {
+    pub d_model: usize,
+    /// Patch length for the coarse branch.
+    pub patch: usize,
+    pub epochs: usize,
+    pub lr: f64,
+    pub seed: u64,
+}
+
+impl Default for DcDetectorConfig {
+    fn default() -> Self {
+        DcDetectorConfig {
+            d_model: 16,
+            patch: 8,
+            epochs: 8,
+            lr: 1e-3,
+            seed: 0,
+        }
+    }
+}
+
+pub struct DcDetectorLite {
+    pub cfg: DcDetectorConfig,
+}
+
+impl DcDetectorLite {
+    pub fn new(cfg: DcDetectorConfig) -> Self {
+        assert!(cfg.patch >= 2, "patch must be ≥ 2");
+        DcDetectorLite { cfg }
+    }
+}
+
+struct Net {
+    embed: Linear,
+    fine: SelfAttention,
+    coarse: SelfAttention,
+}
+
+impl Net {
+    fn new(rng: &mut StdRng, d: usize) -> Self {
+        Net {
+            embed: Linear::new(rng, 2, d),
+            fine: SelfAttention::new(rng, d, d, d),
+            coarse: SelfAttention::new(rng, d, d, d),
+        }
+    }
+
+    fn params(&self) -> Vec<neuro::graph::Param> {
+        let mut p = self.embed.params();
+        p.extend(self.fine.params());
+        p.extend(self.coarse.params());
+        p
+    }
+}
+
+/// Token features `(value, position)` for one window.
+fn tokens(window: &[f64]) -> Tensor {
+    let l = window.len();
+    let mut data = Vec::with_capacity(l * 2);
+    for (t, &v) in window.iter().enumerate() {
+        data.push(v as f32);
+        data.push(t as f32 / l.max(1) as f32);
+    }
+    Tensor::from_vec(&[l, 2], data)
+}
+
+/// Average rows of `[L, D]` into `[P, D]` patch means (constant pooling
+/// matrix), then after coarse attention broadcast back to `[L, D]`.
+fn pool_matrix(l: usize, patch: usize) -> (Tensor, Tensor, usize) {
+    let p = l.div_ceil(patch);
+    let mut pool = vec![0.0f32; p * l];
+    let mut unpool = vec![0.0f32; l * p];
+    for pi in 0..p {
+        let lo = pi * patch;
+        let hi = ((pi + 1) * patch).min(l);
+        let w = (hi - lo) as f32;
+        for t in lo..hi {
+            pool[pi * l + t] = 1.0 / w;
+            unpool[t * p + pi] = 1.0;
+        }
+    }
+    (
+        Tensor::from_vec(&[p, l], pool),
+        Tensor::from_vec(&[l, p], unpool),
+        p,
+    )
+}
+
+/// Forward both branches over one window; returns per-timestamp cosine
+/// discrepancy plus the consistency-loss node when training.
+fn run_window(net: &Net, window: &[f64], patch: usize, train: bool) -> Vec<f64> {
+    let l = window.len();
+    let mut g = Graph::new();
+    let x = g.input(tokens(window));
+    let h = net.embed.forward(&mut g, x); // [L, D]
+
+    // Fine branch: point-level attention.
+    let (fine_out, _) = net.fine.forward(&mut g, h);
+    let fine_n = g.l2_normalize_rows(fine_out);
+
+    // Coarse branch: patch means → attention → broadcast back.
+    let (pool, unpool, _p) = pool_matrix(l, patch);
+    let pool = g.input(pool);
+    let unpool = g.input(unpool);
+    let patches = g.matmul(pool, h); // [P, D]
+    let (coarse_out, _) = net.coarse.forward(&mut g, patches);
+    let coarse_full = g.matmul(unpool, coarse_out); // [L, D]
+    let coarse_n = g.l2_normalize_rows(coarse_full);
+
+    // Per-timestamp cosine discrepancy: 1 − ⟨fine, coarse⟩.
+    let prod = g.mul(fine_n, coarse_n);
+    let cos = g.row_sum(prod); // [L,1]
+    let neg = g.neg(cos);
+    let disc = g.add_scalar(neg, 1.0);
+
+    if train {
+        let loss = g.mean_all(disc);
+        if g.value(loss).item().is_finite() {
+            g.backward(loss);
+        }
+    }
+    g.value(disc).data().iter().map(|&v| v as f64).collect()
+}
+
+impl Detector for DcDetectorLite {
+    fn name(&self) -> String {
+        "DCdetector".into()
+    }
+
+    fn score(&mut self, train: &[f64], test: &[f64]) -> Vec<f64> {
+        let seg = make_segmenter(train);
+        let (_, slices) = znorm_windows(train, &seg);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let net = Net::new(&mut rng, self.cfg.d_model);
+        let mut opt = Adam::new(net.params(), self.cfg.lr as f32);
+
+        let mut idxs: Vec<usize> = (0..slices.len()).collect();
+        for _ in 0..self.cfg.epochs {
+            idxs.shuffle(&mut rng);
+            for &i in &idxs {
+                run_window(&net, &slices[i], self.cfg.patch, true);
+                opt.step();
+            }
+        }
+
+        let (windows, tslices) = znorm_windows(test, &seg);
+        let per_window: Vec<Vec<f64>> = tslices
+            .iter()
+            .map(|w| run_window(&net, w, self.cfg.patch, false))
+            .collect();
+        scatter_pointwise(&windows, &per_window, test.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn quick() -> DcDetectorConfig {
+        DcDetectorConfig {
+            d_model: 8,
+            patch: 5,
+            epochs: 2,
+            ..Default::default()
+        }
+    }
+
+    fn dataset() -> (Vec<f64>, Vec<f64>) {
+        let p = 20.0;
+        let full: Vec<f64> = (0..700)
+            .map(|i| (2.0 * PI * i as f64 / p).sin())
+            .collect();
+        let mut test = full[400..].to_vec();
+        for i in 100..130 {
+            test[i] = -test[i]; // contextual inversion
+        }
+        (full[..400].to_vec(), test)
+    }
+
+    #[test]
+    fn pooling_matrices_are_consistent() {
+        let (pool, unpool, p) = pool_matrix(10, 4);
+        assert_eq!(p, 3);
+        assert_eq!(pool.shape(), &[3, 10]);
+        assert_eq!(unpool.shape(), &[10, 3]);
+        // Pool rows sum to 1; unpool rows have exactly one 1.
+        for pi in 0..3 {
+            let s: f32 = pool.row(pi).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        for t in 0..10 {
+            let ones = unpool.row(t).iter().filter(|&&v| v == 1.0).count();
+            assert_eq!(ones, 1);
+        }
+    }
+
+    #[test]
+    fn score_shape_and_range() {
+        let (train, test) = dataset();
+        let s = DcDetectorLite::new(quick()).score(&train, &test);
+        assert_eq!(s.len(), test.len());
+        // Cosine discrepancy ∈ [0, 2].
+        assert!(s.iter().all(|&v| (0.0..=2.0 + 1e-6).contains(&v)));
+    }
+
+    #[test]
+    fn training_reduces_branch_discrepancy_on_normal_data() {
+        let (train, test) = dataset();
+        let su = DcDetectorLite::new(DcDetectorConfig {
+            epochs: 0,
+            ..quick()
+        })
+        .score(&train, &test);
+        let st = DcDetectorLite::new(quick()).score(&train, &test);
+        let mu: f64 = su[..80].iter().sum::<f64>() / 80.0;
+        let mt: f64 = st[..80].iter().sum::<f64>() / 80.0;
+        assert!(mt < mu, "consistency did not improve: {mt} !< {mu}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (train, test) = dataset();
+        let a = DcDetectorLite::new(quick()).score(&train, &test);
+        let b = DcDetectorLite::new(quick()).score(&train, &test);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,39 @@
+//! Baseline detectors from TriAD's Table III, reimplemented on the `neuro`
+//! substrate.
+//!
+//! The paper runs each baseline from its authors' source; we cannot, so each
+//! is rebuilt around the *mechanism that determines its detection behaviour*
+//! (DESIGN.md documents every simplification):
+//!
+//! | model | mechanism kept |
+//! |---|---|
+//! | [`lstm_ae`] | single-layer LSTM autoencoder, reconstruction error; random and trained variants (the Kim et al. benchmark pair) |
+//! | [`usad`] | shared encoder + two decoders with adversarial two-objective training; blended reconstruction score |
+//! | [`ts2vec_lite`] | dilated-conv timestamp representations trained with crop-overlap contrastive learning; distance-to-train scoring |
+//! | [`anomaly_transformer_lite`] | self-attention reconstruction with Gaussian-prior association discrepancy weighting |
+//! | [`mtgflow_lite`] | RealNVP normalizing-flow density over window features; low log-likelihood = anomaly |
+//! | [`dcdetector_lite`] | dual-branch (patch-level vs point-level) attention representations; branch discrepancy as score |
+//! | [`random`] | uniform random scores — the sanity floor |
+//!
+//! All detectors implement [`Detector`]: fit on the anomaly-free training
+//! split, emit one anomaly score per test point. Thresholding and metrics
+//! live in `evalkit`.
+
+pub mod anomaly_transformer_lite;
+pub mod common;
+pub mod dcdetector_lite;
+pub mod lstm_ae;
+pub mod mtgflow_lite;
+pub mod random;
+pub mod ts2vec_lite;
+pub mod usad;
+
+/// A point-scoring anomaly detector.
+pub trait Detector {
+    /// Display name (Table III row label).
+    fn name(&self) -> String;
+
+    /// Fit on the anomaly-free `train` split and return one anomaly score
+    /// per point of `test` (higher = more anomalous).
+    fn score(&mut self, train: &[f64], test: &[f64]) -> Vec<f64>;
+}

@@ -1,0 +1,246 @@
+//! LSTM autoencoder — the benchmark model of Kim et al. (AAAI 2022) that the
+//! paper adopts for Table II and Table III, in both its **randomly
+//! initialised** and **trained** variants.
+//!
+//! Architecture (faithful to the "simple architecture … single-layer LSTM"
+//! description): a single-layer LSTM encoder reads the z-normalised window;
+//! its final hidden state, repeated at every step, drives a single-layer LSTM
+//! decoder; a linear head maps each decoder state back to one sample. The
+//! anomaly score of a point is its squared reconstruction error, averaged
+//! over the windows covering it.
+
+use crate::common::{make_segmenter, scatter_pointwise, znorm_windows};
+use crate::Detector;
+use neuro::graph::{Graph, NodeId};
+use neuro::layers::{Linear, Lstm};
+use neuro::optim::Adam;
+use neuro::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration of the LSTM-AE baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LstmAeConfig {
+    pub hidden: usize,
+    pub epochs: usize,
+    pub batch: usize,
+    pub lr: f64,
+    pub seed: u64,
+}
+
+impl Default for LstmAeConfig {
+    fn default() -> Self {
+        LstmAeConfig {
+            hidden: 32,
+            epochs: 10,
+            batch: 8,
+            lr: 1e-3,
+            seed: 0,
+        }
+    }
+}
+
+/// The LSTM-AE detector. `trained = false` reproduces the randomly
+/// initialised benchmark.
+pub struct LstmAe {
+    pub cfg: LstmAeConfig,
+    pub trained: bool,
+}
+
+impl LstmAe {
+    pub fn random(cfg: LstmAeConfig) -> Self {
+        LstmAe {
+            cfg,
+            trained: false,
+        }
+    }
+
+    pub fn trained(cfg: LstmAeConfig) -> Self {
+        LstmAe { cfg, trained: true }
+    }
+}
+
+struct Net {
+    encoder: Lstm,
+    decoder: Lstm,
+    head: Linear,
+}
+
+impl Net {
+    fn new(rng: &mut StdRng, hidden: usize) -> Self {
+        Net {
+            encoder: Lstm::new(rng, 1, hidden),
+            decoder: Lstm::new(rng, hidden, hidden),
+            head: Linear::new(rng, hidden, 1),
+        }
+    }
+
+    fn params(&self) -> Vec<neuro::graph::Param> {
+        let mut p = self.encoder.params();
+        p.extend(self.decoder.params());
+        p.extend(self.head.params());
+        p
+    }
+
+    /// Reconstruct a `[B, L]` batch; returns the reconstruction node `[B, L]`.
+    fn reconstruct(&self, g: &mut Graph, batch: &Tensor) -> NodeId {
+        let (bsz, l) = (batch.shape()[0], batch.shape()[1]);
+        let x = g.input(batch.clone());
+        // Per-step inputs [B,1].
+        let steps: Vec<NodeId> = (0..l).map(|t| g.slice_cols(x, t, t + 1)).collect();
+        let enc_states = self.encoder.forward_seq(g, &steps);
+        let code = *enc_states.last().expect("non-empty window");
+        // Decoder consumes the code at every step (repeat-vector decoding).
+        let dec_inputs = vec![code; l];
+        let dec_states = self.decoder.forward_seq(g, &dec_inputs);
+        let outs: Vec<NodeId> = dec_states
+            .iter()
+            .map(|&h| self.head.forward(g, h))
+            .collect();
+        let recon = g.concat_cols(&outs);
+        debug_assert_eq!(g.value(recon).shape(), &[bsz, l]);
+        recon
+    }
+}
+
+impl Detector for LstmAe {
+    fn name(&self) -> String {
+        if self.trained {
+            "LSTM-AE (Trained)".into()
+        } else {
+            "LSTM-AE (Random)".into()
+        }
+    }
+
+    fn score(&mut self, train: &[f64], test: &[f64]) -> Vec<f64> {
+        let seg = make_segmenter(train);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let net = Net::new(&mut rng, self.cfg.hidden);
+
+        if self.trained {
+            let (_, slices) = znorm_windows(train, &seg);
+            let mut opt = Adam::new(net.params(), self.cfg.lr as f32);
+            let mut idxs: Vec<usize> = (0..slices.len()).collect();
+            for _ in 0..self.cfg.epochs {
+                idxs.shuffle(&mut rng);
+                for chunk in idxs.chunks(self.cfg.batch) {
+                    let batch = stack(&slices, chunk);
+                    let mut g = Graph::new();
+                    let recon = net.reconstruct(&mut g, &batch);
+                    let target = g.input(batch);
+                    let d = g.sub(recon, target);
+                    let sq = g.square(d);
+                    let loss = g.mean_all(sq);
+                    if g.value(loss).item().is_finite() {
+                        g.backward(loss);
+                        opt.step();
+                    } else {
+                        opt.zero_grad();
+                    }
+                }
+            }
+        }
+
+        // Score the test split.
+        let (windows, slices) = znorm_windows(test, &seg);
+        let mut per_window: Vec<Vec<f64>> = Vec::with_capacity(slices.len());
+        for chunk_idx in (0..slices.len()).collect::<Vec<_>>().chunks(16) {
+            let batch = stack(&slices, chunk_idx);
+            let mut g = Graph::new();
+            let recon = net.reconstruct(&mut g, &batch);
+            let rv = g.value(recon);
+            for (row, &wi) in chunk_idx.iter().enumerate() {
+                let errs: Vec<f64> = slices[wi]
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &x)| {
+                        let r = rv.at2(row, t) as f64;
+                        (x - r) * (x - r)
+                    })
+                    .collect();
+                per_window.push(errs);
+            }
+        }
+        scatter_pointwise(&windows, &per_window, test.len())
+    }
+}
+
+fn stack(slices: &[Vec<f64>], idxs: &[usize]) -> Tensor {
+    let l = slices[idxs[0]].len();
+    let mut data = Vec::with_capacity(idxs.len() * l);
+    for &i in idxs {
+        data.extend(slices[i].iter().map(|&v| v as f32));
+    }
+    Tensor::from_vec(&[idxs.len(), l], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn quick() -> LstmAeConfig {
+        LstmAeConfig {
+            hidden: 12,
+            epochs: 6,
+            batch: 4,
+            ..Default::default()
+        }
+    }
+
+    fn dataset() -> (Vec<f64>, Vec<f64>, std::ops::Range<usize>) {
+        let p = 25.0;
+        let full: Vec<f64> = (0..900)
+            .map(|i| (2.0 * PI * i as f64 / p).sin() + 0.02 * ((i % 7) as f64))
+            .collect();
+        let mut test = full[500..].to_vec();
+        for i in 200..240 {
+            test[i] = (8.0 * PI * i as f64 / p).sin() * 1.2;
+        }
+        (full[..500].to_vec(), test, 200..240)
+    }
+
+    #[test]
+    fn scores_have_test_length_and_are_finite() {
+        let (train, test, _) = dataset();
+        for mut det in [LstmAe::random(quick()), LstmAe::trained(quick())] {
+            let s = det.score(&train, &test);
+            assert_eq!(s.len(), test.len());
+            assert!(s.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn trained_model_scores_anomaly_above_normal() {
+        let (train, test, anom) = dataset();
+        let s = LstmAe::trained(quick()).score(&train, &test);
+        let in_mean: f64 =
+            s[anom.clone()].iter().sum::<f64>() / anom.len() as f64;
+        let out: Vec<f64> = s
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !anom.contains(i))
+            .map(|(_, &v)| v)
+            .collect();
+        let out_mean: f64 = out.iter().sum::<f64>() / out.len() as f64;
+        assert!(
+            in_mean > out_mean * 1.2,
+            "anomaly {in_mean} vs normal {out_mean}"
+        );
+    }
+
+    #[test]
+    fn random_variant_is_deterministic_and_untrained() {
+        let (train, test, _) = dataset();
+        let a = LstmAe::random(quick()).score(&train, &test);
+        let b = LstmAe::random(quick()).score(&train, &test);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(LstmAe::random(quick()).name(), "LSTM-AE (Random)");
+        assert_eq!(LstmAe::trained(quick()).name(), "LSTM-AE (Trained)");
+    }
+}

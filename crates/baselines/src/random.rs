@@ -1,0 +1,50 @@
+//! Uniform-random scores — the sanity floor every serious detector must
+//! clear (and, under F1(PA), embarrassingly often does not; see Table II's
+//! discussion).
+
+use crate::Detector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub struct RandomDetector {
+    pub seed: u64,
+}
+
+impl RandomDetector {
+    pub fn new(seed: u64) -> Self {
+        RandomDetector { seed }
+    }
+}
+
+impl Detector for RandomDetector {
+    fn name(&self) -> String {
+        "Random".into()
+    }
+
+    fn score(&mut self, _train: &[f64], test: &[f64]) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..test.len()).map(|_| rng.random::<f64>()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let test = vec![0.0; 100];
+        let a = RandomDetector::new(3).score(&[], &test);
+        let b = RandomDetector::new(3).score(&[], &test);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a, b);
+        let c = RandomDetector::new(4).score(&[], &test);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let s = RandomDetector::new(0).score(&[], &vec![0.0; 1000]);
+        assert!(s.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,297 @@
+//! USAD — UnSupervised Anomaly Detection (Audibert et al., KDD 2020).
+//!
+//! Two autoencoders share an encoder `E`; decoder `D₁` reconstructs the
+//! input, decoder `D₂` additionally learns to reconstruct `D₁`'s output in an
+//! adversarial game: AE₁ minimises `‖W − D₂(E(D₁(E(W))))‖` while AE₂
+//! maximises it. With `n` the epoch index, the two objectives are
+//!
+//! ```text
+//! L₁ = (1/n)·‖W − W₁‖² + (1 − 1/n)·‖W − W₂'‖²
+//! L₂ = (1/n)·‖W − W₂‖² − (1 − 1/n)·‖W − W₂'‖²
+//! ```
+//!
+//! and the anomaly score is `α‖w − W₁‖² + β‖w − W₂'‖²` (α = β = ½ here).
+//! The characteristic Table III behaviour this preserves: very high recall,
+//! weak precision (USAD flags broadly).
+
+use crate::common::{make_segmenter, scatter_pointwise, znorm_windows};
+use crate::Detector;
+use neuro::graph::{Graph, NodeId, Param};
+use neuro::layers::Linear;
+use neuro::optim::Adam;
+use neuro::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// USAD configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsadConfig {
+    /// Latent dimension.
+    pub latent: usize,
+    /// Hidden layer width of encoder/decoders.
+    pub hidden: usize,
+    pub epochs: usize,
+    pub batch: usize,
+    pub lr: f64,
+    pub seed: u64,
+    /// Score blend weights (α, β).
+    pub alpha_beta: (f64, f64),
+}
+
+impl Default for UsadConfig {
+    fn default() -> Self {
+        UsadConfig {
+            latent: 16,
+            hidden: 48,
+            epochs: 10,
+            batch: 8,
+            lr: 1e-3,
+            seed: 0,
+            alpha_beta: (0.5, 0.5),
+        }
+    }
+}
+
+pub struct Usad {
+    pub cfg: UsadConfig,
+}
+
+impl Usad {
+    pub fn new(cfg: UsadConfig) -> Self {
+        Usad { cfg }
+    }
+}
+
+struct Mlp {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl Mlp {
+    fn new(rng: &mut StdRng, d_in: usize, d_hidden: usize, d_out: usize) -> Self {
+        Mlp {
+            l1: Linear::new_relu(rng, d_in, d_hidden),
+            l2: Linear::new(rng, d_hidden, d_out),
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let h = self.l1.forward(g, x);
+        let h = g.relu(h);
+        self.l2.forward(g, h)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.l1.params();
+        p.extend(self.l2.params());
+        p
+    }
+}
+
+struct Net {
+    encoder: Mlp,
+    dec1: Mlp,
+    dec2: Mlp,
+}
+
+impl Net {
+    fn new(rng: &mut StdRng, l: usize, cfg: &UsadConfig) -> Self {
+        Net {
+            encoder: Mlp::new(rng, l, cfg.hidden, cfg.latent),
+            dec1: Mlp::new(rng, cfg.latent, cfg.hidden, l),
+            dec2: Mlp::new(rng, cfg.latent, cfg.hidden, l),
+        }
+    }
+
+    /// `(W₁, W₂, W₂')` reconstruction nodes for a batch node `x`.
+    fn forwards(&self, g: &mut Graph, x: NodeId) -> (NodeId, NodeId, NodeId) {
+        let z = self.encoder.forward(g, x);
+        let w1 = self.dec1.forward(g, z);
+        let w2 = self.dec2.forward(g, z);
+        let z1 = self.encoder.forward(g, w1);
+        let w2p = self.dec2.forward(g, z1);
+        (w1, w2, w2p)
+    }
+}
+
+fn mse(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
+    let d = g.sub(a, b);
+    let sq = g.square(d);
+    g.mean_all(sq)
+}
+
+impl Detector for Usad {
+    fn name(&self) -> String {
+        "USAD".into()
+    }
+
+    fn score(&mut self, train: &[f64], test: &[f64]) -> Vec<f64> {
+        let seg = make_segmenter(train);
+        let (_, slices) = znorm_windows(train, &seg);
+        let l = slices.first().map(|s| s.len()).unwrap_or(seg.window);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let net = Net::new(&mut rng, l, &self.cfg);
+
+        let mut ae1_params = net.encoder.params();
+        ae1_params.extend(net.dec1.params());
+        let mut ae2_params = net.encoder.params();
+        ae2_params.extend(net.dec2.params());
+        let mut opt1 = Adam::new(ae1_params, self.cfg.lr as f32);
+        let mut opt2 = Adam::new(ae2_params, self.cfg.lr as f32);
+
+        let mut idxs: Vec<usize> = (0..slices.len()).collect();
+        for epoch in 1..=self.cfg.epochs {
+            let inv_n = 1.0 / epoch as f32;
+            idxs.shuffle(&mut rng);
+            for chunk in idxs.chunks(self.cfg.batch) {
+                let batch = stack(&slices, chunk);
+
+                // AE₁ objective.
+                {
+                    let mut g = Graph::new();
+                    let x = g.input(batch.clone());
+                    let (w1, _, w2p) = net.forwards(&mut g, x);
+                    let m1 = mse(&mut g, x, w1);
+                    let m2p = mse(&mut g, x, w2p);
+                    let a = g.scale(m1, inv_n);
+                    let b = g.scale(m2p, 1.0 - inv_n);
+                    let loss = g.add(a, b);
+                    if g.value(loss).item().is_finite() {
+                        g.backward(loss);
+                        opt1.step();
+                    } else {
+                        opt1.zero_grad();
+                    }
+                }
+                // AE₂ objective (adversarial minus term).
+                {
+                    let mut g = Graph::new();
+                    let x = g.input(batch.clone());
+                    let (_, w2, w2p) = net.forwards(&mut g, x);
+                    let m2 = mse(&mut g, x, w2);
+                    let m2p = mse(&mut g, x, w2p);
+                    let a = g.scale(m2, inv_n);
+                    let b = g.scale(m2p, -(1.0 - inv_n));
+                    let loss = g.add(a, b);
+                    if g.value(loss).item().is_finite() {
+                        g.backward(loss);
+                        opt2.step();
+                    } else {
+                        opt2.zero_grad();
+                    }
+                }
+            }
+        }
+
+        // Scoring: per-point α·(w−W₁)² + β·(w−W₂')².
+        let (windows, tslices) = znorm_windows(test, &seg);
+        let (alpha, beta) = self.cfg.alpha_beta;
+        let mut per_window = Vec::with_capacity(tslices.len());
+        for chunk_idx in (0..tslices.len()).collect::<Vec<_>>().chunks(32) {
+            // Test windows can differ in length from training (short test
+            // splits); USAD's MLP is fixed-width, so resample if needed.
+            let resized: Vec<Vec<f64>> = chunk_idx
+                .iter()
+                .map(|&i| {
+                    if tslices[i].len() == l {
+                        tslices[i].clone()
+                    } else {
+                        tsaug::classic::resample_linear(&tslices[i], l)
+                    }
+                })
+                .collect();
+            let batch = stack(&resized, &(0..resized.len()).collect::<Vec<_>>());
+            let mut g = Graph::new();
+            let x = g.input(batch);
+            let (w1, _, w2p) = net.forwards(&mut g, x);
+            let (v1, v2p) = (g.value(w1).clone(), g.value(w2p).clone());
+            for (row, &wi) in chunk_idx.iter().enumerate() {
+                let orig_len = tslices[wi].len();
+                let errs_l: Vec<f64> = (0..l)
+                    .map(|t| {
+                        let xv = resized[row][t];
+                        let e1 = xv - v1.at2(row, t) as f64;
+                        let e2 = xv - v2p.at2(row, t) as f64;
+                        alpha * e1 * e1 + beta * e2 * e2
+                    })
+                    .collect();
+                let errs = if orig_len == l {
+                    errs_l
+                } else {
+                    tsaug::classic::resample_linear(&errs_l, orig_len)
+                };
+                per_window.push(errs);
+            }
+        }
+        scatter_pointwise(&windows, &per_window, test.len())
+    }
+}
+
+fn stack(slices: &[Vec<f64>], idxs: &[usize]) -> Tensor {
+    let l = slices[idxs[0]].len();
+    let mut data = Vec::with_capacity(idxs.len() * l);
+    for &i in idxs {
+        data.extend(slices[i].iter().map(|&v| v as f32));
+    }
+    Tensor::from_vec(&[idxs.len(), l], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn quick() -> UsadConfig {
+        UsadConfig {
+            latent: 6,
+            hidden: 16,
+            epochs: 4,
+            batch: 4,
+            ..Default::default()
+        }
+    }
+
+    fn dataset() -> (Vec<f64>, Vec<f64>, std::ops::Range<usize>) {
+        let p = 25.0;
+        let full: Vec<f64> = (0..900)
+            .map(|i| (2.0 * PI * i as f64 / p).sin())
+            .collect();
+        let mut test = full[500..].to_vec();
+        for i in 180..230 {
+            test[i] += 1.5; // level shift
+        }
+        (full[..500].to_vec(), test, 180..230)
+    }
+
+    #[test]
+    fn scores_shape_and_finiteness() {
+        let (train, test, _) = dataset();
+        let s = Usad::new(quick()).score(&train, &test);
+        assert_eq!(s.len(), test.len());
+        assert!(s.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn anomaly_region_scores_higher() {
+        let (train, test, anom) = dataset();
+        let s = Usad::new(quick()).score(&train, &test);
+        let in_mean: f64 = s[anom.clone()].iter().sum::<f64>() / anom.len() as f64;
+        let out: Vec<f64> = s
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !anom.contains(i))
+            .map(|(_, &v)| v)
+            .collect();
+        let out_mean: f64 = out.iter().sum::<f64>() / out.len() as f64;
+        assert!(in_mean > out_mean, "anomaly {in_mean} vs normal {out_mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (train, test, _) = dataset();
+        let a = Usad::new(quick()).score(&train, &test);
+        let b = Usad::new(quick()).score(&train, &test);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,54 @@
+//! Discord-algorithm scaling: brute-force matrix profile vs DRAG vs MERLIN
+//! vs MERLIN++ — the runtime ladder behind Table IV's timing claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use discord::merlin::MerlinConfig;
+use std::hint::black_box;
+
+fn anomalous(n: usize) -> Vec<f64> {
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 50.0).sin())
+        .collect();
+    let at = n / 2;
+    for i in at..(at + 30).min(n) {
+        x[i] += ((i - at) as f64 * 0.7).sin() * 1.5;
+    }
+    x
+}
+
+fn bench_single_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("single_length_w50");
+    for &n in &[1000usize, 3000] {
+        let x = anomalous(n);
+        g.bench_with_input(BenchmarkId::new("matrix_profile", n), &x, |b, x| {
+            b.iter(|| discord::matrix_profile::matrix_profile(black_box(x), 50))
+        });
+        g.bench_with_input(BenchmarkId::new("drag_good_r", n), &x, |b, x| {
+            b.iter(|| discord::drag::drag(black_box(x), 50, 3.0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("length_sweep_20_60_step10");
+    g.sample_size(10);
+    for &n in &[1000usize, 3000] {
+        let x = anomalous(n);
+        let cfg = MerlinConfig::new(20, 60).with_step(10);
+        g.bench_with_input(BenchmarkId::new("merlin", n), &x, |b, x| {
+            b.iter(|| discord::merlin::merlin(black_box(x), cfg))
+        });
+        g.bench_with_input(BenchmarkId::new("merlin_pp", n), &x, |b, x| {
+            b.iter(|| discord::merlin_pp::merlin_pp(black_box(x), cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_single_length, bench_sweeps
+}
+criterion_main!(benches);

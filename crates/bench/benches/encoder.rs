@@ -1,0 +1,47 @@
+//! Tri-domain encoder forward/backward cost at the paper's model size
+//! (depth 6, h_d 32, batch 8) and smaller — the training-cost driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neuro::graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use triad_core::encoder::{DomainEncoder, ProjectionHead};
+
+fn bench_encoder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encoder_fwd_bwd_b8");
+    g.sample_size(10);
+    for &(depth, hidden, l) in &[(3usize, 16usize, 100usize), (6, 32, 100), (6, 32, 250)] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = DomainEncoder::new(&mut rng, 1, hidden, depth, 3);
+        let head = ProjectionHead::new(&mut rng, hidden);
+        let x = neuro::init::he_normal(&mut rng, &[8, 1, l], l);
+        let id = format!("d{depth}_h{hidden}_L{l}");
+        g.bench_function(BenchmarkId::new("fwd", &id), |b| {
+            b.iter(|| {
+                let mut graph = Graph::new();
+                let xin = graph.input(x.clone());
+                let h = enc.forward(&mut graph, xin);
+                head.forward(&mut graph, h)
+            })
+        });
+        g.bench_function(BenchmarkId::new("fwd_bwd", &id), |b| {
+            b.iter(|| {
+                let mut graph = Graph::new();
+                let xin = graph.input(x.clone());
+                let h = enc.forward(&mut graph, xin);
+                let r = head.forward(&mut graph, h);
+                let sq = graph.square(r);
+                let loss = graph.mean_all(sq);
+                graph.backward(loss);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_encoder
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end inference cost: TriAD's padded-window MERLIN vs a full-series
+//! MERLIN sweep — the "one-tenth inference time" claim of Table IV, isolated
+//! from training. Also times the three inference stages of Sec. III-E.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use discord::merlin::{merlin, MerlinConfig};
+use std::hint::black_box;
+use triad_core::{TriAd, TriadConfig};
+use ucrgen::archive::generate_dataset;
+
+fn bench_inference(c: &mut Criterion) {
+    let ds = generate_dataset(7, 3);
+    let cfg = TriadConfig {
+        epochs: 2,
+        depth: 3,
+        hidden: 12,
+        merlin_step: 4,
+        ..Default::default()
+    };
+    let fitted = TriAd::new(cfg).fit(ds.train()).expect("fit");
+    let test = ds.test().to_vec();
+    let window = fitted.window_len();
+
+    let mut g = c.benchmark_group("inference");
+    g.sample_size(10);
+    // Full TriAD inference (window ranking + selection + restricted MERLIN).
+    g.bench_function("triad_detect", |b| {
+        b.iter(|| fitted.detect(black_box(&test)))
+    });
+    // The baseline: MERLIN over the whole test split, same sweep.
+    let sweep = MerlinConfig::new(3, window.min(300)).with_step(4);
+    g.bench_function("merlin_full_series", |b| {
+        b.iter(|| merlin(black_box(&test), sweep))
+    });
+    // The restricted search alone (Sec. III-E stage 3).
+    let region = &test[..(3 * window).min(test.len())];
+    g.bench_function("merlin_padded_window", |b| {
+        b.iter(|| merlin(black_box(region), sweep))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the signal-processing substrates: FFT scaling,
+//! Butterworth filtering, z-normalised distance, rolling statistics.
+//! Supports the Sec. III-E complexity discussion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 64.0).sin() + 0.1 * ((i % 13) as f64))
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for &n in &[128usize, 350, 1024, 4096] {
+        let x = signal(n);
+        g.bench_with_input(BenchmarkId::new("rfft", n), &x, |b, x| {
+            b.iter(|| tsops::fft::rfft(black_box(x)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("butterworth");
+    let filt = tsops::filter::Butterworth::lowpass(4, 0.1);
+    for &n in &[350usize, 4096] {
+        let x = signal(n);
+        g.bench_with_input(BenchmarkId::new("filtfilt", n), &x, |b, x| {
+            b.iter(|| tsops::filter::filtfilt(black_box(&filt), black_box(x)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("znorm_distance");
+    let x = signal(4096);
+    for &w in &[64usize, 256] {
+        let zs = tsops::distance::ZnormSeries::new(&x, w);
+        g.bench_with_input(BenchmarkId::new("dist", w), &zs, |b, zs| {
+            b.iter(|| zs.dist(black_box(10), black_box(2000)))
+        });
+        g.bench_with_input(BenchmarkId::new("nn_dist", w), &zs, |b, zs| {
+            b.iter(|| zs.nn_dist(black_box(100)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let x = signal(2048);
+    c.bench_function("decompose_2048_p64", |b| {
+        b.iter(|| tsops::decompose::decompose(black_box(&x), 64))
+    });
+    c.bench_function("estimate_period_2048", |b| {
+        b.iter(|| tsops::decompose::estimate_period(black_box(&x), 1024))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fft, bench_filter, bench_distance, bench_decompose
+}
+criterion_main!(benches);

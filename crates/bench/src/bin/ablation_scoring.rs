@@ -1,0 +1,59 @@
+//! Scoring-function ablation — the paper's Sec. III-D3 future-work question:
+//! does normalising/weighting the votes (window vote weighted, discord votes
+//! normalised by sweep size) improve over the plain Eq. 8 voting?
+//!
+//! Flags: `--datasets N` (default 8), `--epochs N`, `--weight W` (window
+//! vote weight under weighted voting, default 1.0).
+
+use bench::{f3, par_map, print_table, Args, MetricRow};
+use triad_core::TriadConfig;
+use ucrgen::archive::{generate_archive, ArchiveConfig};
+use ucrgen::UcrDataset;
+
+fn run(archive: &[UcrDataset], cfg: &TriadConfig) -> (MetricRow, f64) {
+    let outcomes = par_map(archive, |ds| bench::run_triad(ds, cfg).ok());
+    let ok: Vec<_> = outcomes.into_iter().flatten().collect();
+    let m = MetricRow::mean(&ok.iter().map(|o| o.metrics).collect::<Vec<_>>());
+    let fallback = ok.iter().filter(|o| o.detection.used_fallback).count() as f64
+        / archive.len().max(1) as f64;
+    (m, fallback)
+}
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("datasets", 8);
+    let epochs: usize = args.get("epochs", 4);
+    let weight: f64 = args.get("weight", 1.0);
+    let archive = generate_archive(7, &ArchiveConfig { count: n, ..Default::default() });
+
+    let base = TriadConfig { epochs, merlin_step: 2, ..Default::default() };
+    let variants: Vec<(&str, TriadConfig)> = vec![
+        ("Eq. 8 (plain votes)", base.clone()),
+        (
+            "weighted (normalised discords)",
+            TriadConfig { weighted_voting: true, triad_vote_weight: weight, ..base.clone() },
+        ),
+        (
+            "weighted, window x2",
+            TriadConfig { weighted_voting: true, triad_vote_weight: 2.0, ..base.clone() },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, cfg) in &variants {
+        let (m, fb) = run(&archive, cfg);
+        eprintln!("{name} done");
+        rows.push(vec![
+            name.to_string(),
+            f3(m.pw.f1),
+            f3(m.pak.f1_auc),
+            f3(m.affiliation.f1),
+            f3(fb),
+        ]);
+    }
+    print_table(
+        "Scoring ablation — Eq. 8 vs the future-work weighted voting",
+        &["Scoring", "F1(PW)", "PA%K F1-AUC", "Aff F1", "fallback rate"],
+        &rows,
+    );
+}

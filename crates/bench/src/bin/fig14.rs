@@ -1,0 +1,44 @@
+//! Fig. 14 — MTGFlow's failure mode: normal patterns flagged as anomalies.
+//! Runs MTGFlow-lite on one dataset per anomaly family and reports how many
+//! of its top-scoring points are false positives.
+
+use baselines::mtgflow_lite::{MtgFlowConfig, MtgFlowLite};
+use baselines::Detector;
+use bench::{print_table, Args};
+use ucrgen::anomaly::AnomalyKind;
+use ucrgen::archive::generate_dataset;
+
+fn main() {
+    let args = Args::parse();
+    let epochs: usize = args.get("epochs", 8);
+    let mut rows = Vec::new();
+    for kind in AnomalyKind::ALL {
+        let ds = (0..60)
+            .map(|id| generate_dataset(7, id))
+            .find(|d| d.kind == kind)
+            .expect("every kind appears");
+        let scores = MtgFlowLite::new(MtgFlowConfig { epochs, ..Default::default() })
+            .score(ds.train(), ds.test());
+        let labels = ds.test_labels();
+        // Flag the top anomaly-length points; count false positives.
+        let k = ds.anomaly_len();
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        let flagged = &idx[..k];
+        let fp = flagged.iter().filter(|&&i| !labels[i]).count();
+        rows.push(vec![
+            kind.name().to_string(),
+            ds.name.clone(),
+            format!("{k}"),
+            format!("{fp}"),
+            format!("{:.0}%", 100.0 * fp as f64 / k as f64),
+        ]);
+    }
+    print_table(
+        "Fig. 14 — MTGFlow-lite top-k flags: false-positive share per anomaly family",
+        &["Anomaly", "Dataset", "k (=|A|)", "False pos", "FP share"],
+        &rows,
+    );
+    println!("\nHigh FP shares on subtle families (duration / contextual) reproduce the");
+    println!("paper's observation that MTGFlow misclassifies normal patterns.");
+}

@@ -1,0 +1,42 @@
+//! Fig. 2 — an LSTM-AE's robustness works against it: a trained LSTM-AE
+//! reconstructs a *continuous* anomalous sequence almost as well as normal
+//! data, so reconstruction error barely separates them. Prints mean squared
+//! error inside vs outside the anomaly and the full error series.
+
+use baselines::lstm_ae::{LstmAe, LstmAeConfig};
+use baselines::Detector;
+use bench::{print_series, Args};
+use ucrgen::archive::generate_dataset;
+use ucrgen::anomaly::AnomalyKind;
+
+fn main() {
+    let args = Args::parse();
+    let epochs: usize = args.get("epochs", 8);
+    // Pick a dataset with a long, smooth (duration) anomaly — the paper's
+    // failure case: the model happily reconstructs a continuous anomaly.
+    let ds = (0..100)
+        .map(|id| generate_dataset(7, id))
+        .find(|d| d.kind == AnomalyKind::Duration && d.anomaly_len() > 60)
+        .expect("archive contains duration anomalies");
+
+    let scores = LstmAe::trained(LstmAeConfig { epochs, ..Default::default() })
+        .score(ds.train(), ds.test());
+    let anom = ds.anomaly_in_test();
+    let inside: f64 = scores[anom.clone()].iter().sum::<f64>() / anom.len() as f64;
+    let outside: f64 = scores
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !anom.contains(i))
+        .map(|(_, &v)| v)
+        .sum::<f64>()
+        / (scores.len() - anom.len()) as f64;
+    println!("# Fig. 2 — {}: anomaly {:?} ({} pts)", ds.name, anom, anom.len());
+    println!("# mean recon error inside anomaly  : {inside:.4}");
+    println!("# mean recon error outside anomaly : {outside:.4}");
+    println!("# ratio: {:.2}x (close to 1 = the paper's failure mode)", inside / outside.max(1e-12));
+
+    let pts: Vec<(f64, f64)> = ds.test().iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+    print_series("Fig2 test split", "t", "x", &pts);
+    let err: Vec<(f64, f64)> = scores.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+    print_series("Fig2 reconstruction error", "t", "sq_err", &err);
+}

@@ -1,0 +1,40 @@
+//! Fig. 5 — the paper's augmentation examples: one window, its jittered
+//! variant (Eq. 3) and its warped variant (Eq. 4), with the altered segment
+//! reported.
+
+use bench::print_series;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsaug::{augment_window, AugKind, AugmentConfig};
+
+fn main() {
+    let p = 50.0;
+    let window: Vec<f64> = (0..250)
+        .map(|i| {
+            let t = i as f64;
+            (2.0 * std::f64::consts::PI * t / p).sin()
+                + 0.35 * (4.0 * std::f64::consts::PI * t / p).sin()
+        })
+        .collect();
+
+    let cfg = AugmentConfig::default();
+    // Draw seeds until both kinds are showcased.
+    let mut shown = (false, false);
+    let mut seed = 0u64;
+    while !(shown.0 && shown.1) {
+        let (aug, kind, range) = augment_window(&mut StdRng::seed_from_u64(seed), &window, &cfg);
+        let fresh = match kind {
+            AugKind::Jitter if !shown.0 => { shown.0 = true; true }
+            AugKind::Warp if !shown.1 => { shown.1 = true; true }
+            _ => false,
+        };
+        if fresh {
+            println!("# Fig. 5 — {kind:?} on segment {range:?} (seed {seed})");
+            let pts: Vec<(f64, f64)> = aug.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+            print_series(&format!("Fig5 {kind:?}"), "t", "x", &pts);
+        }
+        seed += 1;
+    }
+    let pts: Vec<(f64, f64)> = window.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+    print_series("Fig5 original", "t", "x", &pts);
+}

@@ -1,0 +1,37 @@
+//! Fig. 6 — distribution of anomaly lengths across the generated archive.
+
+use bench::{print_table, Args};
+use ucrgen::archive::{generate_archive, ArchiveConfig};
+
+fn main() {
+    let args = Args::parse();
+    let count: usize = args.get("datasets", 250);
+    let archive = generate_archive(7, &ArchiveConfig { count, ..Default::default() });
+    let lens: Vec<usize> = archive.iter().map(|d| d.anomaly_len()).collect();
+
+    let buckets: [(usize, usize); 6] =
+        [(1, 50), (51, 100), (101, 200), (201, 400), (401, 800), (801, 1700)];
+    let rows: Vec<Vec<String>> = buckets
+        .iter()
+        .map(|&(lo, hi)| {
+            let n = lens.iter().filter(|&&l| l >= lo && l <= hi).count();
+            vec![
+                format!("{lo}-{hi}"),
+                n.to_string(),
+                format!("{:.1}%", 100.0 * n as f64 / lens.len() as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 6 — anomaly lengths in the generated archive",
+        &["Length", "Datasets", "Share"],
+        &rows,
+    );
+    println!(
+        "\nmin {} / median {} / max {}",
+        lens.iter().min().unwrap(),
+        { let mut s = lens.clone(); s.sort_unstable(); s[s.len() / 2] },
+        lens.iter().max().unwrap()
+    );
+    println!("(Generator lengths are clamped to test-split/3; see DESIGN.md scale note.)");
+}

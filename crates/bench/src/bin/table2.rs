@@ -1,0 +1,87 @@
+//! Table II — the evaluation-protocol pathology: a *randomly initialised*
+//! LSTM-AE vs a *trained* one on explicit-anomaly benchmarks (KPI-like,
+//! SWaT-like) and on the rigorous UCR-style archive, under F1(PW), F1(PA)
+//! and F1(PA%K).
+//!
+//! Expected shape (paper Table II): PA inflates both variants massively on
+//! KPI/SWaT; under PA%K the random model is competitive with — or beats —
+//! the trained one on the flawed sets, while on UCR both stay low and
+//! training helps.
+//!
+//! Flags: `--datasets N` (UCR subset size, default 6), `--epochs N`.
+
+use baselines::lstm_ae::{LstmAe, LstmAeConfig};
+use baselines::Detector;
+use bench::{f3, par_map, print_table, Args, MetricRow};
+use ucrgen::archive::{generate_archive, ArchiveConfig};
+use ucrgen::oneliner::{from_ucr, kpi_like, swat_like, LabelledSeries};
+
+fn eval_on(series: &[LabelledSeries], trained: bool, epochs: usize) -> MetricRow {
+    let rows = par_map(series, |d| {
+        let cfg = LstmAeConfig {
+            epochs,
+            ..Default::default()
+        };
+        let mk = || {
+            if trained {
+                LstmAe::trained(cfg)
+            } else {
+                LstmAe::random(cfg)
+            }
+        };
+        // Deployment protocol: calibrate the threshold on the model's own
+        // scores over the (normal) training split, never on test labels.
+        let test_scores = mk().score(d.train(), d.test());
+        let train_scores = mk().score(d.train(), d.train());
+        MetricRow::from_scores_calibrated(&test_scores, &train_scores, &d.test_labels())
+    });
+    MetricRow::mean(&rows)
+}
+
+fn main() {
+    let args = Args::parse();
+    let n_ucr: usize = args.get("datasets", 6);
+    let epochs: usize = args.get("epochs", 6);
+
+    let kpi: Vec<LabelledSeries> = (0..3).map(|s| kpi_like(s, 2000, 3000, 8)).collect();
+    let swat: Vec<LabelledSeries> = (0..3).map(|s| swat_like(s, 2000, 4000, 4)).collect();
+    let ucr: Vec<LabelledSeries> = generate_archive(
+        7,
+        &ArchiveConfig {
+            count: n_ucr,
+            ..Default::default()
+        },
+    )
+    .iter()
+    .map(from_ucr)
+    .collect();
+
+    let mut rows = Vec::new();
+    for (dataset_name, series) in [("KPI", &kpi), ("SWaT", &swat), ("UCR", &ucr)] {
+        for trained in [false, true] {
+            let m = eval_on(series, trained, epochs);
+            let model = if trained {
+                "LSTM-AE (Trained)"
+            } else {
+                "LSTM-AE (Random)"
+            };
+            eprintln!("{dataset_name}/{model}: done");
+            rows.push(vec![
+                dataset_name.to_string(),
+                model.to_string(),
+                f3(m.pw.f1),
+                f3(m.pa.f1),
+                f3(m.pak.f1_auc),
+            ]);
+        }
+    }
+
+    print_table(
+        "Table II — evaluation results under the new protocol",
+        &["Dataset", "Model", "F1(PW)", "F1(PA)", "F1(PA%K)"],
+        &rows,
+    );
+    println!("\nReading: on KPI/SWaT-like data PA inflates both models; PA%K shows the");
+    println!("random model competitive with the trained one (the 'one-liner' pathology).");
+    println!("On UCR-style data all scores drop and training genuinely helps.");
+}

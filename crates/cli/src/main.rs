@@ -1,0 +1,25 @@
+//! `triad` — command-line front end. All logic lives in the library crate
+//! (`triad_cli`) where it is unit-tested; this wrapper only handles process
+//! boundaries.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match triad_cli::Cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match triad_cli::run(&cli) {
+        Ok(lines) => {
+            for l in lines {
+                println!("{l}");
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Inference: window ranking → single-window selection → MERLIN → voting
+//! (Sec. III-D).
+
+use crate::config::TriadConfig;
+use crate::features::FeatureExtractor;
+use crate::train::Model;
+use crate::Domain;
+use discord::merlin::{merlin, MerlinConfig};
+use discord::Discord;
+use std::ops::Range;
+use tsops::window::{Segmenter, Windows};
+
+/// Per-domain window-similarity ranking (the data behind Fig. 11).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainRanking {
+    pub domain: Domain,
+    /// Mean pairwise similarity of each test window to all others — low
+    /// means deviant.
+    pub scores: Vec<f64>,
+    /// Index of the most deviant window (arg-min of `scores`).
+    pub top: usize,
+    /// The `Z` most deviant windows, most deviant first (`tops[0] == top`).
+    pub tops: Vec<usize>,
+}
+
+/// Full detection output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriadDetection {
+    /// Per-test-point vote totals (Eq. 8).
+    pub votes: Vec<f64>,
+    /// Final point-wise labels.
+    pub prediction: Vec<bool>,
+    /// Voting threshold used (mean of the positive votes).
+    pub threshold: f64,
+    /// Similarity rankings per active domain.
+    pub rankings: Vec<DomainRanking>,
+    /// Candidate windows nominated per domain (deduplicated), as test-split
+    /// ranges — "up to three" (Sec. III-D).
+    pub candidates: Vec<Range<usize>>,
+    /// The single window selected by comparison against the training split.
+    pub selected_window: Range<usize>,
+    /// Region (selected window + padding) handed to MERLIN.
+    pub search_region: Range<usize>,
+    /// Per-length discords found by MERLIN, in test-split coordinates.
+    pub discords: Vec<Discord>,
+    /// Whether the Sec. IV-G fallback fired (discords disagreed with the
+    /// selected window).
+    pub used_fallback: bool,
+}
+
+impl TriadDetection {
+    /// Convenience: the predicted anomalous region as the hull of positive
+    /// points (`None` if nothing was flagged).
+    pub fn predicted_region(&self) -> Option<Range<usize>> {
+        let first = self.prediction.iter().position(|&b| b)?;
+        let last = self.prediction.iter().rposition(|&b| b)?;
+        Some(first..last + 1)
+    }
+}
+
+/// Mean-pairwise-similarity scores from unit-norm embedding rows.
+fn similarity_scores(rows: &[Vec<f32>]) -> Vec<f64> {
+    let m = rows.len();
+    if m <= 1 {
+        return vec![0.0; m];
+    }
+    let mut scores = vec![0.0f64; m];
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let dot: f64 = rows[i]
+                .iter()
+                .zip(&rows[j])
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum();
+            scores[i] += dot;
+            scores[j] += dot;
+        }
+    }
+    for s in &mut scores {
+        *s /= (m - 1) as f64;
+    }
+    scores
+}
+
+/// Distance from a z-normalised probe window to its nearest training
+/// subsequence (stride-1 traversal, Sec. III-D1).
+fn nearest_normal_distance(train: &[f64], probe: &[f64]) -> f64 {
+    let l = probe.len();
+    if train.len() < l {
+        return f64::INFINITY;
+    }
+    let z = tsops::stats::znormalize(probe);
+    let (means, stds) = tsops::stats::rolling_mean_std(train, l);
+    let mut best = f64::INFINITY;
+    // The probe is zero-mean, so the training mean cancels out of the cross
+    // term; only σ is needed.
+    for (start, (_mu, &sigma)) in means.iter().zip(&stds).enumerate() {
+        let seg = &train[start..start + l];
+        let d2 = if sigma < 1e-12 {
+            l as f64 // constant training segment vs unit-norm probe
+        } else {
+            let dot: f64 = z.iter().zip(seg).map(|(a, t)| a * t).sum();
+            (2.0 * l as f64 - 2.0 * dot / sigma).max(0.0)
+        };
+        if d2 < best {
+            best = d2;
+        }
+    }
+    best.sqrt()
+}
+
+/// Run the full detection pipeline on a test split.
+pub fn detect(
+    cfg: &TriadConfig,
+    model: &Model,
+    fx: &FeatureExtractor,
+    segmenter: &Segmenter,
+    train: &[f64],
+    test: &[f64],
+) -> TriadDetection {
+    let n = test.len();
+    // Segment the test split; if it is shorter than one window, treat it as
+    // a single window.
+    let windows: Windows = if n >= segmenter.window {
+        segmenter.segment(n)
+    } else {
+        Windows {
+            starts: vec![0],
+            len: n,
+        }
+    };
+    let slices: Vec<&[f64]> = (0..windows.count())
+        .map(|i| windows.slice(test, i))
+        .collect();
+
+    // --- Stage 1: per-domain window ranking (top Z per domain; the paper
+    //     uses Z = 1 since every test set holds a single event) ---
+    let z = cfg.top_z.max(1);
+    let mut rankings = Vec::with_capacity(model.encoders.len());
+    for (d, _) in &model.encoders {
+        let rows = model.embed_windows(fx, &slices, *d);
+        let scores = similarity_scores(&rows);
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+        let tops: Vec<usize> = order.into_iter().take(z).collect();
+        rankings.push(DomainRanking {
+            domain: *d,
+            scores,
+            top: tops.first().copied().unwrap_or(0),
+            tops,
+        });
+    }
+
+    let mut cand_idx: Vec<usize> = rankings.iter().flat_map(|r| r.tops.iter().copied()).collect();
+    cand_idx.sort_unstable();
+    cand_idx.dedup();
+    let candidates: Vec<Range<usize>> = cand_idx.iter().map(|&i| windows.range(i)).collect();
+
+    // --- Stage 2: single-window selection against the training split ---
+    let selected_window = candidates
+        .iter()
+        .max_by(|a, b| {
+            nearest_normal_distance(train, &test[(*a).clone()])
+                .total_cmp(&nearest_normal_distance(train, &test[(*b).clone()]))
+        })
+        .cloned()
+        .unwrap_or(0..n.min(windows.len));
+
+    // --- Stage 3: MERLIN around the selected window ---
+    let l = selected_window.len();
+    let pad = (cfg.merlin_pad_windows * l as f64) as usize;
+    let region_start = selected_window.start.saturating_sub(pad);
+    let region_end = (selected_window.end + pad).min(n);
+    let search_region = region_start..region_end;
+    let region = &test[search_region.clone()];
+
+    let max_len = cfg.merlin_max_len.min(l.max(cfg.merlin_min_len));
+    let sweep = MerlinConfig::new(cfg.merlin_min_len.min(max_len).max(2), max_len)
+        .with_step(cfg.merlin_step);
+    let discords: Vec<Discord> = merlin(region, sweep)
+        .into_iter()
+        .map(|d| Discord {
+            index: d.index + region_start,
+            ..d
+        })
+        .collect();
+
+    // --- Stage 4: voting (Eq. 8) ---
+    // Plain mode: every source contributes one vote, exactly Eq. 8. Weighted
+    // mode (the paper's Sec. III-D3 future-work scoring): discord votes are
+    // normalised by the number of swept lengths so the window vote and the
+    // discord evidence are on comparable scales, and the window vote carries
+    // a configurable weight.
+    let discord_vote = if cfg.weighted_voting && !discords.is_empty() {
+        1.0 / discords.len() as f64
+    } else {
+        1.0
+    };
+    let window_vote = if cfg.weighted_voting {
+        cfg.triad_vote_weight
+    } else {
+        1.0
+    };
+    let mut votes = vec![0.0f64; n];
+    for v in &mut votes[selected_window.clone()] {
+        *v += window_vote; // s_TriAD
+    }
+    for d in &discords {
+        let r = d.range();
+        for v in &mut votes[r.start.min(n)..r.end.min(n)] {
+            *v += discord_vote; // s_dd, one vote per length
+        }
+    }
+    let positives: Vec<f64> = votes.iter().copied().filter(|&v| v > 0.0).collect();
+    let threshold = if positives.is_empty() {
+        0.0
+    } else {
+        positives.iter().sum::<f64>() / positives.len() as f64
+    };
+    let mut prediction: Vec<bool> = votes.iter().map(|&v| v > threshold).collect();
+
+    // --- Sec. IV-G fallback: anomalous segment dominating the window ---
+    // If the voting result contains no positives inside the selected window,
+    // the discord search was likely inverted (normal data flagged as the
+    // "odd one out"); flag the whole selected window instead.
+    let any_inside = prediction[selected_window.clone()].iter().any(|&b| b);
+    let used_fallback = !any_inside;
+    if used_fallback {
+        for p in &mut prediction {
+            *p = false;
+        }
+        for p in &mut prediction[selected_window.clone()] {
+            *p = true;
+        }
+    }
+
+    TriadDetection {
+        votes,
+        prediction,
+        threshold,
+        rankings,
+        candidates,
+        selected_window,
+        search_region,
+        discords,
+        used_fallback,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similarity_scores_flag_the_odd_row() {
+        let mut rows = vec![vec![1.0f32, 0.0, 0.0]; 5];
+        rows.push(vec![0.0, 1.0, 0.0]); // deviant
+        let s = similarity_scores(&rows);
+        let argmin = s
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(argmin, 5);
+    }
+
+    #[test]
+    fn similarity_scores_degenerate_sizes() {
+        assert!(similarity_scores(&[]).is_empty());
+        assert_eq!(similarity_scores(&[vec![1.0, 0.0]]), vec![0.0]);
+    }
+
+    #[test]
+    fn nearest_normal_distance_zero_for_training_shapes() {
+        let train: Vec<f64> = (0..300)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 30.0).sin())
+            .collect();
+        let probe = &train[60..135]; // an exact training window
+        let d = nearest_normal_distance(&train, probe);
+        assert!(d < 1e-4, "distance {d}");
+        // A frequency-shifted probe is far from everything.
+        let odd: Vec<f64> = (0..75)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 7.0).sin())
+            .collect();
+        let d2 = nearest_normal_distance(&train, &odd);
+        assert!(d2 > 1.0, "odd distance {d2}");
+    }
+
+    #[test]
+    fn nearest_normal_distance_short_train() {
+        assert!(nearest_normal_distance(&[1.0, 2.0], &[1.0, 2.0, 3.0]).is_infinite());
+    }
+
+    // End-to-end detect() behaviour is covered by the pipeline tests and the
+    // integration suite (tests/), which train a real model first.
+}

@@ -1,0 +1,170 @@
+//! The tri-domain encoder (Sec. III-B).
+//!
+//! Each domain owns a stack of [`neuro::layers::ResidualBlock`]s whose
+//! dilation doubles per block (1, 2, 4, …), mapping `[B, C, L] → [B, h_d, L]`
+//! with same padding throughout. A *projection head shared across the three
+//! domains* ("two shared dense layers") then compresses the channel dimension
+//! to one, yielding the window embedding `r ∈ ℝ^L`. The per-timestep dense
+//! layers are realised as 1×1 convolutions — identical math, and the
+//! `[B, h_d, L]` layout never needs permuting.
+//!
+//! Embeddings are L2-normalised rows (the InfoNCE stabilisation documented in
+//! DESIGN.md) — similarity between windows is then a plain dot product.
+
+use neuro::graph::{Graph, NodeId, Param};
+use neuro::layers::{Conv1d, ResidualBlock};
+use neuro::Tensor;
+use rand::Rng;
+
+/// One domain's dilated-convolution encoder.
+pub struct DomainEncoder {
+    blocks: Vec<ResidualBlock>,
+}
+
+impl DomainEncoder {
+    /// `depth` residual blocks, `c_in → hidden` at the first block, dilation
+    /// `2^i` at block `i`.
+    pub fn new<R: Rng>(rng: &mut R, c_in: usize, hidden: usize, depth: usize, kernel: usize) -> Self {
+        assert!(depth >= 1);
+        let mut blocks = Vec::with_capacity(depth);
+        for i in 0..depth {
+            let cin = if i == 0 { c_in } else { hidden };
+            // Cap the dilation so tiny windows still see in-bounds taps.
+            let dilation = 1usize << i.min(10);
+            blocks.push(ResidualBlock::new(rng, cin, hidden, kernel, dilation));
+        }
+        DomainEncoder { blocks }
+    }
+
+    /// `[B, C, L] → [B, hidden, L]`.
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let mut h = x;
+        for b in &self.blocks {
+            h = b.forward(g, h);
+        }
+        h
+    }
+
+    pub fn params(&self) -> Vec<Param> {
+        self.blocks.iter().flat_map(|b| b.params()).collect()
+    }
+
+    pub fn depth(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// The two dense layers shared across domains, as 1×1 convolutions:
+/// `[B, h_d, L] → [B, 1, L] → [B, L]`, L2-normalised.
+pub struct ProjectionHead {
+    l1: Conv1d,
+    l2: Conv1d,
+}
+
+impl ProjectionHead {
+    pub fn new<R: Rng>(rng: &mut R, hidden: usize) -> Self {
+        ProjectionHead {
+            l1: Conv1d::new(rng, hidden, hidden, 1, 1),
+            l2: Conv1d::new(rng, hidden, 1, 1, 1),
+        }
+    }
+
+    /// `[B, hidden, L] → [B, L]` with unit-norm rows.
+    pub fn forward(&self, g: &mut Graph, h: NodeId) -> NodeId {
+        let bsz = g.value(h).shape()[0];
+        let l = g.value(h).shape()[2];
+        let z = self.l1.forward(g, h);
+        let z = g.relu(z);
+        let z = self.l2.forward(g, z);
+        let flat = g.reshape(z, &[bsz, l]);
+        g.l2_normalize_rows(flat)
+    }
+
+    pub fn params(&self) -> Vec<Param> {
+        let mut p = self.l1.params();
+        p.extend(self.l2.params());
+        p
+    }
+}
+
+/// Run encoder + head outside any training loop and return the embedding
+/// matrix `[B, L]` as a tensor (inference convenience).
+pub fn embed(encoder: &DomainEncoder, head: &ProjectionHead, batch: Tensor) -> Tensor {
+    let mut g = Graph::new();
+    let x = g.input(batch);
+    let h = encoder.forward(&mut g, x);
+    let r = head.forward(&mut g, h);
+    g.value(r).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encoder_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = DomainEncoder::new(&mut rng, 3, 16, 4, 3);
+        assert_eq!(enc.depth(), 4);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2, 3, 30]));
+        let h = enc.forward(&mut g, x);
+        assert_eq!(g.value(h).shape(), &[2, 16, 30]);
+    }
+
+    #[test]
+    fn head_produces_unit_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let enc = DomainEncoder::new(&mut rng, 1, 8, 3, 3);
+        let head = ProjectionHead::new(&mut rng, 8);
+        let batch = neuro::init::he_normal(&mut rng, &[4, 1, 25], 25);
+        let r = embed(&enc, &head, batch);
+        assert_eq!(r.shape(), &[4, 25]);
+        for i in 0..4 {
+            let n: f32 = r.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-4, "row {i} norm {n}");
+        }
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let enc = DomainEncoder::new(&mut rng, 1, 8, 2, 3);
+        // Block 0: conv(1→8), conv(8→8), skip(1→8): 3 convs × 2 params.
+        // Block 1: conv(8→8) × 2, no skip: 2 convs × 2 params.
+        assert_eq!(enc.params().len(), 6 + 4);
+        let head = ProjectionHead::new(&mut rng, 8);
+        assert_eq!(head.params().len(), 4);
+    }
+
+    #[test]
+    fn different_inputs_give_different_embeddings() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let enc = DomainEncoder::new(&mut rng, 1, 8, 3, 3);
+        let head = ProjectionHead::new(&mut rng, 8);
+        let a = neuro::init::he_normal(&mut rng, &[1, 1, 40], 40);
+        let b = neuro::init::he_normal(&mut rng, &[1, 1, 40], 40);
+        let ra = embed(&enc, &head, a);
+        let rb = embed(&enc, &head, b);
+        let diff: f32 = ra
+            .data()
+            .iter()
+            .zip(rb.data())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(diff > 1e-3);
+    }
+
+    #[test]
+    fn deep_dilation_is_capped_for_stability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // depth 12 → dilation would hit 2^11; cap keeps it finite & runnable.
+        let enc = DomainEncoder::new(&mut rng, 1, 4, 12, 3);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 1, 16]));
+        let h = enc.forward(&mut g, x);
+        assert_eq!(g.value(h).shape(), &[1, 4, 16]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Tri-domain feature extraction (Sec. III-B).
+//!
+//! Per window of length `L` the encoders consume:
+//!
+//! * **temporal** — the z-normalised raw window, 1 × L;
+//! * **frequency** — Table I's amplitude / phase / power of the window's DFT,
+//!   3 × L. Amplitude and power are `ln(1+x)`-compressed then z-normalised
+//!   (raw spectral power spans orders of magnitude); phase is scaled by 1/π
+//!   into `[-1, 1]`;
+//! * **residual** — the window's classical-decomposition residual, 1 × L,
+//!   scaled by the *training* residual std so residual-scale anomalies keep
+//!   their magnitude (a per-window z-norm would erase exactly the signal this
+//!   domain exists to carry).
+
+use crate::Domain;
+use neuro::Tensor;
+use tsops::decompose::residual_of;
+use tsops::spectral::spectral_features;
+use tsops::stats::{std_dev, znormalize};
+
+/// Fitted feature extractor. `fit` learns the residual scale from the
+/// anomaly-free training split; extraction is then deterministic per window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureExtractor {
+    /// Fundamental period (samples), estimated upstream.
+    pub period: usize,
+    /// Training residual std (scale anchor for the residual domain).
+    pub residual_scale: f64,
+}
+
+impl FeatureExtractor {
+    /// Fit on the training split: estimates the residual scale over the whole
+    /// split at once.
+    pub fn fit(train: &[f64], period: usize) -> Self {
+        assert!(period >= 2, "period must be ≥ 2");
+        let res = residual_of(train, period);
+        let scale = std_dev(&res).max(1e-6);
+        FeatureExtractor {
+            period,
+            residual_scale: scale,
+        }
+    }
+
+    /// Extract one domain's channels for a window. Every channel has the
+    /// window's length.
+    pub fn extract(&self, window: &[f64], domain: Domain) -> Vec<Vec<f64>> {
+        match domain {
+            Domain::Temporal => vec![znormalize(window)],
+            Domain::Frequency => {
+                let f = spectral_features(window);
+                let amp: Vec<f64> = f.amplitude.iter().map(|&a| (1.0 + a).ln()).collect();
+                let pow: Vec<f64> = f.power.iter().map(|&p| (1.0 + p).ln()).collect();
+                let phase: Vec<f64> =
+                    f.phase.iter().map(|&p| p / std::f64::consts::PI).collect();
+                vec![znormalize(&amp), phase, znormalize(&pow)]
+            }
+            Domain::Residual => {
+                let res = residual_of(window, self.period.min(window.len().max(1)));
+                vec![res.iter().map(|&r| r / self.residual_scale).collect()]
+            }
+        }
+    }
+
+    /// Stack a batch of windows into the `[B, C, L]` tensor the encoder
+    /// consumes. All windows must share one length.
+    pub fn batch_tensor(&self, windows: &[&[f64]], domain: Domain) -> Tensor {
+        assert!(!windows.is_empty(), "empty batch");
+        let l = windows[0].len();
+        let c = domain.channels();
+        let mut data = Vec::with_capacity(windows.len() * c * l);
+        for w in windows {
+            assert_eq!(w.len(), l, "ragged batch");
+            let chans = self.extract(w, domain);
+            debug_assert_eq!(chans.len(), c);
+            for ch in &chans {
+                data.extend(ch.iter().map(|&v| v as f32));
+            }
+        }
+        Tensor::from_vec(&[windows.len(), c, l], data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn wave(n: usize, p: f64) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * PI * i as f64 / p).sin()).collect()
+    }
+
+    #[test]
+    fn channel_counts_and_lengths() {
+        let fx = FeatureExtractor::fit(&wave(400, 40.0), 40);
+        let w = wave(100, 40.0);
+        for d in Domain::ALL {
+            let chans = fx.extract(&w, d);
+            assert_eq!(chans.len(), d.channels(), "{d:?}");
+            for ch in &chans {
+                assert_eq!(ch.len(), 100);
+                assert!(ch.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_is_znormalised() {
+        let fx = FeatureExtractor::fit(&wave(400, 40.0), 40);
+        let w: Vec<f64> = wave(100, 40.0).iter().map(|v| v * 3.0 + 7.0).collect();
+        let t = &fx.extract(&w, Domain::Temporal)[0];
+        assert!(tsops::stats::mean(t).abs() < 1e-9);
+        assert!((tsops::stats::std_dev(t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_channel_is_bounded() {
+        let fx = FeatureExtractor::fit(&wave(400, 40.0), 40);
+        let chans = fx.extract(&wave(100, 40.0), Domain::Frequency);
+        assert!(chans[1].iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn residual_scale_preserves_shift_magnitude() {
+        let train = wave(800, 40.0);
+        let fx = FeatureExtractor::fit(&train, 40);
+        // A window with an injected residual spike keeps a big residual value.
+        let mut w = wave(100, 40.0);
+        w[50] += 2.0;
+        let clean = fx.extract(&wave(100, 40.0), Domain::Residual)[0].clone();
+        let spiked = fx.extract(&w, Domain::Residual)[0].clone();
+        let max_clean = clean.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let max_spiked = spiked.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(
+            max_spiked > max_clean * 3.0,
+            "spike not preserved: {max_spiked} vs {max_clean}"
+        );
+    }
+
+    #[test]
+    fn frequency_features_separate_frequency_shift() {
+        let fx = FeatureExtractor::fit(&wave(800, 40.0), 40);
+        let normal = fx.batch_tensor(&[&wave(100, 40.0)], Domain::Frequency);
+        let shifted = fx.batch_tensor(&[&wave(100, 20.0)], Domain::Frequency);
+        // Amplitude channels must differ substantially.
+        let diff: f32 = normal
+            .data()
+            .iter()
+            .zip(shifted.data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1.0, "freq features identical: {diff}");
+    }
+
+    #[test]
+    fn batch_tensor_layout() {
+        let fx = FeatureExtractor::fit(&wave(400, 40.0), 40);
+        let w1 = wave(50, 25.0);
+        let w2 = wave(50, 10.0);
+        let t = fx.batch_tensor(&[&w1, &w2], Domain::Frequency);
+        assert_eq!(t.shape(), &[2, 3, 50]);
+        // First row/channel equals w1's first frequency channel.
+        let ch = fx.extract(&w1, Domain::Frequency);
+        for i in 0..50 {
+            assert!((t.at3(0, 0, i) - ch[0][i] as f32).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_batch_panics() {
+        let fx = FeatureExtractor::fit(&wave(200, 20.0), 20);
+        let a = wave(30, 20.0);
+        let b = wave(40, 20.0);
+        fx.batch_tensor(&[&a, &b], Domain::Temporal);
+    }
+}

@@ -1,0 +1,266 @@
+//! Tri-domain contrastive loss (Sec. III-C, Eqs. 5–7).
+//!
+//! Both terms share the positive-pair statistic
+//! `sim(r_i, r_i⁺) = Σ_{j≠i} exp(r_i·r_j / τ)` — originals from the same
+//! batch attract each other. They differ in their negatives:
+//!
+//! * **intra-domain** (Eq. 5): negatives are the *augmented* windows of the
+//!   same domain — the encoder must tell synthetic anomalies apart;
+//! * **inter-domain** (Eq. 6): negatives are the *same window's embeddings in
+//!   the other domains* — the three views must stay mutually distinct so no
+//!   domain collapses onto another.
+//!
+//! The blend `ℓ = α·ℓ_inter + (1−α)·ℓ_intra` (Eq. 7) defaults to `α = 0.4`.
+//! Embeddings arrive L2-normalised, so `exp` never overflows; `τ` is the
+//! documented temperature deviation.
+
+use neuro::graph::{Graph, NodeId};
+use neuro::Tensor;
+
+/// Loss configuration (a projection of [`crate::TriadConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContrastiveLoss {
+    pub alpha: f64,
+    pub temperature: f64,
+    pub use_intra: bool,
+    pub use_inter: bool,
+}
+
+impl ContrastiveLoss {
+    /// `Σ_{j≠i} exp(r_i·r_j/τ)` as a `[B,1]` node (the shared positive term).
+    fn positive_term(&self, g: &mut Graph, r: NodeId) -> NodeId {
+        let bsz = g.value(r).shape()[0];
+        let rt = g.transpose(r);
+        let sims = g.matmul(r, rt);
+        let sims = g.scale(sims, 1.0 / self.temperature as f32);
+        let e = g.exp(sims);
+        // Zero the diagonal with a constant mask.
+        let mut mask = Tensor::full(&[bsz, bsz], 1.0);
+        for i in 0..bsz {
+            mask.data_mut()[i * bsz + i] = 0.0;
+        }
+        let mask = g.input(mask);
+        let masked = g.mul(e, mask);
+        g.row_sum(masked)
+    }
+
+    /// Intra-domain loss (Eq. 5) for one domain, averaged over the batch.
+    pub fn intra(&self, g: &mut Graph, r: NodeId, r_aug: NodeId) -> NodeId {
+        let pos = self.positive_term(g, r);
+        let rat = g.transpose(r_aug);
+        let cross = g.matmul(r, rat);
+        let cross = g.scale(cross, 1.0 / self.temperature as f32);
+        let e = g.exp(cross);
+        let neg = g.row_sum(e);
+        // −log(pos/(pos+neg)) = log(pos+neg) − log(pos)
+        let denom = g.add(pos, neg);
+        let ld = g.ln(denom);
+        let lp = g.ln(pos);
+        let diff = g.sub(ld, lp);
+        g.mean_all(diff)
+    }
+
+    /// Inter-domain loss (Eq. 6) for domain `d` against the other domains'
+    /// embeddings of the same windows.
+    pub fn inter(&self, g: &mut Graph, r: NodeId, others: &[NodeId]) -> NodeId {
+        assert!(!others.is_empty(), "inter loss needs other domains");
+        let pos = self.positive_term(g, r);
+        let mut denom = pos;
+        for &o in others {
+            let prod = g.mul(r, o);
+            let dots = g.row_sum(prod);
+            let dots = g.scale(dots, 1.0 / self.temperature as f32);
+            let e = g.exp(dots);
+            denom = g.add(denom, e);
+        }
+        let ld = g.ln(denom);
+        let lp = g.ln(pos);
+        let diff = g.sub(ld, lp);
+        g.mean_all(diff)
+    }
+
+    /// Total loss (Eq. 7) over all active domains.
+    ///
+    /// `rs[d]` / `rs_aug[d]` are the `[B, L]` embeddings of the original and
+    /// augmented windows in each domain, in matching order.
+    pub fn total(&self, g: &mut Graph, rs: &[NodeId], rs_aug: &[NodeId]) -> NodeId {
+        assert_eq!(rs.len(), rs_aug.len());
+        assert!(!rs.is_empty());
+        let n_domains = rs.len();
+        let mut terms: Vec<NodeId> = Vec::new();
+        for d in 0..n_domains {
+            if self.use_intra {
+                let l = self.intra(g, rs[d], rs_aug[d]);
+                let w = if self.use_inter && n_domains > 1 {
+                    1.0 - self.alpha
+                } else {
+                    1.0
+                };
+                terms.push(g.scale(l, w as f32));
+            }
+            if self.use_inter && n_domains > 1 {
+                let others: Vec<NodeId> = (0..n_domains).filter(|&e| e != d).map(|e| rs[e]).collect();
+                let l = self.inter(g, rs[d], &others);
+                let w = if self.use_intra { self.alpha } else { 1.0 };
+                terms.push(g.scale(l, w as f32));
+            }
+        }
+        let mut acc = terms[0];
+        for &t in &terms[1..] {
+            acc = g.add(acc, t);
+        }
+        g.scale(acc, 1.0 / n_domains as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuro::graph::Param;
+    use neuro::optim::Adam;
+
+    fn unit_rows(t: &mut Tensor) {
+        let f = t.shape()[1];
+        for row in t.data_mut().chunks_mut(f) {
+            let n = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-8);
+            for v in row {
+                *v /= n;
+            }
+        }
+    }
+
+    fn loss_cfg() -> ContrastiveLoss {
+        ContrastiveLoss {
+            alpha: 0.4,
+            temperature: 1.0,
+            use_intra: true,
+            use_inter: true,
+        }
+    }
+
+    #[test]
+    fn intra_prefers_separated_augmentations() {
+        // Originals clustered; augmentations either identical (bad) or
+        // orthogonal (good). Loss must be lower in the good case.
+        let mut orig = Tensor::from_vec(&[2, 4], vec![1., 0.1, 0., 0., 1., -0.1, 0., 0.]);
+        unit_rows(&mut orig);
+        let mut bad_aug = orig.clone();
+        unit_rows(&mut bad_aug);
+        let mut good_aug = Tensor::from_vec(&[2, 4], vec![0., 0., 1., 0.1, 0., 0., -0.1, 1.]);
+        unit_rows(&mut good_aug);
+
+        let eval = |aug: Tensor| {
+            let mut g = Graph::new();
+            let r = g.input(orig.clone());
+            let ra = g.input(aug);
+            let l = loss_cfg().intra(&mut g, r, ra);
+            g.value(l).item()
+        };
+        assert!(eval(good_aug) < eval(bad_aug));
+    }
+
+    #[test]
+    fn inter_prefers_distinct_domains() {
+        let mut r = Tensor::from_vec(&[2, 4], vec![1., 0.05, 0., 0., 1., -0.05, 0., 0.]);
+        unit_rows(&mut r);
+        let mut same = r.clone();
+        unit_rows(&mut same);
+        let mut distinct = Tensor::from_vec(&[2, 4], vec![0., 0., 1., 0., 0., 0., 0., 1.]);
+        unit_rows(&mut distinct);
+
+        let eval = |other: Tensor| {
+            let mut g = Graph::new();
+            let rr = g.input(r.clone());
+            let oo = g.input(other);
+            let l = loss_cfg().inter(&mut g, rr, &[oo]);
+            g.value(l).item()
+        };
+        assert!(eval(distinct) < eval(same));
+    }
+
+    #[test]
+    fn total_blends_and_is_finite() {
+        let mk = |seed: u32| {
+            let mut t = Tensor::from_vec(
+                &[3, 5],
+                (0..15)
+                    .map(|i| ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 97) as f32 / 97.0 - 0.5)
+                    .collect(),
+            );
+            unit_rows(&mut t);
+            t
+        };
+        let mut g = Graph::new();
+        let rs: Vec<NodeId> = (0..3).map(|d| g.input(mk(d))).collect();
+        let ras: Vec<NodeId> = (0..3).map(|d| g.input(mk(d + 10))).collect();
+        let l = loss_cfg().total(&mut g, &rs, &ras);
+        let v = g.value(l).item();
+        assert!(v.is_finite() && v > 0.0, "loss {v}");
+    }
+
+    #[test]
+    fn loss_is_trainable_end_to_end() {
+        // Two trainable embedding matrices (as params) should reduce the
+        // total loss under Adam — a smoke test that gradients flow through
+        // the full masked-exp-log composition.
+        let p_r = Param::new(Tensor::from_vec(
+            &[2, 4],
+            vec![0.5, 0.1, 0.2, 0.3, 0.4, 0.5, 0.1, 0.2],
+        ));
+        let p_a = Param::new(Tensor::from_vec(
+            &[2, 4],
+            vec![0.5, 0.1, 0.2, 0.3, 0.45, 0.5, 0.1, 0.2],
+        ));
+        let mut opt = Adam::new(vec![p_r.clone(), p_a.clone()], 0.05);
+        let cfg = ContrastiveLoss {
+            alpha: 0.0,
+            temperature: 1.0,
+            use_intra: true,
+            use_inter: false,
+        };
+        let run = || {
+            let mut g = Graph::new();
+            let r_raw = g.param(&p_r);
+            let a_raw = g.param(&p_a);
+            let r = g.l2_normalize_rows(r_raw);
+            let a = g.l2_normalize_rows(a_raw);
+            let l = cfg.intra(&mut g, r, a);
+            let v = g.value(l).item();
+            g.backward(l);
+            v
+        };
+        let first = run();
+        let mut last = first;
+        for _ in 0..60 {
+            opt.step();
+            last = run();
+        }
+        assert!(last < first - 0.1, "no improvement: {first} -> {last}");
+    }
+
+    #[test]
+    fn ablated_terms_change_the_value() {
+        let mut r = Tensor::from_vec(&[2, 3], vec![1., 0., 0., 0., 1., 0.]);
+        unit_rows(&mut r);
+        let a = r.clone();
+        let full = {
+            let mut g = Graph::new();
+            let rs = [g.input(r.clone()), g.input(a.clone())];
+            let ras = [g.input(a.clone()), g.input(r.clone())];
+            let l = loss_cfg().total(&mut g, &rs, &ras);
+            g.value(l).item()
+        };
+        let intra_only = {
+            let mut g = Graph::new();
+            let cfg = ContrastiveLoss {
+                use_inter: false,
+                ..loss_cfg()
+            };
+            let rs = [g.input(r.clone()), g.input(a.clone())];
+            let ras = [g.input(a.clone()), g.input(r.clone())];
+            let l = cfg.total(&mut g, &rs, &ras);
+            g.value(l).item()
+        };
+        assert!((full - intra_only).abs() > 1e-6);
+    }
+}

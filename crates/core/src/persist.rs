@@ -1,0 +1,280 @@
+//! Save / load a trained TriAD model.
+//!
+//! Per-dataset training is cheap but not free; a monitoring deployment wants
+//! to train once and re-run detection on fresh test windows. The format is
+//! a small header (config fields the pipeline needs at inference, training
+//! metadata, the training series for the window-selection stage) followed by
+//! the `neuro` parameter block.
+//!
+//! ```text
+//! magic   b"TRIAD1\n"
+//! u32     header length
+//! header  UTF-8 "key=value" lines (config + metadata)
+//! u64     training-series length, then f64×len little-endian samples
+//! block   neuro::serialize parameter file (all encoder + head params)
+//! ```
+
+use crate::config::TriadConfig;
+use crate::features::FeatureExtractor;
+use crate::pipeline::FittedTriad;
+use crate::train::{Model, TrainReport};
+use crate::Domain;
+use neuro::serialize::{load_params, write_params};
+use std::io::{self, Read, Write};
+use std::path::Path;
+use tsops::window::Segmenter;
+
+const MAGIC: &[u8; 7] = b"TRIAD1\n";
+
+fn header_string(fitted: &FittedTriad) -> String {
+    let cfg = fitted.config();
+    let rep = fitted.report();
+    let fx = fitted.extractor();
+    let domains: Vec<&str> = cfg.domains().iter().map(|d| d.name()).collect();
+    [
+        format!("alpha={}", cfg.alpha),
+        format!("depth={}", cfg.depth),
+        format!("hidden={}", cfg.hidden),
+        format!("kernel={}", cfg.kernel),
+        format!("temperature={}", cfg.temperature),
+        format!("top_z={}", cfg.top_z),
+        format!("weighted_voting={}", cfg.weighted_voting),
+        format!("triad_vote_weight={}", cfg.triad_vote_weight),
+        format!("merlin_pad_windows={}", cfg.merlin_pad_windows),
+        format!("merlin_min_len={}", cfg.merlin_min_len),
+        format!("merlin_max_len={}", cfg.merlin_max_len),
+        format!("merlin_step={}", cfg.merlin_step),
+        format!("seed={}", cfg.seed),
+        format!("domains={}", domains.join(",")),
+        format!("period={}", rep.period),
+        format!("window={}", rep.window),
+        format!("stride={}", rep.stride),
+        format!("residual_scale={}", fx.residual_scale),
+    ]
+    .join("\n")
+}
+
+fn parse_header(text: &str) -> io::Result<std::collections::HashMap<String, String>> {
+    let mut map = std::collections::HashMap::new();
+    for line in text.lines() {
+        let (k, v) = line.split_once('=').ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad header line: {line}"))
+        })?;
+        map.insert(k.to_string(), v.to_string());
+    }
+    Ok(map)
+}
+
+fn get<T: std::str::FromStr>(
+    map: &std::collections::HashMap<String, String>,
+    key: &str,
+) -> io::Result<T> {
+    map.get(key)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("missing/bad {key}")))
+}
+
+/// Serialize a fitted model.
+pub fn save<W: Write>(mut w: W, fitted: &FittedTriad) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    let header = header_string(fitted);
+    w.write_all(&(header.len() as u32).to_le_bytes())?;
+    w.write_all(header.as_bytes())?;
+    let train = fitted.train_series();
+    w.write_all(&(train.len() as u64).to_le_bytes())?;
+    for &v in train {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    write_params(w, &fitted.model().params())
+}
+
+/// Save to a file path.
+pub fn save_file(path: &Path, fitted: &FittedTriad) -> io::Result<()> {
+    save(std::io::BufWriter::new(std::fs::File::create(path)?), fitted)
+}
+
+/// Deserialize a fitted model.
+pub fn load<R: Read>(mut r: R) -> io::Result<FittedTriad> {
+    let mut magic = [0u8; 7];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a TRIAD1 file"));
+    }
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let hlen = u32::from_le_bytes(len4) as usize;
+    if hlen > 1 << 20 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized header"));
+    }
+    let mut hbuf = vec![0u8; hlen];
+    r.read_exact(&mut hbuf)?;
+    let header = String::from_utf8(hbuf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 header"))?;
+    let map = parse_header(&header)?;
+
+    let mut cfg = TriadConfig {
+        alpha: get(&map, "alpha")?,
+        depth: get(&map, "depth")?,
+        hidden: get(&map, "hidden")?,
+        kernel: get(&map, "kernel")?,
+        temperature: get(&map, "temperature")?,
+        top_z: get(&map, "top_z")?,
+        weighted_voting: get(&map, "weighted_voting")?,
+        triad_vote_weight: get(&map, "triad_vote_weight")?,
+        merlin_pad_windows: get(&map, "merlin_pad_windows")?,
+        merlin_min_len: get(&map, "merlin_min_len")?,
+        merlin_max_len: get(&map, "merlin_max_len")?,
+        merlin_step: get(&map, "merlin_step")?,
+        seed: get(&map, "seed")?,
+        ..TriadConfig::default()
+    };
+    let domain_names: String = get(&map, "domains")?;
+    cfg.use_temporal = domain_names.split(',').any(|d| d == "temporal");
+    cfg.use_frequency = domain_names.split(',').any(|d| d == "frequency");
+    cfg.use_residual = domain_names.split(',').any(|d| d == "residual");
+
+    let period: usize = get(&map, "period")?;
+    let window: usize = get(&map, "window")?;
+    let stride: usize = get(&map, "stride")?;
+    let residual_scale: f64 = get(&map, "residual_scale")?;
+
+    let mut len8 = [0u8; 8];
+    r.read_exact(&mut len8)?;
+    let n_train = u64::from_le_bytes(len8) as usize;
+    if n_train > 1 << 28 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible train length"));
+    }
+    let mut train = Vec::with_capacity(n_train);
+    let mut b8 = [0u8; 8];
+    for _ in 0..n_train {
+        r.read_exact(&mut b8)?;
+        train.push(f64::from_le_bytes(b8));
+    }
+
+    // Rebuild the model skeleton exactly as `train::fit` does (same seed,
+    // same construction order), then overwrite its parameters.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let encoders: Vec<(Domain, crate::encoder::DomainEncoder)> = cfg
+        .domains()
+        .iter()
+        .map(|&d| {
+            (
+                d,
+                crate::encoder::DomainEncoder::new(
+                    &mut rng,
+                    d.channels(),
+                    cfg.hidden,
+                    cfg.depth,
+                    cfg.kernel,
+                ),
+            )
+        })
+        .collect();
+    let head = crate::encoder::ProjectionHead::new(&mut rng, cfg.hidden);
+    let model = Model { encoders, head };
+    load_params(r, &model.params())?;
+
+    let extractor = FeatureExtractor {
+        period,
+        residual_scale,
+    };
+    let segmenter = Segmenter::new(window, stride);
+    let report = TrainReport {
+        epoch_losses: Vec::new(),
+        val_losses: Vec::new(),
+        period,
+        window,
+        stride,
+        n_windows: 0,
+    };
+    Ok(FittedTriad::from_parts(cfg, model, extractor, segmenter, report, train))
+}
+
+/// Load from a file path.
+pub fn load_file(path: &Path) -> io::Result<FittedTriad> {
+    load(std::io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::TriAd;
+    use std::f64::consts::PI;
+
+    fn series() -> (Vec<f64>, Vec<f64>) {
+        let mut full: Vec<f64> = (0..1000)
+            .map(|i| (2.0 * PI * i as f64 / 40.0).sin() + 0.25 * (4.0 * PI * i as f64 / 40.0).sin())
+            .collect();
+        for i in 800..860 {
+            full[i] = (8.0 * PI * i as f64 / 40.0).sin();
+        }
+        (full[..600].to_vec(), full[600..].to_vec())
+    }
+
+    fn quick_cfg() -> TriadConfig {
+        TriadConfig {
+            epochs: 3,
+            depth: 2,
+            hidden: 8,
+            batch: 4,
+            merlin_step: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_reproduces_detection() {
+        let (train, test) = series();
+        let fitted = TriAd::new(quick_cfg()).fit(&train).expect("fit");
+        let before = fitted.detect(&test);
+
+        let mut buf = Vec::new();
+        save(&mut buf, &fitted).expect("save");
+        let restored = load(buf.as_slice()).expect("load");
+
+        assert_eq!(restored.period(), fitted.period());
+        assert_eq!(restored.window_len(), fitted.window_len());
+        let after = restored.detect(&test);
+        assert_eq!(before.prediction, after.prediction);
+        assert_eq!(before.votes, after.votes);
+        assert_eq!(before.selected_window, after.selected_window);
+        assert_eq!(before.discords, after.discords);
+    }
+
+    #[test]
+    fn ablated_models_round_trip() {
+        let (train, test) = series();
+        let mut cfg = quick_cfg();
+        cfg.use_residual = false;
+        let fitted = TriAd::new(cfg).fit(&train).expect("fit");
+        let mut buf = Vec::new();
+        save(&mut buf, &fitted).unwrap();
+        let restored = load(buf.as_slice()).unwrap();
+        assert_eq!(restored.model().encoders.len(), 2);
+        assert_eq!(
+            fitted.detect(&test).prediction,
+            restored.detect(&test).prediction
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(load(&b"not a model"[..]).is_err());
+        let mut bad = MAGIC.to_vec();
+        bad.extend_from_slice(&(5u32).to_le_bytes());
+        bad.extend_from_slice(b"x=y\nz"); // malformed header line
+        assert!(load(bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (train, _) = series();
+        let fitted = TriAd::new(quick_cfg()).fit(&train).expect("fit");
+        let path = std::env::temp_dir().join("triad_persist_test.bin");
+        save_file(&path, &fitted).unwrap();
+        let restored = load_file(&path).unwrap();
+        assert_eq!(restored.window_len(), fitted.window_len());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,167 @@
+//! DRAG — Discord Range-Aware Gathering (Yankov, Keogh & Rebbapragada 2008).
+//!
+//! Given a range `r`, DRAG finds **every** subsequence whose nearest-neighbour
+//! distance is at least `r`, in two phases:
+//!
+//! 1. **Candidate selection** — one forward scan keeping a candidate set; a
+//!    subsequence evicts every candidate it lies within `r` of (both then
+//!    provably have a neighbour closer than `r`), and joins the set itself
+//!    only if it evicted nothing.
+//! 2. **Refinement** — each surviving candidate's true nearest-neighbour
+//!    distance is computed with early-abandoning; a candidate is dropped the
+//!    moment its running NN distance falls below `r`.
+//!
+//! An empty result means *no* discord has NN distance ≥ `r` — the caller
+//! (MERLIN) must retry with a smaller `r`.
+
+use crate::Discord;
+use tsops::distance::ZnormSeries;
+
+/// Run DRAG at subsequence length `w` with range `r`. Returns all discords
+/// with nearest-neighbour distance ≥ `r`, sorted by descending distance.
+pub fn drag(series: &[f64], w: usize, r: f64) -> Vec<Discord> {
+    let zs = ZnormSeries::new(series, w);
+    drag_prepared(&zs, r)
+}
+
+/// DRAG over an already-prepared [`ZnormSeries`] (lets MERLIN reuse the
+/// rolling statistics across `r` retries at the same length).
+pub fn drag_prepared(zs: &ZnormSeries<'_>, r: f64) -> Vec<Discord> {
+    let n = zs.count();
+    let w = zs.subseq_len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let r_sq = r * r;
+
+    // Phase 1: candidate selection.
+    let mut candidates: Vec<usize> = vec![0];
+    for j in 1..n {
+        let mut is_candidate = true;
+        let mut kept = Vec::with_capacity(candidates.len());
+        for &c in &candidates {
+            if j.abs_diff(c) < w {
+                kept.push(c); // trivial match: no evidence either way
+                continue;
+            }
+            if zs.dist_sq(c, j) < r_sq {
+                // c has a neighbour within r → not a discord; j has one too.
+                is_candidate = false;
+            } else {
+                kept.push(c);
+            }
+        }
+        candidates = kept;
+        if is_candidate {
+            candidates.push(j);
+        }
+    }
+
+    // Phase 2: refinement with early abandoning.
+    let mut out = Vec::new();
+    for &c in &candidates {
+        let mut best = f64::INFINITY;
+        let mut alive = true;
+        for j in 0..n {
+            if j.abs_diff(c) < w {
+                continue;
+            }
+            let bound = best.min(f64::INFINITY);
+            if let Some(d) = zs.dist_early_abandon(c, j, bound) {
+                if d < best {
+                    best = d;
+                    if best < r {
+                        alive = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if alive && best.is_finite() && best >= r {
+            out.push(Discord {
+                index: c,
+                length: w,
+                distance: best,
+            });
+        }
+    }
+    out.sort_by(|a, b| b.distance.total_cmp(&a.distance));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix_profile::matrix_profile;
+    use std::f64::consts::PI;
+
+    fn spiked(n: usize, p: usize, at: usize) -> Vec<f64> {
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * i as f64 / p as f64).sin())
+            .collect();
+        for (k, v) in x[at..at + 5].iter_mut().enumerate() {
+            *v += 1.5 + 0.4 * k as f64;
+        }
+        x
+    }
+
+    #[test]
+    fn drag_top_discord_matches_brute_force() {
+        let x = spiked(350, 25, 170);
+        let w = 25;
+        let mp = matrix_profile(&x, w);
+        let truth = mp.top_discord().unwrap();
+        // r slightly below the true top distance must recover it.
+        let found = drag(&x, w, truth.distance * 0.9);
+        assert!(!found.is_empty());
+        assert_eq!(found[0].index, truth.index);
+        assert!((found[0].distance - truth.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drag_fails_cleanly_when_r_too_large() {
+        let x = spiked(300, 20, 140);
+        let mp = matrix_profile(&x, 20);
+        let truth = mp.top_discord().unwrap();
+        let found = drag(&x, 20, truth.distance * 1.5);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn drag_finds_all_discords_above_r() {
+        let x = spiked(400, 20, 200);
+        let w = 20;
+        let mp = matrix_profile(&x, w);
+        let r = 1.0;
+        let expected: Vec<usize> = mp
+            .profile
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_finite() && **d >= r)
+            .map(|(i, _)| i)
+            .collect();
+        let mut found: Vec<usize> = drag(&x, w, r).into_iter().map(|d| d.index).collect();
+        found.sort_unstable();
+        assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn drag_results_sorted_descending() {
+        let mut x = spiked(500, 25, 100);
+        for v in &mut x[350..356] {
+            *v -= 2.0;
+        }
+        let ds = drag(&x, 25, 0.5);
+        for pair in ds.windows(2) {
+            assert!(pair[0].distance >= pair[1].distance);
+        }
+    }
+
+    #[test]
+    fn drag_empty_and_tiny_inputs() {
+        assert!(drag(&[1.0, 2.0], 2, 0.1).is_empty() || drag(&[1.0, 2.0], 2, 0.1).len() <= 1);
+        let x = vec![0.0; 10];
+        // All-constant series: all distances 0 < r → no discords.
+        assert!(drag(&x, 3, 0.5).is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Exact (brute-force) matrix profile.
+//!
+//! The matrix profile of a series at subsequence length `w` stores, for every
+//! subsequence, the z-normalised distance to its nearest non-trivially-
+//! matching neighbour and that neighbour's index. Quadratic but exact; DRAG
+//! and MERLIN are validated against it in tests, and it backs the
+//! "pairwise-similarity baseline" timing comparison of Table IV.
+
+use crate::Discord;
+use tsops::distance::ZnormSeries;
+
+/// Matrix profile values and indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixProfile {
+    /// `profile[i]` = NN distance of the subsequence starting at `i`.
+    pub profile: Vec<f64>,
+    /// `index[i]` = start of that nearest neighbour (usize::MAX if none).
+    pub index: Vec<usize>,
+    /// Subsequence length.
+    pub w: usize,
+}
+
+impl MatrixProfile {
+    /// Top-1 discord (arg-max of the profile). `None` when the profile is
+    /// empty or no subsequence has an admissible neighbour.
+    pub fn top_discord(&self) -> Option<Discord> {
+        self.profile
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_finite())
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &d)| Discord {
+                index: i,
+                length: self.w,
+                distance: d,
+            })
+    }
+
+    /// Top-k non-overlapping discords, greedily: repeatedly take the largest
+    /// remaining profile entry and mask out its exclusion zone.
+    pub fn top_discords(&self, k: usize) -> Vec<Discord> {
+        let mut masked = self.profile.clone();
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            let Some((i, &d)) = masked
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.is_finite() && **d >= 0.0)
+                .max_by(|a, b| a.1.total_cmp(b.1))
+            else {
+                break;
+            };
+            if d < 0.0 {
+                break;
+            }
+            out.push(Discord {
+                index: i,
+                length: self.w,
+                distance: d,
+            });
+            let lo = i.saturating_sub(self.w);
+            let hi = (i + self.w).min(masked.len());
+            for v in &mut masked[lo..hi] {
+                *v = f64::NEG_INFINITY;
+            }
+        }
+        out
+    }
+}
+
+/// Compute the full matrix profile by brute force.
+pub fn matrix_profile(series: &[f64], w: usize) -> MatrixProfile {
+    let zs = ZnormSeries::new(series, w);
+    let n = zs.count();
+    let mut profile = vec![f64::INFINITY; n];
+    let mut index = vec![usize::MAX; n];
+    for i in 0..n {
+        // Symmetry: only scan j > i, updating both ends.
+        for j in (i + w)..n {
+            let d = zs.dist_sq(i, j);
+            if d < profile[i] {
+                profile[i] = d;
+                index[i] = j;
+            }
+            if d < profile[j] {
+                profile[j] = d;
+                index[j] = i;
+            }
+        }
+    }
+    for v in &mut profile {
+        if v.is_finite() {
+            *v = v.sqrt();
+        }
+    }
+    MatrixProfile { profile, index, w }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn periodic_with_spike(n: usize, p: usize, spike_at: usize) -> Vec<f64> {
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * i as f64 / p as f64).sin())
+            .collect();
+        for (k, v) in x[spike_at..spike_at + 6].iter_mut().enumerate() {
+            *v += 2.0 + k as f64 * 0.3;
+        }
+        x
+    }
+
+    #[test]
+    fn profile_is_symmetric_consistent() {
+        let x = periodic_with_spike(240, 24, 100);
+        let mp = matrix_profile(&x, 24);
+        // NN relation is consistent: profile[i] == dist(i, index[i]).
+        let zs = ZnormSeries::new(&x, 24);
+        for i in 0..mp.profile.len() {
+            if mp.index[i] != usize::MAX {
+                assert!((mp.profile[i] - zs.dist(i, mp.index[i])).abs() < 1e-9);
+                assert!(mp.index[i].abs_diff(i) >= 24);
+            }
+        }
+    }
+
+    #[test]
+    fn top_discord_covers_injected_anomaly() {
+        let x = periodic_with_spike(300, 20, 150);
+        let mp = matrix_profile(&x, 20);
+        let d = mp.top_discord().unwrap();
+        // Discord subsequence must intersect the spike region.
+        assert!(
+            d.index <= 155 && d.index + 20 >= 150,
+            "discord at {} misses spike at 150",
+            d.index
+        );
+    }
+
+    #[test]
+    fn profile_of_pure_periodic_signal_is_near_zero() {
+        let x: Vec<f64> = (0..400)
+            .map(|i| (2.0 * PI * i as f64 / 40.0).sin())
+            .collect();
+        let mp = matrix_profile(&x, 40);
+        let max = mp
+            .profile
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        assert!(max < 1e-3, "max profile {max}");
+    }
+
+    #[test]
+    fn top_discords_do_not_overlap() {
+        let mut x = periodic_with_spike(400, 25, 100);
+        for v in &mut x[300..308] {
+            *v -= 3.0;
+        }
+        let mp = matrix_profile(&x, 25);
+        let ds = mp.top_discords(2);
+        assert_eq!(ds.len(), 2);
+        assert!(ds[0].index.abs_diff(ds[1].index) >= 25);
+        assert!(ds[0].distance >= ds[1].distance);
+    }
+
+    #[test]
+    fn short_series_yields_empty_or_trivial_profile() {
+        let mp = matrix_profile(&[1.0, 2.0, 3.0], 3);
+        assert_eq!(mp.profile.len(), 1);
+        assert!(mp.top_discord().is_none()); // infinite profile filtered out
+    }
+}

@@ -1,0 +1,232 @@
+//! MERLIN++ — MERLIN with Orchard-style indexed nearest-neighbour refinement
+//! (Nakamura, Mercer, Imamura & Keogh, DMKD 2023).
+//!
+//! The length sweep and adaptive-`r` logic are identical to [`crate::merlin`]
+//! (so results match MERLIN exactly); the speedup comes from the refinement
+//! phase. Z-normalised Euclidean distance is a true metric over z-normalised
+//! subsequences, so for any pivot `p`:
+//!
+//! ```text
+//! d(c, j) ≥ |d(c, p) − d(j, p)|
+//! ```
+//!
+//! The index precomputes pivot-to-everything distances **once per length**
+//! (shared across the adaptive-`r` retries); candidate refinement then skips
+//! every neighbour whose pivot bound already exceeds the running best —
+//! Orchard's pruning with multiple pivots, without per-candidate sorting.
+
+use crate::drag::drag_prepared;
+use crate::merlin::{merlin_with, MerlinConfig};
+use crate::Discord;
+use tsops::distance::ZnormSeries;
+
+/// Pivot index over the subsequences of one series at one length.
+pub struct PivotIndex {
+    /// `dists[p][j]` = distance from pivot `p` to subsequence `j`.
+    dists: Vec<Vec<f64>>,
+}
+
+impl PivotIndex {
+    /// Build with `n_pivots` evenly-spaced pivots (clamped to the
+    /// subsequence count).
+    pub fn build(zs: &ZnormSeries<'_>, n_pivots: usize) -> Self {
+        let n = zs.count();
+        let n_pivots = n_pivots.min(n).max(1);
+        let mut dists = Vec::with_capacity(n_pivots);
+        for k in 0..n_pivots {
+            let p = k * n / n_pivots;
+            dists.push((0..n).map(|j| zs.dist(p, j)).collect());
+        }
+        PivotIndex { dists }
+    }
+
+    /// Triangle-inequality lower bound on `d(i, j)`.
+    #[inline]
+    pub fn lower_bound(&self, i: usize, j: usize) -> f64 {
+        let mut lb = 0.0f64;
+        for pd in &self.dists {
+            let d = (pd[i] - pd[j]).abs();
+            if d > lb {
+                lb = d;
+            }
+        }
+        lb
+    }
+}
+
+/// DRAG with pivot-pruned refinement against a prebuilt index: identical
+/// output to [`crate::drag::drag`].
+pub fn drag_indexed(zs: &ZnormSeries<'_>, index: &PivotIndex, r: f64) -> Vec<Discord> {
+    let n = zs.count();
+    let w = zs.subseq_len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Phase 1: candidate selection (unchanged from plain DRAG).
+    let r_sq = r * r;
+    let mut candidates: Vec<usize> = vec![0];
+    for j in 1..n {
+        let mut is_candidate = true;
+        let mut kept = Vec::with_capacity(candidates.len());
+        for &c in &candidates {
+            if j.abs_diff(c) < w {
+                kept.push(c);
+                continue;
+            }
+            if zs.dist_sq(c, j) < r_sq {
+                is_candidate = false;
+            } else {
+                kept.push(c);
+            }
+        }
+        candidates = kept;
+        if is_candidate {
+            candidates.push(j);
+        }
+    }
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+
+    // Phase 2: refinement, skipping neighbours the pivot bound rules out.
+    let mut out = Vec::new();
+    for &c in &candidates {
+        let mut best = f64::INFINITY;
+        let mut alive = true;
+        for j in 0..n {
+            if j.abs_diff(c) < w {
+                continue;
+            }
+            if index.lower_bound(c, j) >= best {
+                continue; // provably not a closer neighbour
+            }
+            if let Some(d) = zs.dist_early_abandon(c, j, best) {
+                if d < best {
+                    best = d;
+                    if best < r {
+                        alive = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if alive && best.is_finite() && best >= r {
+            out.push(Discord {
+                index: c,
+                length: w,
+                distance: best,
+            });
+        }
+    }
+    out.sort_by(|a, b| b.distance.total_cmp(&a.distance));
+    out
+}
+
+/// Run MERLIN++ over `series` — MERLIN's adaptive-`r` sweep with the indexed
+/// refinement. The pivot index is built once per length and shared across
+/// the `r` retries of that length.
+pub fn merlin_pp(series: &[f64], cfg: MerlinConfig) -> Vec<Discord> {
+    let mut out = Vec::new();
+    let mut prev: Option<Discord> = None;
+
+    let mut w = cfg.min_len;
+    while w <= cfg.max_len {
+        if series.len() < 2 * w {
+            break;
+        }
+        let zs = ZnormSeries::new(series, w);
+        // A handful of pivots suffices: the bound must be cheaper than the
+        // O(w) early-abandoning distance it tries to avoid.
+        let index = PivotIndex::build(&zs, 8.min(zs.count()));
+        let mut r = match prev {
+            Some(p) if p.distance > 1e-9 => {
+                0.99 * p.distance * (w as f64 / p.length as f64).sqrt()
+            }
+            _ => 2.0 * (w as f64).sqrt(),
+        };
+
+        let mut found: Option<Discord> = None;
+        for attempt in 0..200 {
+            let ds = drag_indexed(&zs, &index, r);
+            if let Some(top) = ds.first() {
+                found = Some(*top);
+                break;
+            }
+            r *= if attempt < 20 { 0.99 } else { 0.5 };
+            if r < 1e-9 {
+                break;
+            }
+        }
+        if let Some(d) = found {
+            prev = Some(d);
+            out.push(d);
+        }
+        w += cfg.step;
+    }
+    out
+}
+
+/// Reference non-indexed run (for the equality tests & benches).
+pub fn merlin_reference(series: &[f64], cfg: MerlinConfig) -> Vec<Discord> {
+    merlin_with(series, cfg, |zs, r| drag_prepared(zs, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anomalous(n: usize, p: usize, at: usize, len: usize) -> Vec<f64> {
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / p as f64).sin()
+                + 0.05 * ((i * 37 % 11) as f64))
+            .collect();
+        for i in at..(at + len).min(n) {
+            x[i] += 1.8 * ((i - at) as f64 * 0.9).sin();
+        }
+        x
+    }
+
+    #[test]
+    fn indexed_drag_equals_plain_drag() {
+        let x = anomalous(400, 25, 180, 30);
+        for w in [15usize, 25, 40] {
+            let zs = tsops::distance::ZnormSeries::new(&x, w);
+            let index = PivotIndex::build(&zs, 12);
+            for r in [0.5f64, 1.0, 2.0] {
+                let plain = crate::drag::drag_prepared(&zs, r);
+                let indexed = drag_indexed(&zs, &index, r);
+                assert_eq!(plain.len(), indexed.len(), "w={w} r={r}");
+                for (a, b) in plain.iter().zip(&indexed) {
+                    assert_eq!(a.index, b.index, "w={w} r={r}");
+                    assert!((a.distance - b.distance).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merlin_pp_equals_merlin() {
+        let x = anomalous(450, 30, 250, 40);
+        let cfg = MerlinConfig::new(18, 42).with_step(6);
+        let fast = merlin_pp(&x, cfg);
+        let slow = merlin_reference(&x, cfg);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!((a.index, a.length), (b.index, b.length));
+            assert!((a.distance - b.distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pivot_bound_is_admissible() {
+        let x = anomalous(300, 20, 150, 25);
+        let zs = tsops::distance::ZnormSeries::new(&x, 20);
+        let idx = PivotIndex::build(&zs, 8);
+        for &(i, j) in &[(0usize, 100usize), (40, 220), (10, 260)] {
+            let lb = idx.lower_bound(i, j);
+            let d = zs.dist(i, j);
+            assert!(lb <= d + 1e-9, "bound {lb} exceeds distance {d}");
+        }
+    }
+}

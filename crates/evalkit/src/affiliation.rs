@@ -1,0 +1,242 @@
+//! Affiliation precision / recall (Huet, Navarro & Rossi, KDD 2022) —
+//! the paper's event-wise metric (Eq. 10).
+//!
+//! Idea: score *temporal distances* between predictions and events, not point
+//! overlaps, and normalise each distance by what a **random** prediction in
+//! the same neighbourhood would achieve, so trivial all-positive or
+//! all-negative predictions cannot score well.
+//!
+//! Implementation follows the single-zone construction of the original:
+//!
+//! * the series is partitioned into *affiliation zones*, one per ground-truth
+//!   event, split at midpoints between consecutive events (the whole series
+//!   for a single event — the UCR case, as noted under Eq. 10);
+//! * **precision**: each predicted point `y'` in zone `I_j` contributes
+//!   `F̄(dist(y', A_j))`, the survival function of `dist(X, A_j)` for `X`
+//!   uniform on `I_j` — 1 when the prediction touches the event, decaying to
+//!   0 at the zone edge;
+//! * **recall**: each event point `a` contributes `F̄(dist(a, Ŷ_j))`, the
+//!   survival of `dist(a, X)` for `X` uniform on `I_j`, where `Ŷ_j` are the
+//!   predictions inside the zone.
+//!
+//! Both are averaged over their sets; an event with no predictions in its
+//! zone contributes 0 recall, and a prediction-free evaluation yields 0/0 → 0.
+
+use crate::{harmonic, segments, Prf};
+use std::ops::Range;
+
+/// Survival probability `P(dist(X, [a,b)) ≥ t)` for `X` uniform on `[zl, zr)`.
+fn survival_dist_to_event(t: f64, zone: &Range<usize>, event: &Range<usize>) -> f64 {
+    if t <= 0.0 {
+        return 1.0;
+    }
+    let (zl, zr) = (zone.start as f64, zone.end as f64);
+    let (a, b) = (event.start as f64, event.end as f64);
+    let z = (zr - zl).max(1e-12);
+    // Points at distance ≥ t lie left of a−t or right of b−1+t (discrete
+    // event end b is exclusive; use continuous approximation on [a, b)).
+    let left = ((a - t) - zl).max(0.0);
+    let right = (zr - (b + t)).max(0.0);
+    ((left + right) / z).clamp(0.0, 1.0)
+}
+
+/// Survival probability `P(|X − a| ≥ t)` for `X` uniform on `[zl, zr)`.
+fn survival_dist_to_point(t: f64, zone: &Range<usize>, a: usize) -> f64 {
+    if t <= 0.0 {
+        return 1.0;
+    }
+    let (zl, zr) = (zone.start as f64, zone.end as f64);
+    let af = a as f64;
+    let z = (zr - zl).max(1e-12);
+    let left = ((af - t) - zl).max(0.0);
+    let right = (zr - (af + t)).max(0.0);
+    ((left + right) / z).clamp(0.0, 1.0)
+}
+
+/// Distance from a point to a half-open range (0 inside).
+fn dist_point_range(i: usize, r: &Range<usize>) -> f64 {
+    if r.contains(&i) {
+        0.0
+    } else if i < r.start {
+        (r.start - i) as f64
+    } else {
+        (i + 1 - r.end) as f64
+    }
+}
+
+/// Partition `0..n` into one affiliation zone per event, split at midpoints.
+fn zones(events: &[Range<usize>], n: usize) -> Vec<Range<usize>> {
+    let mut out = Vec::with_capacity(events.len());
+    for (j, ev) in events.iter().enumerate() {
+        let lo = if j == 0 {
+            0
+        } else {
+            (events[j - 1].end + ev.start).div_ceil(2)
+        };
+        let hi = if j + 1 == events.len() {
+            n
+        } else {
+            (ev.end + events[j + 1].start) / 2
+        };
+        out.push(lo..hi);
+    }
+    out
+}
+
+/// Affiliation precision / recall / F1 over boolean predictions and labels.
+pub fn affiliation_prf(pred: &[bool], labels: &[bool]) -> Prf {
+    assert_eq!(pred.len(), labels.len(), "prediction/label length mismatch");
+    let events = segments(labels);
+    if events.is_empty() {
+        return Prf::default();
+    }
+    let zones = zones(&events, labels.len());
+
+    let mut p_sum = 0.0;
+    let mut p_cnt = 0usize;
+    let mut r_sum = 0.0;
+    let mut r_cnt = 0usize;
+
+    for (ev, zone) in events.iter().zip(&zones) {
+        // Predicted points inside this zone.
+        let preds: Vec<usize> = zone.clone().filter(|&i| pred[i]).collect();
+
+        // Precision contributions.
+        for &y in &preds {
+            let d = dist_point_range(y, ev);
+            p_sum += survival_dist_to_event(d, zone, ev);
+            p_cnt += 1;
+        }
+
+        // Recall contributions.
+        for a in ev.clone() {
+            let d = preds
+                .iter()
+                .map(|&y| (y as f64 - a as f64).abs())
+                .fold(f64::INFINITY, f64::min);
+            let contrib = if d.is_finite() {
+                survival_dist_to_point(d, zone, a)
+            } else {
+                0.0
+            };
+            r_sum += contrib;
+            r_cnt += 1;
+        }
+    }
+
+    let precision = if p_cnt > 0 { p_sum / p_cnt as f64 } else { 0.0 };
+    let recall = if r_cnt > 0 { r_sum / r_cnt as f64 } else { 0.0 };
+    Prf {
+        precision,
+        recall,
+        f1: harmonic(precision, recall),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels_with_event(n: usize, ev: Range<usize>) -> Vec<bool> {
+        let mut l = vec![false; n];
+        for i in ev {
+            l[i] = true;
+        }
+        l
+    }
+
+    #[test]
+    fn exact_prediction_scores_one() {
+        let labels = labels_with_event(200, 80..120);
+        let m = affiliation_prf(&labels, &labels);
+        assert!(m.precision > 0.999, "{}", m.precision);
+        assert!(m.recall > 0.9, "{}", m.recall); // event edges see half mass
+        assert!(m.f1 > 0.94);
+    }
+
+    #[test]
+    fn near_miss_beats_far_miss() {
+        let labels = labels_with_event(400, 200..220);
+        let mut near = vec![false; 400];
+        for p in near[190..200].iter_mut() {
+            *p = true;
+        }
+        let mut far = vec![false; 400];
+        for p in far[0..10].iter_mut() {
+            *p = true;
+        }
+        let mn = affiliation_prf(&near, &labels);
+        let mf = affiliation_prf(&far, &labels);
+        assert!(mn.precision > mf.precision, "{} vs {}", mn.precision, mf.precision);
+        assert!(mn.recall > mf.recall);
+        assert!(mn.f1 > mf.f1);
+    }
+
+    #[test]
+    fn all_positive_prediction_has_mediocre_precision() {
+        // The normalisation must punish a flag-everything detector.
+        let labels = labels_with_event(500, 240..260);
+        let pred = vec![true; 500];
+        let m = affiliation_prf(&pred, &labels);
+        assert!(m.recall > 0.99); // it does cover the event
+        assert!(m.precision < 0.6, "precision {}", m.precision);
+    }
+
+    #[test]
+    fn no_prediction_zero_scores() {
+        let labels = labels_with_event(100, 40..50);
+        let pred = vec![false; 100];
+        let m = affiliation_prf(&pred, &labels);
+        assert_eq!((m.precision, m.recall, m.f1), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn no_events_yields_default() {
+        let m = affiliation_prf(&[true, false], &[false, false]);
+        assert_eq!(m, Prf::default());
+    }
+
+    #[test]
+    fn multi_event_zones_split_at_midpoints() {
+        let evs = vec![10..20, 40..50];
+        let z = zones(&evs, 100);
+        assert_eq!(z, vec![0..30, 30..100]);
+    }
+
+    #[test]
+    fn prediction_only_near_one_of_two_events_gets_partial_recall() {
+        let mut labels = vec![false; 300];
+        for i in 50..60 {
+            labels[i] = true;
+        }
+        for i in 200..210 {
+            labels[i] = true;
+        }
+        let mut pred = vec![false; 300];
+        for p in pred[50..60].iter_mut() {
+            *p = true;
+        }
+        let m = affiliation_prf(&pred, &labels);
+        assert!(m.recall > 0.4 && m.recall < 0.6, "recall {}", m.recall);
+        assert!(m.precision > 0.99);
+    }
+
+    #[test]
+    fn survival_functions_are_monotone() {
+        let zone = 0..100;
+        let ev = 40..50;
+        let mut last = 1.0;
+        for t in 0..60 {
+            let s = survival_dist_to_event(t as f64, &zone, &ev);
+            assert!(s <= last + 1e-12);
+            assert!((0.0..=1.0).contains(&s));
+            last = s;
+        }
+        let mut last = 1.0;
+        for t in 0..60 {
+            let s = survival_dist_to_point(t as f64, &zone, 45);
+            assert!(s <= last + 1e-12);
+            last = s;
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Threshold-free score evaluation: ROC-AUC and average precision (PR-AUC).
+//!
+//! The paper binarises every model before scoring; these additions let the
+//! bench harness also compare the *raw score quality* of the baselines,
+//! independent of threshold choice.
+
+/// ROC-AUC via the Mann–Whitney rank statistic (ties get midranks).
+/// Returns 0.5 when either class is empty.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank all scores ascending with midranks for ties.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(&l, _)| l)
+        .map(|(_, &r)| r)
+        .sum();
+    (rank_sum - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+/// Average precision (area under the precision–recall curve, step-wise).
+/// Returns 0.0 when there are no positive labels.
+pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    if n_pos == 0 {
+        return 0.0;
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a])); // descending
+    let mut tp = 0usize;
+    let mut ap = 0.0;
+    let mut seen = 0usize;
+    let mut k = 0;
+    while k < idx.len() {
+        // Process tied blocks together so ties don't depend on sort order.
+        let mut j = k;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[k]] {
+            j += 1;
+        }
+        let block_pos = idx[k..=j].iter().filter(|&&i| labels[i]).count();
+        tp += block_pos;
+        seen += j - k + 1;
+        if block_pos > 0 {
+            let precision = tp as f64 / seen as f64;
+            ap += precision * block_pos as f64 / n_pos as f64;
+        }
+        k = j + 1;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation() {
+        let scores = [0.1, 0.2, 0.9, 0.8];
+        let labels = [false, false, true, true];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+        assert!((average_precision(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_scores_give_zero_auc() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [false, false, true, true];
+        assert!(roc_auc(&scores, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_like_ties_give_half() {
+        let scores = [0.5; 10];
+        let labels = [true, false, true, false, true, false, true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+        // AP for all-tied scores = prevalence.
+        assert!((average_precision(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes() {
+        assert_eq!(roc_auc(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[1.0, 2.0], &[false, false]), 0.5);
+        assert_eq!(average_precision(&[1.0], &[false]), 0.0);
+    }
+
+    #[test]
+    fn ap_known_value() {
+        // ranked: pos, neg, pos → AP = (1/1 + 2/3)/2 = 0.8333…
+        let scores = [0.9, 0.8, 0.7];
+        let labels = [true, false, true];
+        assert!((average_precision(&scores, &labels) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_is_threshold_free_monotone_invariant() {
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let labels = [false, true, false, true];
+        let a = roc_auc(&scores, &labels);
+        let squashed: Vec<f64> = scores.iter().map(|s| s.powi(3)).collect();
+        let b = roc_auc(&squashed, &labels);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,93 @@
+//! Event-wise accuracy — the MERLIN++ evaluation protocol of Table IV.
+//!
+//! "Accuracy is determined by the count of anomalous events successfully
+//! detected among the test set, and a prediction within a margin of 100 data
+//! points surrounding the anomaly is deemed correct" (Sec. IV-B2).
+
+use std::ops::Range;
+
+/// Default margin from the MERLIN++ study.
+pub const DEFAULT_MARGIN: usize = 100;
+
+/// Does the predicted range land within `margin` points of the true event?
+///
+/// True when the prediction intersects `[event.start − margin,
+/// event.end + margin)`.
+pub fn event_detected(pred: &Range<usize>, event: &Range<usize>, margin: usize) -> bool {
+    if pred.is_empty() {
+        return false;
+    }
+    let lo = event.start.saturating_sub(margin);
+    let hi = event.end + margin;
+    pred.start < hi && pred.end > lo
+}
+
+/// Same test for a single predicted location (e.g. a discord start index).
+pub fn point_detects_event(point: usize, event: &Range<usize>, margin: usize) -> bool {
+    event_detected(&(point..point + 1), event, margin)
+}
+
+/// Fraction of (prediction, event) pairs that hit — Table IV's accuracy
+/// column. `predictions[i]` is the detector's output region for dataset `i`
+/// (`None` = no detection).
+pub fn accuracy(predictions: &[Option<Range<usize>>], events: &[Range<usize>], margin: usize) -> f64 {
+    assert_eq!(predictions.len(), events.len(), "length mismatch");
+    if events.is_empty() {
+        return 0.0;
+    }
+    let hits = predictions
+        .iter()
+        .zip(events)
+        .filter(|(p, e)| p.as_ref().is_some_and(|p| event_detected(p, e, margin)))
+        .count();
+    hits as f64 / events.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_overlap_detects() {
+        assert!(event_detected(&(100..150), &(120..130), 100));
+    }
+
+    #[test]
+    fn within_margin_detects() {
+        // Prediction ends 60 before event start: within 100.
+        assert!(event_detected(&(0..40), &(100..120), 100));
+        // Prediction starts 99 after event end.
+        assert!(event_detected(&(219..230), &(100..120), 100));
+    }
+
+    #[test]
+    fn beyond_margin_misses() {
+        assert!(!event_detected(&(0..40), &(141..160), 100));
+        assert!(!event_detected(&(261..280), &(100..160), 100));
+    }
+
+    #[test]
+    fn empty_prediction_misses() {
+        assert!(!event_detected(&(10..10), &(0..20), 100));
+    }
+
+    #[test]
+    fn zero_margin_requires_intersection() {
+        assert!(event_detected(&(10..20), &(19..25), 0));
+        assert!(!event_detected(&(10..19), &(19..25), 0));
+    }
+
+    #[test]
+    fn accuracy_counts_hits() {
+        let preds = vec![Some(90..110), None, Some(500..510)];
+        let events = vec![100..120, 50..60, 100..120];
+        let acc = accuracy(&preds, &events, 100);
+        assert!((acc - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_variant() {
+        assert!(point_detects_event(95, &(100..120), 10));
+        assert!(!point_detects_event(80, &(100..120), 10));
+    }
+}

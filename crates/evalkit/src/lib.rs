@@ -1,0 +1,123 @@
+//! Evaluation metrics for time-series anomaly detection.
+//!
+//! The paper's central methodological claim is that metric choice decides
+//! what "state of the art" means. This crate implements the whole ladder it
+//! discusses:
+//!
+//! * [`pointwise`] — plain point-wise precision / recall / F1 (`F1(PW)`).
+//! * [`pa`] — the ill-posed *point adjustment* protocol (`F1(PA)`): an entire
+//!   ground-truth segment counts as detected if any one of its points is
+//!   flagged. Implemented faithfully so Table II's inflation is reproducible.
+//! * [`pak`] — `PA%K` (Kim et al. 2022): adjustment only when more than K% of
+//!   a segment is flagged, swept over K = 1..100 and summarised by the area
+//!   under the curve (`F1(PA%K)` AUC, plus precision/recall AUCs).
+//! * [`affiliation`] — the affiliation precision/recall of Huet et al.
+//!   (KDD 2022): event-wise, distance-based, with per-event affiliation zones.
+//! * [`eventwise`] — the MERLIN++ protocol of Table IV: an event counts as
+//!   detected if a prediction lands within ±100 points of it.
+//! * [`threshold`] — score-to-label conversion helpers (best-F1 sweep and
+//!   quantile thresholds) used to evaluate continuous anomaly scores.
+//!
+//! Two extensions beyond the paper's protocol round out the ladder:
+//! [`range_pr`] (Tatbul et al.'s range-based precision/recall) and [`auc`]
+//! (threshold-free ROC-AUC / average precision over raw scores).
+
+pub mod affiliation;
+pub mod auc;
+pub mod eventwise;
+pub mod pa;
+pub mod pak;
+pub mod pointwise;
+pub mod range_pr;
+pub mod threshold;
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Prf {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl Prf {
+    /// Build from counts; empty denominators yield zeros (the convention the
+    /// TSAD literature uses for degenerate splits).
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Prf {
+        let precision = if tp + fp > 0 {
+            tp as f64 / (tp + fp) as f64
+        } else {
+            0.0
+        };
+        let recall = if tp + fn_ > 0 {
+            tp as f64 / (tp + fn_) as f64
+        } else {
+            0.0
+        };
+        Prf {
+            precision,
+            recall,
+            f1: harmonic(precision, recall),
+        }
+    }
+}
+
+/// Harmonic mean with the 0/0 → 0 convention.
+pub fn harmonic(p: f64, r: f64) -> f64 {
+    if p + r > 0.0 {
+        2.0 * p * r / (p + r)
+    } else {
+        0.0
+    }
+}
+
+/// Contiguous `true` runs of a label vector as half-open ranges — the
+/// "anomaly segments" all segment-aware metrics operate on.
+pub fn segments(labels: &[bool]) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, &l) in labels.iter().enumerate() {
+        match (l, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                out.push(s..i);
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        out.push(s..labels.len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_finds_runs() {
+        let l = [false, true, true, false, true, false, true];
+        assert_eq!(segments(&l), vec![1..3, 4..5, 6..7]);
+        assert_eq!(segments(&[true, true]), vec![0..2]);
+        assert!(segments(&[false; 4]).is_empty());
+        assert!(segments(&[]).is_empty());
+    }
+
+    #[test]
+    fn prf_from_counts() {
+        let p = Prf::from_counts(5, 5, 5);
+        assert!((p.precision - 0.5).abs() < 1e-12);
+        assert!((p.recall - 0.5).abs() < 1e-12);
+        assert!((p.f1 - 0.5).abs() < 1e-12);
+        let z = Prf::from_counts(0, 0, 0);
+        assert_eq!((z.precision, z.recall, z.f1), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn harmonic_mean_conventions() {
+        assert_eq!(harmonic(0.0, 0.0), 0.0);
+        assert!((harmonic(1.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((harmonic(1.0, 0.5) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

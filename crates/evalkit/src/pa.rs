@@ -1,0 +1,84 @@
+//! Point adjustment (PA) — the protocol the paper argues is ill-posed
+//! (Sec. II-B), implemented faithfully so its inflation is measurable.
+//!
+//! Under PA, if *any* point of a ground-truth anomaly segment is predicted
+//! positive, **every** point of that segment is rewritten to positive before
+//! scoring. Since the rewrite consults the test labels, it leaks ground truth
+//! into the prediction — which is exactly why a random detector can look
+//! excellent under `F1(PA)` (Table II).
+
+use crate::{pointwise, segments, Prf};
+
+/// Apply point adjustment: returns the adjusted copy of `pred`.
+pub fn adjust(pred: &[bool], labels: &[bool]) -> Vec<bool> {
+    assert_eq!(pred.len(), labels.len(), "prediction/label length mismatch");
+    let mut adjusted = pred.to_vec();
+    for seg in segments(labels) {
+        if seg.clone().any(|i| pred[i]) {
+            for i in seg {
+                adjusted[i] = true;
+            }
+        }
+    }
+    adjusted
+}
+
+/// `F1(PA)`: point-wise metrics after point adjustment.
+pub fn prf_pa(pred: &[bool], labels: &[bool]) -> Prf {
+    pointwise::prf(&adjust(pred, labels), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hit_fills_the_segment() {
+        let labels = [false, true, true, true, false];
+        let pred = [false, false, true, false, false];
+        let adj = adjust(&pred, &labels);
+        assert_eq!(adj, vec![false, true, true, true, false]);
+        let m = prf_pa(&pred, &labels);
+        assert_eq!((m.precision, m.recall, m.f1), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn unhit_segments_stay_unhit() {
+        let labels = [true, true, false, true, true];
+        let pred = [true, false, false, false, false];
+        let adj = adjust(&pred, &labels);
+        assert_eq!(adj, vec![true, true, false, false, false]);
+    }
+
+    #[test]
+    fn false_positives_survive_adjustment() {
+        let labels = [false, false, true];
+        let pred = [true, false, true];
+        let adj = adjust(&pred, &labels);
+        assert_eq!(adj, vec![true, false, true]);
+        let m = prf_pa(&pred, &labels);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pa_inflates_relative_to_pointwise() {
+        // A long event with a single detected point: PW recall tiny, PA = 1.
+        let mut labels = vec![false; 100];
+        for l in labels[40..90].iter_mut() {
+            *l = true;
+        }
+        let mut pred = vec![false; 100];
+        pred[60] = true;
+        let pw = crate::pointwise::prf(&pred, &labels);
+        let pa = prf_pa(&pred, &labels);
+        assert!(pw.f1 < 0.05);
+        assert_eq!(pa.f1, 1.0);
+    }
+
+    #[test]
+    fn no_labels_is_identity() {
+        let labels = [false; 5];
+        let pred = [true, false, true, false, false];
+        assert_eq!(adjust(&pred, &labels), pred.to_vec());
+    }
+}

@@ -1,0 +1,156 @@
+//! PA%K — point adjustment gated on detection coverage (Kim et al.,
+//! AAAI 2022), the paper's headline point-wise metric.
+//!
+//! A ground-truth segment is adjusted (rewritten to all-positive) only when
+//! **strictly more than K percent** of its points were predicted positive
+//! (Eq. 9). `K = 0` recovers plain PA; `K = 100` recovers plain point-wise
+//! scoring. Following the paper, scores are swept over `K = 1..=100` and
+//! summarised by the area under each curve (a plain mean over the grid).
+
+use crate::{pointwise, segments, Prf};
+
+/// Apply PA%K adjustment at a single threshold `k` (percent, 0–100).
+pub fn adjust_k(pred: &[bool], labels: &[bool], k: f64) -> Vec<bool> {
+    assert_eq!(pred.len(), labels.len(), "prediction/label length mismatch");
+    let mut adjusted = pred.to_vec();
+    for seg in segments(labels) {
+        let hit = seg.clone().filter(|&i| pred[i]).count();
+        let frac = hit as f64 / seg.len() as f64;
+        if hit > 0 && frac * 100.0 > k {
+            for i in seg {
+                adjusted[i] = true;
+            }
+        }
+    }
+    adjusted
+}
+
+/// Metrics at one K.
+pub fn prf_at_k(pred: &[bool], labels: &[bool], k: f64) -> Prf {
+    pointwise::prf(&adjust_k(pred, labels, k), labels)
+}
+
+/// AUC summary over `K = 1..=100`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PakAuc {
+    pub precision_auc: f64,
+    pub recall_auc: f64,
+    pub f1_auc: f64,
+}
+
+/// Sweep `K = 1..=100` and average — the `F1(PA%K)` columns of Table III.
+///
+/// ```
+/// // One 4-point event, half detected: plain PA would score a perfect 1.0,
+/// // PA%K only adjusts for K < 50.
+/// let labels = [false, true, true, true, true, false];
+/// let pred   = [false, true, true, false, false, false];
+/// let auc = evalkit::pak::pak_auc(&pred, &labels);
+/// let pa  = evalkit::pa::prf_pa(&pred, &labels);
+/// let pw  = evalkit::pointwise::prf(&pred, &labels);
+/// assert!(pa.f1 > auc.f1_auc && auc.f1_auc > pw.f1);
+/// ```
+pub fn pak_auc(pred: &[bool], labels: &[bool]) -> PakAuc {
+    let mut acc = PakAuc::default();
+    for k in 1..=100u32 {
+        let m = prf_at_k(pred, labels, k as f64);
+        acc.precision_auc += m.precision;
+        acc.recall_auc += m.recall;
+        acc.f1_auc += m.f1;
+    }
+    acc.precision_auc /= 100.0;
+    acc.recall_auc /= 100.0;
+    acc.f1_auc /= 100.0;
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn long_event_single_hit() -> (Vec<bool>, Vec<bool>) {
+        let mut labels = vec![false; 100];
+        for l in labels[40..90].iter_mut() {
+            *l = true;
+        }
+        let mut pred = vec![false; 100];
+        pred[60] = true;
+        (pred, labels)
+    }
+
+    #[test]
+    fn k0_equals_pa_and_k100_equals_pw() {
+        let (pred, labels) = long_event_single_hit();
+        let k0 = prf_at_k(&pred, &labels, 0.0);
+        let pa = crate::pa::prf_pa(&pred, &labels);
+        assert_eq!(k0.f1, pa.f1);
+        let k100 = prf_at_k(&pred, &labels, 100.0);
+        let pw = crate::pointwise::prf(&pred, &labels);
+        assert_eq!(k100.f1, pw.f1);
+    }
+
+    #[test]
+    fn adjustment_requires_strictly_more_than_k() {
+        // Segment of 10 with exactly 5 hits = 50%.
+        let mut labels = vec![false; 20];
+        for l in labels[5..15].iter_mut() {
+            *l = true;
+        }
+        let mut pred = vec![false; 20];
+        for p in pred[5..10].iter_mut() {
+            *p = true;
+        }
+        // K=50: 50% is NOT > 50% → no adjustment.
+        let adj = adjust_k(&pred, &labels, 50.0);
+        assert_eq!(adj, pred);
+        // K=49.9: adjusted.
+        let adj = adjust_k(&pred, &labels, 49.9);
+        assert!(adj[5..15].iter().all(|&b| b));
+    }
+
+    #[test]
+    fn f1_is_monotone_nonincreasing_in_k() {
+        let (pred, labels) = long_event_single_hit();
+        let mut last = f64::INFINITY;
+        for k in 0..=100 {
+            let f1 = prf_at_k(&pred, &labels, k as f64).f1;
+            assert!(f1 <= last + 1e-12, "K={k}: {f1} > {last}");
+            last = f1;
+        }
+    }
+
+    #[test]
+    fn auc_moderates_pa_inflation() {
+        let (pred, labels) = long_event_single_hit();
+        let pa = crate::pa::prf_pa(&pred, &labels).f1;
+        let pw = crate::pointwise::prf(&pred, &labels).f1;
+        let auc = pak_auc(&pred, &labels).f1_auc;
+        assert!(pa > 0.99);
+        assert!(auc < pa && auc >= pw, "pw {pw} auc {auc} pa {pa}");
+        // Single-point coverage of a 50-point event: nearly all K reject the
+        // adjustment, so the AUC stays close to the point-wise score.
+        assert!(auc < 0.1, "auc {auc}");
+    }
+
+    #[test]
+    fn dense_detection_survives_all_k() {
+        // 100% coverage: adjusted at every K < 100.
+        let mut labels = vec![false; 30];
+        for l in labels[10..20].iter_mut() {
+            *l = true;
+        }
+        let pred = labels.clone();
+        let auc = pak_auc(&pred, &labels);
+        assert!((auc.f1_auc - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_hits_never_adjusted() {
+        let mut labels = vec![false; 10];
+        labels[3] = true;
+        let pred = vec![false; 10];
+        // hit=0, frac=0: even K=0 must not adjust (hit > 0 required).
+        let adj = adjust_k(&pred, &labels, 0.0);
+        assert_eq!(adj, pred);
+    }
+}

@@ -1,0 +1,74 @@
+//! Plain point-wise precision / recall / F1 — `F1(PW)` in the paper's tables.
+
+use crate::Prf;
+
+/// Confusion counts of a binary prediction against binary labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    pub tp: usize,
+    pub fp: usize,
+    pub fn_: usize,
+    pub tn: usize,
+}
+
+/// Count the confusion matrix; panics on length mismatch.
+pub fn confusion(pred: &[bool], labels: &[bool]) -> Confusion {
+    assert_eq!(pred.len(), labels.len(), "prediction/label length mismatch");
+    let mut c = Confusion::default();
+    for (&p, &l) in pred.iter().zip(labels) {
+        match (p, l) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, true) => c.fn_ += 1,
+            (false, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+/// Point-wise precision / recall / F1.
+pub fn prf(pred: &[bool], labels: &[bool]) -> Prf {
+    let c = confusion(pred, labels);
+    Prf::from_counts(c.tp, c.fp, c.fn_)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let l = [false, true, true, false];
+        let m = prf(&l, &l);
+        assert_eq!((m.precision, m.recall, m.f1), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn half_right() {
+        let labels = [true, true, false, false];
+        let pred = [true, false, true, false];
+        let m = prf(&pred, &labels);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_negative_predictions() {
+        let labels = [true, false];
+        let pred = [false, false];
+        let m = prf(&pred, &labels);
+        assert_eq!((m.precision, m.recall, m.f1), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let c = confusion(&[true, true, false, false], &[true, false, true, false]);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (1, 1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        prf(&[true], &[true, false]);
+    }
+}

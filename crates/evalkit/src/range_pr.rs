@@ -1,0 +1,167 @@
+//! Range-based precision / recall (Tatbul et al., NeurIPS 2018).
+//!
+//! A third evaluation family beyond point-wise and affiliation metrics, added
+//! as an extension of the paper's protocol: real and predicted anomaly
+//! *ranges* are scored by existence, overlap size, and fragmentation.
+//!
+//! This implementation uses the flat positional bias and the standard
+//! `γ(x) = 1/x` cardinality penalty:
+//!
+//! * `recall(R)  = α·∃overlap + (1−α)·γ(#preds ∩ R)·Σ |R∩P|/|R|`
+//! * `precision(P) =            γ(#reals ∩ P)·Σ |P∩R|/|P|`
+//!
+//! with `α` the existence weight (default 0.5), averaged over ranges.
+
+use crate::{harmonic, segments, Prf};
+use std::ops::Range;
+
+/// Existence-reward weight for recall (Tatbul's α).
+pub const DEFAULT_ALPHA: f64 = 0.5;
+
+fn overlap(a: &Range<usize>, b: &Range<usize>) -> usize {
+    let lo = a.start.max(b.start);
+    let hi = a.end.min(b.end);
+    hi.saturating_sub(lo)
+}
+
+fn gamma(x: usize) -> f64 {
+    if x <= 1 {
+        1.0
+    } else {
+        1.0 / x as f64
+    }
+}
+
+fn score_side(targets: &[Range<usize>], others: &[Range<usize>], alpha: f64) -> f64 {
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = targets
+        .iter()
+        .map(|t| {
+            let overlapping: Vec<usize> =
+                others.iter().map(|o| overlap(t, o)).filter(|&v| v > 0).collect();
+            let exists = if overlapping.is_empty() { 0.0 } else { 1.0 };
+            let overlap_sum: f64 =
+                overlapping.iter().map(|&v| v as f64 / t.len() as f64).sum();
+            let overlap_reward = gamma(overlapping.len()) * overlap_sum.min(1.0);
+            alpha * exists + (1.0 - alpha) * overlap_reward
+        })
+        .sum();
+    total / targets.len() as f64
+}
+
+/// Range-based precision / recall / F1 with existence weight `alpha`.
+pub fn range_prf_alpha(pred: &[bool], labels: &[bool], alpha: f64) -> Prf {
+    assert_eq!(pred.len(), labels.len(), "prediction/label length mismatch");
+    assert!((0.0..=1.0).contains(&alpha), "alpha out of range");
+    let real = segments(labels);
+    let predicted = segments(pred);
+    if real.is_empty() {
+        return Prf::default();
+    }
+    // Precision has no existence term (α = 0 on the precision side).
+    let precision = score_side(&predicted, &real, 0.0);
+    let recall = score_side(&real, &predicted, alpha);
+    Prf {
+        precision,
+        recall,
+        f1: harmonic(precision, recall),
+    }
+}
+
+/// Range-based metrics at the default α = 0.5.
+pub fn range_prf(pred: &[bool], labels: &[bool]) -> Prf {
+    range_prf_alpha(pred, labels, DEFAULT_ALPHA)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_range(n: usize, r: Range<usize>) -> Vec<bool> {
+        let mut v = vec![false; n];
+        for i in r {
+            v[i] = true;
+        }
+        v
+    }
+
+    #[test]
+    fn exact_match_is_perfect() {
+        let labels = with_range(100, 40..60);
+        let m = range_prf(&labels, &labels);
+        assert!((m.precision - 1.0).abs() < 1e-12);
+        assert!((m.recall - 1.0).abs() < 1e-12);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn no_prediction_zero() {
+        let labels = with_range(50, 10..20);
+        let m = range_prf(&vec![false; 50], &labels);
+        assert_eq!((m.precision, m.recall, m.f1), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn partial_overlap_scores_between() {
+        let labels = with_range(100, 40..60);
+        let pred = with_range(100, 50..60); // covers half the event, all inside
+        let m = range_prf(&pred, &labels);
+        assert!((m.precision - 1.0).abs() < 1e-12); // prediction fully inside
+        // recall = 0.5·1 (existence) + 0.5·0.5 (overlap) = 0.75
+        assert!((m.recall - 0.75).abs() < 1e-12, "recall {}", m.recall);
+    }
+
+    #[test]
+    fn fragmentation_is_penalised() {
+        let labels = with_range(100, 20..60);
+        // Same 20 covered points, one contiguous vs four fragments.
+        let solid = with_range(100, 30..50);
+        let mut frag = vec![false; 100];
+        for start in [22usize, 32, 42, 52] {
+            for i in start..start + 5 {
+                frag[i] = true;
+            }
+        }
+        let ms = range_prf(&solid, &labels);
+        let mf = range_prf(&frag, &labels);
+        assert!(
+            mf.recall < ms.recall,
+            "fragmented {} !< solid {}",
+            mf.recall,
+            ms.recall
+        );
+    }
+
+    #[test]
+    fn existence_weight_controls_single_point_reward() {
+        let labels = with_range(200, 100..150);
+        let pred = with_range(200, 120..121); // one point inside
+        let m0 = range_prf_alpha(&pred, &labels, 0.0);
+        let m1 = range_prf_alpha(&pred, &labels, 1.0);
+        assert!(m0.recall < 0.05); // pure overlap: tiny
+        assert!((m1.recall - 1.0).abs() < 1e-12); // pure existence: full
+    }
+
+    #[test]
+    fn multi_event_averages() {
+        let mut labels = vec![false; 100];
+        for i in 10..20 {
+            labels[i] = true;
+        }
+        for i in 60..70 {
+            labels[i] = true;
+        }
+        let pred = with_range(100, 10..20); // only first event found
+        let m = range_prf_alpha(&pred, &labels, 0.5);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert!((m.precision - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_real_events_default() {
+        let m = range_prf(&with_range(10, 2..4), &vec![false; 10]);
+        assert_eq!(m, Prf::default());
+    }
+}

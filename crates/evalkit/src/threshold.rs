@@ -1,0 +1,100 @@
+//! Score-to-label conversion.
+//!
+//! Baselines emit continuous anomaly scores. Following the comparison
+//! protocol ("we test each model using its source code and exclude any PA
+//! processes prior to … our redefined evaluation metrics"), scores are
+//! binarised either by the best-F1 sweep that the baseline papers themselves
+//! use, or by a fixed quantile.
+
+use crate::pointwise;
+use crate::Prf;
+
+/// Labels from `scores > thr`.
+pub fn apply(scores: &[f64], thr: f64) -> Vec<bool> {
+    scores.iter().map(|&s| s > thr).collect()
+}
+
+/// The `q`-quantile of the scores (`q ∈ [0,1]`, nearest-rank).
+pub fn quantile(scores: &[f64], q: f64) -> f64 {
+    assert!(!scores.is_empty(), "quantile of empty scores");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    let mut sorted: Vec<f64> = scores.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// Best point-wise-F1 threshold over the distinct score values.
+///
+/// Returns `(threshold, metrics_at_threshold)`. Candidate cut points are the
+/// distinct scores (evaluated as `> s`, so every achievable labelling is
+/// covered); ties keep the first (lowest) threshold.
+pub fn best_f1(scores: &[f64], labels: &[bool]) -> (f64, Prf) {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let mut candidates: Vec<f64> = scores.to_vec();
+    candidates.sort_by(f64::total_cmp);
+    candidates.dedup();
+    // Also consider "everything positive" via a threshold below the minimum.
+    let below_min = candidates.first().map(|&m| m - 1.0).unwrap_or(0.0);
+    candidates.insert(0, below_min);
+
+    let mut best = (below_min, Prf::default());
+    for &thr in &candidates {
+        let pred = apply(scores, thr);
+        let m = pointwise::prf(&pred, labels);
+        if m.f1 > best.1.f1 {
+            best = (thr, m);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_is_strict_greater() {
+        assert_eq!(apply(&[1.0, 2.0, 3.0], 2.0), vec![false, false, true]);
+    }
+
+    #[test]
+    fn quantile_basics() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&s, 0.0), 1.0);
+        assert_eq!(quantile(&s, 1.0), 5.0);
+        assert_eq!(quantile(&s, 0.5), 3.0);
+    }
+
+    #[test]
+    fn best_f1_finds_separating_threshold() {
+        let scores = [0.1, 0.2, 0.15, 0.9, 0.95, 0.2];
+        let labels = [false, false, false, true, true, false];
+        let (thr, m) = best_f1(&scores, &labels);
+        assert_eq!(m.f1, 1.0);
+        assert!((0.2..0.9).contains(&thr), "thr {thr}");
+    }
+
+    #[test]
+    fn best_f1_on_inseparable_scores() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        let (_, m) = best_f1(&scores, &labels);
+        // Best achievable: flag everything → P=0.5, R=1.
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_f1_all_negative_labels() {
+        let scores = [0.1, 0.9];
+        let labels = [false, false];
+        let (_, m) = best_f1(&scores, &labels);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,79 @@
+//! Seeded weight initialisers.
+//!
+//! All experiments in the paper are run under five fixed seeds (Sec. IV-A3);
+//! every initialiser here consumes an explicit RNG so a `u64` seed fully
+//! determines a model.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// One standard-normal sample (Box–Muller; avoids a `rand_distr` dependency).
+fn normal<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// He (Kaiming) normal initialisation: `N(0, √(2/fan_in))`. The right choice
+/// for the ReLU convolution stacks of the tri-domain encoder.
+pub fn he_normal<R: Rng>(rng: &mut R, shape: &[usize], fan_in: usize) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(shape, (0..n).map(|_| normal(rng) * std).collect())
+}
+
+/// Xavier/Glorot uniform initialisation: `U(±√(6/(fan_in+fan_out)))`. Used for
+/// the sigmoid/tanh-gated LSTM and attention projections.
+pub fn xavier_uniform<R: Rng>(
+    rng: &mut R,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(
+        shape,
+        (0..n)
+            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * bound)
+            .collect(),
+    )
+}
+
+/// Zeros — biases.
+pub fn zeros(shape: &[usize]) -> Tensor {
+    Tensor::zeros(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_std_is_right() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = he_normal(&mut rng, &[100, 100], 100);
+        let m: f32 = t.data().iter().sum::<f32>() / t.numel() as f32;
+        let v: f32 = t.data().iter().map(|x| (x - m) * (x - m)).sum::<f32>() / t.numel() as f32;
+        let target = 2.0 / 100.0;
+        assert!(m.abs() < 0.01, "mean {m}");
+        assert!((v - target).abs() < target * 0.15, "var {v} vs {target}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = xavier_uniform(&mut rng, &[50, 50], 50, 50);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = he_normal(&mut StdRng::seed_from_u64(7), &[10], 10);
+        let b = he_normal(&mut StdRng::seed_from_u64(7), &[10], 10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,461 @@
+//! Neural layers used by TriAD and the Table III baselines.
+//!
+//! Every layer owns persistent [`Param`]s and exposes `params()` for the
+//! optimizer plus a `forward` that records ops on a caller-provided
+//! [`Graph`]. Layers are deliberately value-only structs; no trait object
+//! plumbing is needed at this scale.
+
+use crate::graph::{Graph, NodeId, Param};
+use crate::init::{he_normal, xavier_uniform, zeros};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Fully-connected layer: `[B, in] → [B, out]`.
+pub struct Linear {
+    pub w: Param,
+    pub b: Param,
+}
+
+impl Linear {
+    pub fn new<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Self {
+        Linear {
+            w: Param::new(xavier_uniform(rng, &[fan_in, fan_out], fan_in, fan_out)),
+            b: Param::new(zeros(&[fan_out])),
+        }
+    }
+
+    /// He-initialised variant for ReLU stacks.
+    pub fn new_relu<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Self {
+        Linear {
+            w: Param::new(he_normal(rng, &[fan_in, fan_out], fan_in)),
+            b: Param::new(zeros(&[fan_out])),
+        }
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let w = g.param(&self.w);
+        let b = g.param(&self.b);
+        let y = g.matmul(x, w);
+        g.add_bias(y, b)
+    }
+
+    pub fn params(&self) -> Vec<Param> {
+        vec![self.w.clone(), self.b.clone()]
+    }
+}
+
+/// Dilated same-padding 1-D convolution: `[B, C_in, L] → [B, C_out, L]`.
+pub struct Conv1d {
+    pub w: Param,
+    pub b: Param,
+    pub dilation: usize,
+}
+
+impl Conv1d {
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        dilation: usize,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "same padding requires an odd kernel");
+        Conv1d {
+            w: Param::new(he_normal(rng, &[c_out, c_in, kernel], c_in * kernel)),
+            b: Param::new(zeros(&[c_out])),
+            dilation,
+        }
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let w = g.param(&self.w);
+        let b = g.param(&self.b);
+        g.conv1d(x, w, b, self.dilation)
+    }
+
+    pub fn params(&self) -> Vec<Param> {
+        vec![self.w.clone(), self.b.clone()]
+    }
+}
+
+/// The residual block of TriAD Sec. III-B: two same-padding convolutions with
+/// ReLUs and a skip connection (1×1 projection when channel counts differ).
+pub struct ResidualBlock {
+    pub conv1: Conv1d,
+    pub conv2: Conv1d,
+    pub skip: Option<Conv1d>,
+}
+
+impl ResidualBlock {
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        dilation: usize,
+    ) -> Self {
+        let conv1 = Conv1d::new(rng, c_in, c_out, kernel, dilation);
+        let conv2 = Conv1d::new(rng, c_out, c_out, kernel, dilation);
+        let skip = (c_in != c_out).then(|| Conv1d::new(rng, c_in, c_out, 1, 1));
+        ResidualBlock { conv1, conv2, skip }
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let h = self.conv1.forward(g, x);
+        let h = g.relu(h);
+        let h = self.conv2.forward(g, h);
+        let h = g.relu(h);
+        let s = match &self.skip {
+            Some(proj) => proj.forward(g, x),
+            None => x,
+        };
+        g.add(h, s)
+    }
+
+    pub fn params(&self) -> Vec<Param> {
+        let mut p = self.conv1.params();
+        p.extend(self.conv2.params());
+        if let Some(s) = &self.skip {
+            p.extend(s.params());
+        }
+        p
+    }
+}
+
+/// Single-layer LSTM. Gate order `[i, f, ĝ, o]`; forget-gate bias starts at 1
+/// (the standard trick that keeps early memory flowing).
+pub struct Lstm {
+    pub w_ih: Param,
+    pub w_hh: Param,
+    pub b: Param,
+    pub input: usize,
+    pub hidden: usize,
+}
+
+impl Lstm {
+    pub fn new<R: Rng>(rng: &mut R, input: usize, hidden: usize) -> Self {
+        let mut b = zeros(&[4 * hidden]);
+        for j in hidden..2 * hidden {
+            b.data_mut()[j] = 1.0;
+        }
+        Lstm {
+            w_ih: Param::new(xavier_uniform(rng, &[input, 4 * hidden], input, hidden)),
+            w_hh: Param::new(xavier_uniform(rng, &[hidden, 4 * hidden], hidden, hidden)),
+            b: Param::new(b),
+            input,
+            hidden,
+        }
+    }
+
+    /// One step: `(x_t [B,in], h [B,H], c [B,H]) → (h', c')`.
+    pub fn step(
+        &self,
+        g: &mut Graph,
+        x: NodeId,
+        h: NodeId,
+        c: NodeId,
+    ) -> (NodeId, NodeId) {
+        let hsz = self.hidden;
+        let w_ih = g.param(&self.w_ih);
+        let w_hh = g.param(&self.w_hh);
+        let b = g.param(&self.b);
+        let xi = g.matmul(x, w_ih);
+        let hh = g.matmul(h, w_hh);
+        let gates = g.add(xi, hh);
+        let gates = g.add_bias(gates, b);
+        let i_g = g.slice_cols(gates, 0, hsz);
+        let f_g = g.slice_cols(gates, hsz, 2 * hsz);
+        let g_g = g.slice_cols(gates, 2 * hsz, 3 * hsz);
+        let o_g = g.slice_cols(gates, 3 * hsz, 4 * hsz);
+        let i_g = g.sigmoid(i_g);
+        let f_g = g.sigmoid(f_g);
+        let g_g = g.tanh(g_g);
+        let o_g = g.sigmoid(o_g);
+        let fc = g.mul(f_g, c);
+        let ig = g.mul(i_g, g_g);
+        let c_new = g.add(fc, ig);
+        let c_act = g.tanh(c_new);
+        let h_new = g.mul(o_g, c_act);
+        (h_new, c_new)
+    }
+
+    /// Unroll over a sequence of `[B,in]` step inputs; returns all hidden
+    /// states. Initial `h`/`c` are zero.
+    pub fn forward_seq(&self, g: &mut Graph, xs: &[NodeId]) -> Vec<NodeId> {
+        assert!(!xs.is_empty(), "empty sequence");
+        let bsz = g.value(xs[0]).shape()[0];
+        let mut h = g.input(Tensor::zeros(&[bsz, self.hidden]));
+        let mut c = g.input(Tensor::zeros(&[bsz, self.hidden]));
+        let mut out = Vec::with_capacity(xs.len());
+        for &x in xs {
+            let (h2, c2) = self.step(g, x, h, c);
+            h = h2;
+            c = c2;
+            out.push(h);
+        }
+        out
+    }
+
+    pub fn params(&self) -> Vec<Param> {
+        vec![self.w_ih.clone(), self.w_hh.clone(), self.b.clone()]
+    }
+}
+
+/// Single-head scaled-dot-product self-attention over a `[T, D]` token
+/// matrix. Returns `(output [T, D_v], attention [T, T])` — the attention
+/// matrix itself is the object of interest for the Anomaly-Transformer-lite
+/// baseline's association discrepancy.
+pub struct SelfAttention {
+    pub wq: Linear,
+    pub wk: Linear,
+    pub wv: Linear,
+    pub dim_k: usize,
+}
+
+impl SelfAttention {
+    pub fn new<R: Rng>(rng: &mut R, dim_in: usize, dim_k: usize, dim_v: usize) -> Self {
+        SelfAttention {
+            wq: Linear::new(rng, dim_in, dim_k),
+            wk: Linear::new(rng, dim_in, dim_k),
+            wv: Linear::new(rng, dim_in, dim_v),
+            dim_k,
+        }
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> (NodeId, NodeId) {
+        let q = self.wq.forward(g, x);
+        let k = self.wk.forward(g, x);
+        let v = self.wv.forward(g, x);
+        let kt = g.transpose(k);
+        let scores = g.matmul(q, kt);
+        let scores = g.scale(scores, 1.0 / (self.dim_k as f32).sqrt());
+        let attn = g.softmax_rows(scores);
+        let out = g.matmul(attn, v);
+        (out, attn)
+    }
+
+    pub fn params(&self) -> Vec<Param> {
+        let mut p = self.wq.params();
+        p.extend(self.wk.params());
+        p.extend(self.wv.params());
+        p
+    }
+}
+
+/// RealNVP affine coupling layer over `[B, F]` feature vectors (F even).
+///
+/// One half is passed through; the other is affinely transformed with scale
+/// and shift predicted from the first by a two-layer MLP. `swap` alternates
+/// which half conditions which, as in stacked-flow practice. `forward`
+/// returns the transformed features and the per-row log-determinant `[B,1]`
+/// needed for the flow's exact log-likelihood (MTGFlow-lite's anomaly score).
+pub struct AffineCoupling {
+    pub net1: Linear,
+    pub net_s: Linear,
+    pub net_t: Linear,
+    pub half: usize,
+    pub swap: bool,
+}
+
+impl AffineCoupling {
+    pub fn new<R: Rng>(rng: &mut R, features: usize, hidden: usize, swap: bool) -> Self {
+        assert!(features % 2 == 0, "coupling needs an even feature count");
+        let half = features / 2;
+        AffineCoupling {
+            net1: Linear::new_relu(rng, half, hidden),
+            net_s: Linear::new(rng, hidden, half),
+            net_t: Linear::new(rng, hidden, half),
+            half,
+            swap,
+        }
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> (NodeId, NodeId) {
+        let h = self.half;
+        let (xa, xb) = if self.swap {
+            (g.slice_cols(x, h, 2 * h), g.slice_cols(x, 0, h))
+        } else {
+            (g.slice_cols(x, 0, h), g.slice_cols(x, h, 2 * h))
+        };
+        let hid = self.net1.forward(g, xa);
+        let hid = g.relu(hid);
+        let s_raw = self.net_s.forward(g, hid);
+        // Bounded log-scale keeps the flow numerically tame.
+        let s = g.tanh(s_raw);
+        let t = self.net_t.forward(g, hid);
+        let es = g.exp(s);
+        let scaled = g.mul(xb, es);
+        let yb = g.add(scaled, t);
+        let y = if self.swap {
+            g.concat_cols(&[yb, xa])
+        } else {
+            g.concat_cols(&[xa, yb])
+        };
+        let logdet = g.row_sum(s);
+        (y, logdet)
+    }
+
+    pub fn params(&self) -> Vec<Param> {
+        let mut p = self.net1.params();
+        p.extend(self.net_s.params());
+        p.extend(self.net_t.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(&mut rng, 4, 3);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[5, 4]));
+        let y = l.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[5, 3]);
+        assert_eq!(l.params().len(), 2);
+    }
+
+    #[test]
+    fn residual_block_shapes_and_projection() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = ResidualBlock::new(&mut rng, 3, 8, 3, 2);
+        assert!(b.skip.is_some());
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2, 3, 20]));
+        let y = b.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 8, 20]);
+        // Same-channel block needs no projection.
+        let b2 = ResidualBlock::new(&mut rng, 8, 8, 3, 4);
+        assert!(b2.skip.is_none());
+    }
+
+    #[test]
+    fn lstm_step_and_seq_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let l = Lstm::new(&mut rng, 1, 6);
+        let mut g = Graph::new();
+        let xs: Vec<NodeId> = (0..5)
+            .map(|i| g.input(Tensor::full(&[3, 1], i as f32 / 5.0)))
+            .collect();
+        let hs = l.forward_seq(&mut g, &xs);
+        assert_eq!(hs.len(), 5);
+        assert_eq!(g.value(hs[4]).shape(), &[3, 6]);
+        // Hidden state values bounded by tanh/sigmoid algebra.
+        assert!(g.value(hs[4]).data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn lstm_can_learn_to_remember_first_input() {
+        // Task: output after 4 steps should equal the first step's input sign.
+        let mut rng = StdRng::seed_from_u64(3);
+        let lstm = Lstm::new(&mut rng, 1, 8);
+        let head = Linear::new(&mut rng, 8, 1);
+        let mut params = lstm.params();
+        params.extend(head.params());
+        let mut opt = Adam::new(params, 0.02);
+
+        let run = |lstm: &Lstm, head: &Linear, first: f32| -> (Graph, NodeId) {
+            let mut g = Graph::new();
+            let mut xs = vec![g.input(Tensor::full(&[1, 1], first))];
+            for _ in 0..3 {
+                xs.push(g.input(Tensor::zeros(&[1, 1])));
+            }
+            let hs = lstm.forward_seq(&mut g, &xs);
+            let y = head.forward(&mut g, *hs.last().unwrap());
+            (g, y)
+        };
+
+        let mut final_loss = f32::INFINITY;
+        for _ in 0..150 {
+            let mut total = 0.0;
+            for &(inp, tgt) in &[(1.0f32, 1.0f32), (-1.0, -1.0)] {
+                let (mut g, y) = run(&lstm, &head, inp);
+                let t = g.input(Tensor::full(&[1, 1], tgt));
+                let d = g.sub(y, t);
+                let sq = g.square(d);
+                let l = g.sum_all(sq);
+                total += g.value(l).item();
+                g.backward(l);
+            }
+            final_loss = total;
+            opt.step();
+        }
+        assert!(final_loss < 0.05, "loss {final_loss}");
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let att = SelfAttention::new(&mut rng, 5, 4, 5);
+        let mut g = Graph::new();
+        let x = g.input(crate::init::he_normal(&mut rng, &[7, 5], 5));
+        let (out, attn) = att.forward(&mut g, x);
+        assert_eq!(g.value(out).shape(), &[7, 5]);
+        assert_eq!(g.value(attn).shape(), &[7, 7]);
+        for r in 0..7 {
+            let s: f32 = g.value(attn).row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn coupling_is_invertible_in_value() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = AffineCoupling::new(&mut rng, 6, 8, false);
+        let x_t = crate::init::he_normal(&mut rng, &[4, 6], 6);
+        let mut g = Graph::new();
+        let x = g.input(x_t.clone());
+        let (y, logdet) = c.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[4, 6]);
+        assert_eq!(g.value(logdet).shape(), &[4, 1]);
+        // Passthrough half is untouched.
+        for r in 0..4 {
+            for j in 0..3 {
+                assert_eq!(g.value(y).at2(r, j), x_t.at2(r, j));
+            }
+        }
+        // Manual inversion of the transformed half recovers the input.
+        // y_b = x_b·e^s + t  ⇒  x_b = (y_b − t)·e^{−s}; recompute s,t from x_a.
+        let mut g2 = Graph::new();
+        let xa = g2.input(Tensor::from_vec(
+            &[4, 3],
+            (0..4).flat_map(|r| (0..3).map(move |j| (r, j))).map(|(r, j)| x_t.at2(r, j)).collect(),
+        ));
+        let hid = c.net1.forward(&mut g2, xa);
+        let hid = g2.relu(hid);
+        let s_raw = c.net_s.forward(&mut g2, hid);
+        let s = g2.tanh(s_raw);
+        let t = c.net_t.forward(&mut g2, hid);
+        for r in 0..4 {
+            for j in 0..3 {
+                let yb = g.value(y).at2(r, 3 + j);
+                let sv = g2.value(s).at2(r, j);
+                let tv = g2.value(t).at2(r, j);
+                let recovered = (yb - tv) * (-sv).exp();
+                assert!((recovered - x_t.at2(r, 3 + j)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn coupling_swap_transforms_other_half() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let c = AffineCoupling::new(&mut rng, 4, 4, true);
+        let x_t = crate::init::he_normal(&mut rng, &[2, 4], 4);
+        let mut g = Graph::new();
+        let x = g.input(x_t.clone());
+        let (y, _) = c.forward(&mut g, x);
+        // With swap=true the second half is the passthrough.
+        for r in 0..2 {
+            for j in 2..4 {
+                assert_eq!(g.value(y).at2(r, j), x_t.at2(r, j));
+            }
+        }
+    }
+}

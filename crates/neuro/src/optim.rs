@@ -1,0 +1,245 @@
+//! First-order optimizers over [`Param`] collections.
+
+use crate::graph::Param;
+use crate::tensor::Tensor;
+
+/// Clip the global L2 norm of all accumulated gradients to `max_norm`.
+/// Returns the pre-clip norm. Call between `backward` and `step` — standard
+/// protection against the occasional exploding contrastive batch.
+pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut total = 0.0f32;
+    for p in params {
+        let pd = p.value();
+        total += pd.grad.data().iter().map(|g| g * g).sum::<f32>();
+    }
+    let norm = total.sqrt();
+    if norm > max_norm && norm.is_finite() {
+        let scale = max_norm / norm;
+        for p in params {
+            for g in p.borrow_mut().grad.data_mut() {
+                *g *= scale;
+            }
+        }
+    }
+    norm
+}
+
+/// Cosine learning-rate schedule from `lr_max` down to `lr_min` over
+/// `total_steps` (held at `lr_min` afterwards).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineSchedule {
+    pub lr_max: f32,
+    pub lr_min: f32,
+    pub total_steps: u64,
+}
+
+impl CosineSchedule {
+    pub fn new(lr_max: f32, lr_min: f32, total_steps: u64) -> Self {
+        assert!(lr_max >= lr_min && lr_min >= 0.0 && total_steps > 0);
+        CosineSchedule { lr_max, lr_min, total_steps }
+    }
+
+    /// Learning rate at step `t` (0-based).
+    pub fn at(&self, t: u64) -> f32 {
+        if t >= self.total_steps {
+            return self.lr_min;
+        }
+        let progress = t as f32 / self.total_steps as f32;
+        self.lr_min
+            + 0.5 * (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * progress).cos())
+    }
+}
+
+/// Adam (Kingma & Ba). The paper trains with lr = 0.001 — Adam's default —
+/// for 20 epochs (Sec. IV-A3).
+pub struct Adam {
+    params: Vec<Param>,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u64,
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+}
+
+impl Adam {
+    pub fn new(params: Vec<Param>, lr: f32) -> Self {
+        let m = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        let v = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        Adam {
+            params,
+            m,
+            v,
+            t: 0,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Apply one update from the gradients accumulated since the last `step`,
+    /// then zero them.
+    pub fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in self.params.iter().enumerate() {
+            let mut pd = p.borrow_mut();
+            let m = self.m[i].data_mut();
+            let v = self.v[i].data_mut();
+            // Split borrow: copy grads out is avoidable — iterate by index.
+            for j in 0..m.len() {
+                let g = pd.grad.data()[j];
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g;
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g * g;
+                let mhat = m[j] / bc1;
+                let vhat = v[j] / bc2;
+                pd.value.data_mut()[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            pd.grad.zero_();
+        }
+    }
+
+    /// Zero all gradients without updating (e.g. after a diverged batch).
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Plain SGD with optional momentum — used by tests and ablations that need
+/// an optimizer with no adaptive state.
+pub struct Sgd {
+    params: Vec<Param>,
+    velocity: Vec<Tensor>,
+    pub lr: f32,
+    pub momentum: f32,
+}
+
+impl Sgd {
+    pub fn new(params: Vec<Param>, lr: f32, momentum: f32) -> Self {
+        let velocity = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        Sgd {
+            params,
+            velocity,
+            lr,
+            momentum,
+        }
+    }
+
+    pub fn step(&mut self) {
+        for (i, p) in self.params.iter().enumerate() {
+            let mut pd = p.borrow_mut();
+            let vel = self.velocity[i].data_mut();
+            for j in 0..vel.len() {
+                let g = pd.grad.data()[j];
+                vel[j] = self.momentum * vel[j] + g;
+                pd.value.data_mut()[j] -= self.lr * vel[j];
+            }
+            pd.grad.zero_();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Minimise (p − 3)² and check convergence.
+    fn quadratic_loss(p: &Param) -> f32 {
+        let mut g = Graph::new();
+        let pid = g.param(p);
+        let target = g.input(Tensor::scalar(3.0));
+        let d = g.sub(pid, target);
+        let sq = g.square(d);
+        let l = g.sum_all(sq);
+        let v = g.value(l).item();
+        g.backward(l);
+        v
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Param::new(Tensor::scalar(-5.0));
+        let mut opt = Adam::new(vec![p.clone()], 0.1);
+        for _ in 0..300 {
+            quadratic_loss(&p);
+            opt.step();
+        }
+        assert!((p.tensor().item() - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Param::new(Tensor::scalar(10.0));
+        let mut opt = Sgd::new(vec![p.clone()], 0.05, 0.9);
+        for _ in 0..200 {
+            quadratic_loss(&p);
+            opt.step();
+        }
+        assert!((p.tensor().item() - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let p = Param::new(Tensor::scalar(1.0));
+        let mut opt = Adam::new(vec![p.clone()], 0.01);
+        quadratic_loss(&p);
+        assert!(p.value().grad.item() != 0.0);
+        opt.step();
+        assert_eq!(p.value().grad.item(), 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only_when_needed() {
+        let p = Param::new(Tensor::from_vec(&[2], vec![0.0, 0.0]));
+        p.borrow_mut().grad = Tensor::from_vec(&[2], vec![3.0, 4.0]);
+        let norm = clip_grad_norm(&[p.clone()], 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        let g = p.value().grad.clone();
+        assert!((g.data()[0] - 0.6).abs() < 1e-6);
+        assert!((g.data()[1] - 0.8).abs() < 1e-6);
+        // Below the bound: untouched.
+        let norm = clip_grad_norm(&[p.clone()], 10.0);
+        assert!((norm - 1.0).abs() < 1e-6);
+        assert!((p.value().grad.data()[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints_and_monotonicity() {
+        let s = CosineSchedule::new(1.0, 0.1, 100);
+        assert!((s.at(0) - 1.0).abs() < 1e-6);
+        assert!((s.at(100) - 0.1).abs() < 1e-6);
+        assert!((s.at(1000) - 0.1).abs() < 1e-6);
+        let mut last = f32::INFINITY;
+        for t in 0..=100 {
+            let lr = s.at(t);
+            assert!(lr <= last + 1e-6);
+            last = lr;
+        }
+        // Midpoint is the arithmetic mean.
+        assert!((s.at(50) - 0.55).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_loss_decreases_monotonically_early() {
+        let p = Param::new(Tensor::scalar(0.0));
+        let mut opt = Adam::new(vec![p.clone()], 0.05);
+        let mut last = f32::INFINITY;
+        for _ in 0..20 {
+            let l = quadratic_loss(&p);
+            assert!(l <= last + 1e-4, "loss went up: {last} -> {l}");
+            last = l;
+            opt.step();
+        }
+    }
+}

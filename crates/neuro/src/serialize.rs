@@ -1,0 +1,164 @@
+//! Parameter persistence.
+//!
+//! A deliberately tiny little-endian binary format for saving and restoring
+//! the parameters of a model (the layer structure itself is code, so loading
+//! validates shapes against a freshly-built model rather than reconstructing
+//! layers from the file):
+//!
+//! ```text
+//! magic  b"NEURO1\n"
+//! u32    parameter count
+//! per parameter:
+//!   u32      ndim
+//!   u32×ndim dims
+//!   f32×numel row-major values
+//! ```
+
+use crate::graph::Param;
+use crate::tensor::Tensor;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 7] = b"NEURO1\n";
+
+/// Serialize parameter values (gradients are not persisted).
+pub fn write_params<W: Write>(mut w: W, params: &[Param]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        let pd = p.value();
+        let shape = pd.value.shape();
+        w.write_all(&(shape.len() as u32).to_le_bytes())?;
+        for &d in shape {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &v in pd.value.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Read a parameter file into standalone tensors.
+pub fn read_tensors<R: Read>(mut r: R) -> io::Result<Vec<Tensor>> {
+    let mut magic = [0u8; 7];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a NEURO1 parameter file",
+        ));
+    }
+    let count = read_u32(&mut r)? as usize;
+    if count > 1_000_000 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "implausible parameter count",
+        ));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let ndim = read_u32(&mut r)? as usize;
+        if ndim > 8 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "ndim > 8"));
+        }
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(read_u32(&mut r)? as usize);
+        }
+        let numel: usize = shape.iter().product();
+        if numel > 256 << 20 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "tensor too large"));
+        }
+        let mut data = Vec::with_capacity(numel);
+        let mut buf = [0u8; 4];
+        for _ in 0..numel {
+            r.read_exact(&mut buf)?;
+            data.push(f32::from_le_bytes(buf));
+        }
+        out.push(Tensor::from_vec(&shape, data));
+    }
+    Ok(out)
+}
+
+/// Load saved values into an existing (freshly-constructed) model's
+/// parameters. Counts and shapes must match exactly.
+pub fn load_params<R: Read>(r: R, params: &[Param]) -> io::Result<()> {
+    let tensors = read_tensors(r)?;
+    if tensors.len() != params.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("parameter count mismatch: file {} vs model {}", tensors.len(), params.len()),
+        ));
+    }
+    for (t, p) in tensors.iter().zip(params) {
+        if t.shape() != p.shape().as_slice() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("shape mismatch: file {:?} vs model {:?}", t.shape(), p.shape()),
+            ));
+        }
+    }
+    for (t, p) in tensors.into_iter().zip(params) {
+        p.borrow_mut().value = t;
+        p.zero_grad();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new(&mut rng, 5, 3);
+        let mut buf = Vec::new();
+        write_params(&mut buf, &layer.params()).unwrap();
+
+        let mut rng2 = StdRng::seed_from_u64(999); // different init
+        let fresh = Linear::new(&mut rng2, 5, 3);
+        assert_ne!(fresh.w.tensor(), layer.w.tensor());
+        load_params(buf.as_slice(), &fresh.params()).unwrap();
+        assert_eq!(fresh.w.tensor(), layer.w.tensor());
+        assert_eq!(fresh.b.tensor(), layer.b.tensor());
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_mismatches() {
+        let err = read_tensors(&b"BOGUS!!rest"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Linear::new(&mut rng, 4, 2);
+        let mut buf = Vec::new();
+        write_params(&mut buf, &a.params()).unwrap();
+
+        // Wrong shape target.
+        let b = Linear::new(&mut rng, 4, 3);
+        assert!(load_params(buf.as_slice(), &b.params()).is_err());
+        // Wrong count target.
+        let mut three = b.params();
+        three.extend(a.params());
+        assert!(load_params(buf.as_slice(), &three).is_err());
+    }
+
+    #[test]
+    fn truncated_file_errors_cleanly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Linear::new(&mut rng, 6, 6);
+        let mut buf = Vec::new();
+        write_params(&mut buf, &a.params()).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_tensors(buf.as_slice()).is_err());
+    }
+}

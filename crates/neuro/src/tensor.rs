@@ -1,0 +1,196 @@
+//! Dense row-major `f32` tensors.
+//!
+//! Deliberately simple: owned contiguous storage, shape as a `Vec<usize>`,
+//! no views or broadcasting rules beyond what the graph ops implement
+//! explicitly. All hot loops live in the graph ops; `Tensor` is the data
+//! carrier plus a few shape-checked constructors and accessors.
+
+/// A dense row-major tensor of `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Zero-filled tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; n],
+        }
+    }
+
+    /// Build from existing data; panics if `data.len()` ≠ product of `shape`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            n,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// 1-D tensor from an `f64` slice (the signal-processing crates use f64).
+    pub fn from_f64(values: &[f64]) -> Self {
+        Tensor {
+            shape: vec![values.len()],
+            data: values.iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Scalar (shape `[1]`) tensor.
+    pub fn scalar(v: f32) -> Self {
+        Tensor {
+            shape: vec![1],
+            data: vec![v],
+        }
+    }
+
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Extract the scalar value of a shape-`[1]` tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() on non-scalar shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    pub fn reshaped(mut self, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Row-major index helpers for the common ranks.
+    #[inline]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.ndim(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    #[inline]
+    pub fn at3(&self, i: usize, j: usize, k: usize) -> f32 {
+        debug_assert_eq!(self.ndim(), 3);
+        self.data[(i * self.shape[1] + j) * self.shape[2] + k]
+    }
+
+    /// In-place element-wise accumulation; shapes must match exactly.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Set all elements to zero (gradient reset).
+    pub fn zero_(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Row `i` of a 2-D tensor as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.ndim(), 2);
+        let c = self.shape[1];
+        &self.data[i * c..(i + 1) * c]
+    }
+
+    /// Copy out as `f64` (interfacing back to the signal-processing crates).
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.data.iter().map(|&v| v as f64).collect()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.at2(1, 2), 6.0);
+        assert_eq!(t.row(0), &[1., 2., 3.]);
+    }
+
+    #[test]
+    fn at3_indexing() {
+        let t = Tensor::from_vec(&[2, 2, 2], (0..8).map(|i| i as f32).collect());
+        assert_eq!(t.at3(1, 0, 1), 5.0);
+        assert_eq!(t.at3(0, 1, 0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn bad_shape_panics() {
+        Tensor::from_vec(&[2, 2], vec![1.0; 5]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[4], vec![1., 2., 3., 4.]).reshaped(&[2, 2]);
+        assert_eq!(t.at2(1, 0), 3.0);
+    }
+
+    #[test]
+    fn add_assign_and_zero() {
+        let mut a = Tensor::full(&[3], 1.0);
+        let b = Tensor::from_vec(&[3], vec![1., 2., 3.]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[2., 3., 4.]);
+        a.zero_();
+        assert_eq!(a.data(), &[0., 0., 0.]);
+    }
+
+    #[test]
+    fn scalar_and_item() {
+        assert_eq!(Tensor::scalar(2.5).item(), 2.5);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let t = Tensor::from_f64(&[1.5, -2.0]);
+        assert_eq!(t.to_f64(), vec![1.5, -2.0]);
+    }
+}

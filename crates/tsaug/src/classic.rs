@@ -1,0 +1,155 @@
+//! Whole-window computer-vision-style augmentations.
+//!
+//! These are the transforms the paper's Fig. 1 criticises: applied to a whole
+//! time-series window they produce data that *looks anomalous*, which is why
+//! TriAD replaces them with local segment alterations. They are kept here
+//! (a) to regenerate Fig. 1 and (b) because the TS2Vec-lite baseline's
+//! contrastive views use cropping.
+
+use crate::rng::gaussian;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Gaussian noise over the whole window.
+pub fn jitter_all<R: Rng>(rng: &mut R, x: &[f64], sigma: f64) -> Vec<f64> {
+    x.iter().map(|v| v + gaussian(rng) * sigma).collect()
+}
+
+/// Multiply the whole window by a single random scale in `[lo, hi]`.
+pub fn scale_all<R: Rng>(rng: &mut R, x: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+    let k = lo + (hi - lo) * rng.random::<f64>();
+    x.iter().map(|v| v * k).collect()
+}
+
+/// Split the window into `n_chunks` contiguous chunks and shuffle their order.
+pub fn shuffle_chunks<R: Rng>(rng: &mut R, x: &[f64], n_chunks: usize) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 || n_chunks <= 1 {
+        return x.to_vec();
+    }
+    let n_chunks = n_chunks.min(n);
+    let base = n / n_chunks;
+    let mut chunks: Vec<&[f64]> = Vec::with_capacity(n_chunks);
+    let mut pos = 0;
+    for i in 0..n_chunks {
+        let end = if i == n_chunks - 1 { n } else { pos + base };
+        chunks.push(&x[pos..end]);
+        pos = end;
+    }
+    chunks.shuffle(rng);
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend_from_slice(c);
+    }
+    out
+}
+
+/// Random contiguous crop of length `crop_len`, linearly resampled back to the
+/// original length (the usual "crop + resize" view).
+pub fn crop_resize<R: Rng>(rng: &mut R, x: &[f64], crop_len: usize) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 || crop_len >= n || crop_len < 2 {
+        return x.to_vec();
+    }
+    let start = rng.random_range(0..=(n - crop_len));
+    let crop = &x[start..start + crop_len];
+    resample_linear(crop, n)
+}
+
+/// Linear interpolation resampling to `target_len` points.
+pub fn resample_linear(x: &[f64], target_len: usize) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 || target_len == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![x[0]; target_len];
+    }
+    let mut out = Vec::with_capacity(target_len);
+    let scale = (n - 1) as f64 / (target_len - 1).max(1) as f64;
+    for i in 0..target_len {
+        let pos = i as f64 * scale;
+        let lo = pos.floor() as usize;
+        let hi = (lo + 1).min(n - 1);
+        let frac = pos - lo as f64;
+        out.push(x[lo] * (1.0 - frac) + x[hi] * frac);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn wave(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 16.0).sin())
+            .collect()
+    }
+
+    #[test]
+    fn jitter_changes_every_point_in_expectation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = wave(64);
+        let y = jitter_all(&mut rng, &x, 0.3);
+        let changed = x.iter().zip(&y).filter(|(a, b)| a != b).count();
+        assert!(changed > 60);
+    }
+
+    #[test]
+    fn scale_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = wave(64);
+        let y = scale_all(&mut rng, &x, 2.0, 2.0);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((b - a * 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = wave(60);
+        let y = shuffle_chunks(&mut rng, &x, 6);
+        assert_eq!(y.len(), x.len());
+        let mut xs = x.clone();
+        let mut ys = y.clone();
+        xs.sort_by(f64::total_cmp);
+        ys.sort_by(f64::total_cmp);
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn shuffle_one_chunk_is_identity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = wave(20);
+        assert_eq!(shuffle_chunks(&mut rng, &x, 1), x);
+    }
+
+    #[test]
+    fn crop_resize_keeps_length() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = wave(100);
+        let y = crop_resize(&mut rng, &x, 40);
+        assert_eq!(y.len(), 100);
+    }
+
+    #[test]
+    fn resample_endpoints_are_exact() {
+        let x = vec![1.0, 3.0, 5.0, 7.0];
+        let y = resample_linear(&x, 7);
+        assert_eq!(y.len(), 7);
+        assert!((y[0] - 1.0).abs() < 1e-12);
+        assert!((y[6] - 7.0).abs() < 1e-12);
+        // Midpoint interpolates.
+        assert!((y[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_degenerate() {
+        assert!(resample_linear(&[], 5).is_empty());
+        assert_eq!(resample_linear(&[2.0], 3), vec![2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Anomaly-simulating data augmentation (TriAD Sec. III-A).
+//!
+//! TriAD does **not** augment whole series to enlarge the training set.
+//! Instead, each training window gets a *random segment* of random location,
+//! length and shape altered so that it resembles an anomaly; the contrastive
+//! loss then pushes original windows away from their altered twins. Two
+//! alteration families are used:
+//!
+//! * **jittering** (Eq. 3) — Gaussian noise added to the segment;
+//! * **warping** (Eq. 4) — the segment replaced by a Butterworth-filtered
+//!   (smoothed, primary-frequency-emphasising) version of itself.
+//!
+//! [`classic`] additionally provides the whole-window jitter / scale /
+//! shuffle / crop transforms that Fig. 1 shows are *unsuited* to TSAD (they
+//! make normal data look anomalous) — used by the Fig. 1 binary and by the
+//! TS2Vec-lite baseline.
+
+pub mod classic;
+pub mod rng;
+pub mod segment;
+
+use rng::gaussian;
+use tsops::filter::{filtfilt, Butterworth};
+
+use rand::Rng;
+
+/// Which alteration was applied to a window (kept for diagnostics and the
+/// Fig. 5 binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AugKind {
+    Jitter,
+    Warp,
+}
+
+/// Parameters controlling random-segment augmentation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AugmentConfig {
+    /// Minimum altered-segment length as a fraction of the window.
+    pub min_frac: f64,
+    /// Maximum altered-segment length as a fraction of the window.
+    pub max_frac: f64,
+    /// Jitter noise std as a multiple of the window's own std.
+    pub jitter_scale: f64,
+    /// Butterworth cutoff range (fraction of Nyquist) for warping.
+    pub cutoff_range: (f64, f64),
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig {
+            min_frac: 0.1,
+            max_frac: 0.5,
+            jitter_scale: 1.0,
+            cutoff_range: (0.02, 0.15),
+        }
+    }
+}
+
+/// Add Gaussian noise (std `sigma`) to `x[start..start+len]` (Eq. 3).
+pub fn jitter_segment<R: Rng>(
+    rng: &mut R,
+    x: &mut [f64],
+    start: usize,
+    len: usize,
+    sigma: f64,
+) {
+    let end = (start + len).min(x.len());
+    for v in &mut x[start..end] {
+        *v += gaussian(rng) * sigma;
+    }
+}
+
+/// Replace `x[start..start+len]` by its zero-phase Butterworth-filtered
+/// version with normalized cutoff `cutoff` (Eq. 4).
+///
+/// The filter sees the whole window (context gives the filter a run-up), but
+/// only the chosen segment is replaced, so the alteration stays local.
+pub fn warp_segment(x: &mut [f64], start: usize, len: usize, cutoff: f64) {
+    let end = (start + len).min(x.len());
+    if end <= start {
+        return;
+    }
+    let filt = Butterworth::lowpass(4, cutoff);
+    let smoothed = filtfilt(&filt, x);
+    x[start..end].copy_from_slice(&smoothed[start..end]);
+}
+
+/// Apply one random alteration (jitter or warp, coin flip) to a random
+/// segment of `window`, returning the altered copy and what was done.
+pub fn augment_window<R: Rng>(
+    rng: &mut R,
+    window: &[f64],
+    cfg: &AugmentConfig,
+) -> (Vec<f64>, AugKind, std::ops::Range<usize>) {
+    let l = window.len();
+    let mut out = window.to_vec();
+    if l < 4 {
+        return (out, AugKind::Jitter, 0..l);
+    }
+    let min_len = ((l as f64 * cfg.min_frac) as usize).max(2);
+    let max_len = ((l as f64 * cfg.max_frac) as usize).max(min_len + 1);
+    let seg_len = rng.random_range(min_len..max_len.min(l));
+    let start = rng.random_range(0..=(l - seg_len));
+
+    let kind = if rng.random::<bool>() {
+        let sigma = tsops::stats::std_dev(window) * cfg.jitter_scale;
+        // Guard: a constant window still needs visible jitter.
+        let sigma = if sigma < 1e-9 { cfg.jitter_scale } else { sigma };
+        jitter_segment(rng, &mut out, start, seg_len, sigma);
+        AugKind::Jitter
+    } else {
+        let (lo, hi) = cfg.cutoff_range;
+        let cutoff = lo + (hi - lo) * rng.random::<f64>();
+        warp_segment(&mut out, start, seg_len, cutoff);
+        AugKind::Warp
+    };
+    (out, kind, start..start + seg_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    fn wave(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * PI * i as f64 / 25.0).sin()).collect()
+    }
+
+    #[test]
+    fn jitter_alters_only_the_segment() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = wave(100);
+        let mut y = x.clone();
+        jitter_segment(&mut rng, &mut y, 30, 20, 0.5);
+        assert_eq!(&x[..30], &y[..30]);
+        assert_eq!(&x[50..], &y[50..]);
+        assert!(x[30..50].iter().zip(&y[30..50]).any(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn jitter_clamps_at_window_end() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut y = wave(50);
+        jitter_segment(&mut rng, &mut y, 45, 100, 0.5); // over-long segment
+        assert_eq!(y.len(), 50);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn warp_smooths_the_segment() {
+        let n = 200;
+        // Signal with a high-frequency rider.
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                (2.0 * PI * t / 50.0).sin() + 0.4 * (2.0 * PI * t / 4.0).sin()
+            })
+            .collect();
+        let mut y = x.clone();
+        warp_segment(&mut y, 60, 60, 0.05);
+        // Outside: untouched.
+        assert_eq!(&x[..60], &y[..60]);
+        assert_eq!(&x[120..], &y[120..]);
+        // Inside: high-frequency energy reduced.
+        let hf = |s: &[f64]| -> f64 {
+            s.windows(2).map(|p| (p[1] - p[0]).powi(2)).sum::<f64>()
+        };
+        assert!(hf(&y[60..120]) < hf(&x[60..120]) * 0.5);
+    }
+
+    #[test]
+    fn warp_empty_segment_is_noop() {
+        let x = wave(40);
+        let mut y = x.clone();
+        warp_segment(&mut y, 39, 0, 0.1);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn augment_window_is_deterministic_per_seed() {
+        let x = wave(120);
+        let cfg = AugmentConfig::default();
+        let (a1, k1, r1) = augment_window(&mut StdRng::seed_from_u64(42), &x, &cfg);
+        let (a2, k2, r2) = augment_window(&mut StdRng::seed_from_u64(42), &x, &cfg);
+        assert_eq!(a1, a2);
+        assert_eq!(k1, k2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn augment_window_changes_data_within_reported_range() {
+        let x = wave(120);
+        let cfg = AugmentConfig::default();
+        for seed in 0..20 {
+            let (aug, _, range) = augment_window(&mut StdRng::seed_from_u64(seed), &x, &cfg);
+            assert_eq!(aug.len(), x.len());
+            for i in 0..x.len() {
+                if !range.contains(&i) {
+                    assert_eq!(aug[i], x[i], "seed {seed} touched i={i} outside {range:?}");
+                }
+            }
+            assert!(
+                range.clone().any(|i| aug[i] != x[i]),
+                "seed {seed}: no visible alteration"
+            );
+            let frac = range.len() as f64 / x.len() as f64;
+            assert!(frac >= 0.01 && frac <= cfg.max_frac + 0.01);
+        }
+    }
+
+    #[test]
+    fn augment_tiny_window_is_safe() {
+        let x = vec![1.0, 2.0, 3.0];
+        let (aug, _, _) = augment_window(
+            &mut StdRng::seed_from_u64(0),
+            &x,
+            &AugmentConfig::default(),
+        );
+        assert_eq!(aug.len(), 3);
+    }
+}

@@ -1,0 +1,58 @@
+//! Seeded random-number helpers shared by augmentations and generators.
+//!
+//! `rand` 0.9 ships only uniform primitives; the Gaussian sampler here is a
+//! plain Box–Muller transform so we avoid pulling in `rand_distr`.
+
+use rand::Rng;
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    // u1 ∈ (0, 1] so the log is finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fill a vector with `n` standard-normal samples.
+pub fn gaussian_vec<R: Rng>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| gaussian(rng)).collect()
+}
+
+/// Uniform sample in `[lo, hi)`.
+pub fn uniform<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.random::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let xs = gaussian_vec(&mut rng, 50_000);
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.03, "var {v}");
+    }
+
+    #[test]
+    fn gaussian_is_finite() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(gaussian(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = uniform(&mut rng, -2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+}

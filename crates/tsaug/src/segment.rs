@@ -1,0 +1,68 @@
+//! Random-segment selection shared by augmentations and anomaly injectors.
+
+use rand::Rng;
+
+/// Draw a random half-open segment `[start, start+len)` inside `0..total`,
+/// with `len` uniform in `[min_len, max_len]` (clamped to fit).
+///
+/// Panics if `total == 0` or `min_len == 0`.
+pub fn random_segment<R: Rng>(
+    rng: &mut R,
+    total: usize,
+    min_len: usize,
+    max_len: usize,
+) -> std::ops::Range<usize> {
+    assert!(total > 0, "cannot draw a segment from an empty range");
+    assert!(min_len > 0, "segment length must be positive");
+    let min_len = min_len.min(total);
+    let max_len = max_len.clamp(min_len, total);
+    let len = if min_len == max_len {
+        min_len
+    } else {
+        rng.random_range(min_len..=max_len)
+    };
+    let start = if total == len {
+        0
+    } else {
+        rng.random_range(0..=(total - len))
+    };
+    start..start + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn segment_fits_and_respects_lengths() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let r = random_segment(&mut rng, 100, 5, 30);
+            assert!(r.end <= 100);
+            assert!(r.len() >= 5 && r.len() <= 30);
+        }
+    }
+
+    #[test]
+    fn clamps_oversized_requests() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = random_segment(&mut rng, 10, 20, 50);
+        assert_eq!(r, 0..10);
+    }
+
+    #[test]
+    fn exact_fit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = random_segment(&mut rng, 8, 8, 8);
+        assert_eq!(r, 0..8);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_total_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        random_segment(&mut rng, 0, 1, 2);
+    }
+}

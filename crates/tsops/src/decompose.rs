@@ -1,0 +1,306 @@
+//! Period estimation and classical seasonal decomposition.
+//!
+//! TriAD's third feature domain is the *residual*: "derived by eliminating the
+//! underlying periodic trends from the original input" (Sec. III-B). We follow
+//! the classical additive decomposition `x = trend + seasonal + residual`:
+//!
+//! * trend — centred moving average over one period;
+//! * seasonal — per-phase means of the detrended series, re-centred to zero;
+//! * residual — what is left.
+//!
+//! The period itself is estimated from the anomaly-free training split by
+//! combining the FFT's dominant harmonic with an autocorrelation refinement
+//! ([`estimate_period`]) — the FFT narrows the search to a harmonic
+//! neighbourhood, the ACF picks the precise lag (robust to spectral leakage
+//! when the period does not divide the series length).
+
+use crate::spectral::dominant_harmonic;
+use crate::stats::{autocorrelation, mean};
+
+/// Result of the additive decomposition. All three components have the length
+/// of the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    pub trend: Vec<f64>,
+    pub seasonal: Vec<f64>,
+    pub residual: Vec<f64>,
+}
+
+/// Estimate the fundamental period (in samples) of a (mostly) periodic series.
+///
+/// Returns `None` if the series is too short or has no detectable periodic
+/// structure (dominant harmonic at DC or ACF peak below 0.1).
+///
+/// `max_period` bounds the search; pass `series.len() / 2` when in doubt.
+pub fn estimate_period(series: &[f64], max_period: usize) -> Option<usize> {
+    let n = series.len();
+    if n < 8 {
+        return None;
+    }
+    let max_period = max_period.min(n / 2).max(2);
+
+    // 1) FFT guess: dominant harmonic k → period ≈ n/k.
+    let fft_guess = dominant_harmonic(series).map(|k| (n as f64 / k as f64).round() as usize);
+
+    // 2) ACF refinement around the guess (±25%), or a full scan if no guess.
+    let acf = autocorrelation(series, max_period);
+    let (lo, hi) = match fft_guess {
+        Some(p) if p >= 2 && p <= max_period => {
+            let lo = ((p as f64 * 0.75) as usize).max(2);
+            let hi = ((p as f64 * 1.25).ceil() as usize).min(max_period);
+            (lo, hi)
+        }
+        _ => (2, max_period),
+    };
+    let scan = |lo: usize, hi: usize| -> (usize, f64) {
+        let mut best_lag = 0usize;
+        let mut best_val = f64::NEG_INFINITY;
+        for lag in lo..=hi {
+            // Only local maxima of the ACF are period candidates.
+            if lag + 1 < acf.len() && lag >= 1 {
+                let v = acf[lag];
+                let is_peak = v >= acf[lag - 1] && v >= acf[lag + 1];
+                if is_peak && v > best_val {
+                    best_val = v;
+                    best_lag = lag;
+                }
+            }
+        }
+        if best_lag == 0 {
+            // No interior peak; fall back to plain argmax over the range.
+            for lag in lo..=hi.min(acf.len().saturating_sub(1)) {
+                if acf[lag] > best_val {
+                    best_val = acf[lag];
+                    best_lag = lag;
+                }
+            }
+        }
+        (best_lag, best_val)
+    };
+
+    let (mut best_lag, mut best_val) = scan(lo, hi);
+    if best_lag < 2 || best_val <= 0.1 {
+        // The FFT guess pointed at a higher harmonic (spiky waveforms do
+        // this); retry over the full admissible lag range.
+        let (l, v) = scan(2, max_period);
+        best_lag = l;
+        best_val = v;
+    }
+    (best_lag >= 2 && best_val > 0.1).then_some(best_lag)
+}
+
+/// Centred moving average of width `period` (even widths use the standard
+/// 2×MA convention so the window stays centred). Endpoints are padded by
+/// repeating the first/last computable value.
+pub fn trend_moving_average(series: &[f64], period: usize) -> Vec<f64> {
+    let n = series.len();
+    assert!(period >= 1, "period must be ≥ 1");
+    if n == 0 {
+        return Vec::new();
+    }
+    if period == 1 || n < period + 1 {
+        return vec![mean(series); n];
+    }
+
+    let half = period / 2;
+    let mut trend = vec![f64::NAN; n];
+    if period % 2 == 1 {
+        let w = period as f64;
+        let mut sum: f64 = series[..period].iter().sum();
+        for c in half..n - half {
+            trend[c] = sum / w;
+            if c + half + 1 < n {
+                sum += series[c + half + 1] - series[c - half];
+            }
+        }
+    } else {
+        // 2×MA: average of two adjacent length-`period` windows, weights
+        // ½,1,…,1,½ over period+1 points.
+        let w = period as f64;
+        for c in half..n - half {
+            let lo = c - half;
+            let hi = c + half; // inclusive
+            let mut sum = 0.5 * series[lo] + 0.5 * series[hi];
+            for v in &series[lo + 1..hi] {
+                sum += v;
+            }
+            trend[c] = sum / w;
+        }
+    }
+    // Pad endpoints.
+    let first = trend
+        .iter()
+        .copied()
+        .find(|v| !v.is_nan())
+        .unwrap_or_else(|| mean(series));
+    let last = trend
+        .iter()
+        .rev()
+        .copied()
+        .find(|v| !v.is_nan())
+        .unwrap_or(first);
+    for v in trend.iter_mut() {
+        if v.is_nan() {
+            *v = first;
+        } else {
+            break;
+        }
+    }
+    for v in trend.iter_mut().rev() {
+        if v.is_nan() {
+            *v = last;
+        } else {
+            break;
+        }
+    }
+    trend
+}
+
+/// Classical additive decomposition with a known period.
+pub fn decompose(series: &[f64], period: usize) -> Decomposition {
+    let n = series.len();
+    let trend = trend_moving_average(series, period);
+    let detrended: Vec<f64> = series.iter().zip(&trend).map(|(x, t)| x - t).collect();
+
+    // Per-phase means.
+    let period = period.max(1);
+    let mut phase_sum = vec![0.0f64; period];
+    let mut phase_cnt = vec![0usize; period];
+    for (i, v) in detrended.iter().enumerate() {
+        phase_sum[i % period] += v;
+        phase_cnt[i % period] += 1;
+    }
+    let mut profile: Vec<f64> = phase_sum
+        .iter()
+        .zip(&phase_cnt)
+        .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    // Re-centre the seasonal profile to zero mean so trend keeps the level.
+    let pm = mean(&profile);
+    for v in &mut profile {
+        *v -= pm;
+    }
+
+    let seasonal: Vec<f64> = (0..n).map(|i| profile[i % period]).collect();
+    let residual: Vec<f64> = (0..n)
+        .map(|i| series[i] - trend[i] - seasonal[i])
+        .collect();
+    Decomposition {
+        trend,
+        seasonal,
+        residual,
+    }
+}
+
+/// Convenience: the residual channel of one window, decomposed with `period`.
+/// This is what the residual-domain encoder consumes.
+pub fn residual_of(series: &[f64], period: usize) -> Vec<f64> {
+    decompose(series, period).residual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn periodic(n: usize, p: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * PI * i as f64 / p).sin() + 0.3 * (4.0 * PI * i as f64 / p).sin())
+            .collect()
+    }
+
+    #[test]
+    fn estimates_exact_period() {
+        for p in [10usize, 25, 50, 140] {
+            let x = periodic(p * 12, p as f64);
+            let est = estimate_period(&x, x.len() / 2).unwrap();
+            assert!(
+                est.abs_diff(p) <= 1,
+                "period {p} estimated as {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_period_with_noise_and_trend() {
+        let p = 30usize;
+        let x: Vec<f64> = periodic(p * 15, p as f64)
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 0.002 * i as f64 + 0.1 * ((i * 2654435761) as f64 % 1.0 - 0.5))
+            .collect();
+        let est = estimate_period(&x, x.len() / 2).unwrap();
+        assert!(est.abs_diff(p) <= 2, "estimated {est}");
+    }
+
+    #[test]
+    fn no_period_in_flat_or_tiny_series() {
+        assert_eq!(estimate_period(&vec![1.0; 100], 50), None);
+        assert_eq!(estimate_period(&[1.0, 2.0, 3.0], 2), None);
+    }
+
+    #[test]
+    fn trend_recovers_linear_ramp() {
+        let p = 20usize;
+        let x: Vec<f64> = (0..300)
+            .map(|i| 0.05 * i as f64 + (2.0 * PI * i as f64 / p as f64).sin())
+            .collect();
+        let t = trend_moving_average(&x, p);
+        // Interior trend ≈ the ramp (MA of a full period kills the sinusoid).
+        for i in p..300 - p {
+            assert!((t[i] - 0.05 * i as f64).abs() < 0.05, "i={i} t={}", t[i]);
+        }
+    }
+
+    #[test]
+    fn decompose_reconstructs_input() {
+        let x = periodic(200, 25.0);
+        let d = decompose(&x, 25);
+        for i in 0..x.len() {
+            let recon = d.trend[i] + d.seasonal[i] + d.residual[i];
+            assert!((recon - x[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn residual_of_clean_periodic_signal_is_small() {
+        let x = periodic(400, 40.0);
+        let d = decompose(&x, 40);
+        let interior = &d.residual[40..360];
+        let rms =
+            (interior.iter().map(|v| v * v).sum::<f64>() / interior.len() as f64).sqrt();
+        assert!(rms < 0.05, "residual rms {rms}");
+    }
+
+    #[test]
+    fn residual_flags_injected_spike() {
+        let mut x = periodic(400, 40.0);
+        x[200] += 5.0;
+        let d = decompose(&x, 40);
+        let argmax = d
+            .residual
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 200);
+    }
+
+    #[test]
+    fn seasonal_profile_is_zero_mean() {
+        let x = periodic(300, 30.0);
+        let d = decompose(&x, 30);
+        let profile_mean = mean(&d.seasonal[..30]);
+        assert!(profile_mean.abs() < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_periods() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let d = decompose(&x, 1);
+        assert_eq!(d.trend.len(), 4);
+        let t = trend_moving_average(&[], 5);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Subsequence distance primitives.
+//!
+//! Discord discovery ranks subsequences by the z-normalised Euclidean distance
+//! to their nearest non-self neighbour. [`ZnormSeries`] precomputes rolling
+//! means/stds once per series so each pairwise distance costs a single dot
+//! product, and supports the early-abandoning partial evaluation DRAG and
+//! Orchard-style search rely on.
+
+use crate::stats::rolling_mean_std;
+
+/// Plain Euclidean distance between equal-length slices.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Squared Euclidean distance (avoids the sqrt where only ordering matters).
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// A series prepared for O(w) z-normalised subsequence distances at a fixed
+/// subsequence length `w`.
+///
+/// For subsequences `A`, `B` with means `μ`, stds `σ`, the z-normalised
+/// squared distance is `2w·(1 − (⟨A,B⟩ − w·μ_A·μ_B)/(w·σ_A·σ_B))`, clamped at
+/// zero against floating-point noise. Constant subsequences (σ≈0) are treated
+/// as all-zero shapes, matching [`crate::stats::znormalize_mut`].
+#[derive(Debug, Clone)]
+pub struct ZnormSeries<'a> {
+    data: &'a [f64],
+    w: usize,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl<'a> ZnormSeries<'a> {
+    pub fn new(data: &'a [f64], w: usize) -> Self {
+        assert!(w >= 2, "subsequence length must be ≥ 2");
+        let (means, stds) = rolling_mean_std(data, w);
+        ZnormSeries {
+            data,
+            w,
+            means,
+            stds,
+        }
+    }
+
+    /// Number of subsequences (`n − w + 1`), zero when the series is shorter
+    /// than `w`.
+    pub fn count(&self) -> usize {
+        self.means.len()
+    }
+
+    pub fn subseq_len(&self) -> usize {
+        self.w
+    }
+
+    pub fn data(&self) -> &[f64] {
+        self.data
+    }
+
+    /// Z-normalised copy of the subsequence starting at `i`.
+    pub fn znorm_subseq(&self, i: usize) -> Vec<f64> {
+        let seg = &self.data[i..i + self.w];
+        let (m, s) = (self.means[i], self.stds[i]);
+        if s < 1e-12 {
+            vec![0.0; self.w]
+        } else {
+            let inv = 1.0 / s;
+            seg.iter().map(|v| (v - m) * inv).collect()
+        }
+    }
+
+    /// Z-normalised Euclidean distance between the subsequences at `i` and `j`.
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        self.dist_sq(i, j).sqrt()
+    }
+
+    /// Squared z-normalised distance.
+    pub fn dist_sq(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let w = self.w;
+        let (mi, si) = (self.means[i], self.stds[i]);
+        let (mj, sj) = (self.means[j], self.stds[j]);
+        let degenerate_i = si < 1e-12;
+        let degenerate_j = sj < 1e-12;
+        if degenerate_i && degenerate_j {
+            return 0.0;
+        }
+        if degenerate_i || degenerate_j {
+            // One shape is identically zero; distance is the norm of the
+            // other z-normalised subsequence: √w by construction.
+            return w as f64;
+        }
+        let a = &self.data[i..i + w];
+        let b = &self.data[j..j + w];
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        // Clamp against floating-point drift so distances stay within the
+        // theoretical [0, 2sqrt(w)] envelope.
+        let corr = ((dot - w as f64 * mi * mj) / (w as f64 * si * sj)).clamp(-1.0, 1.0);
+        (2.0 * w as f64 * (1.0 - corr)).max(0.0)
+    }
+
+    /// Early-abandoning distance: returns `None` as soon as the accumulating
+    /// squared distance exceeds `best_so_far²` (both in *unsquared* units).
+    ///
+    /// Walks the z-normalised samples directly, so it costs more per element
+    /// than [`Self::dist`] but can bail out after a handful of samples — the
+    /// workhorse of DRAG's refinement phase.
+    pub fn dist_early_abandon(&self, i: usize, j: usize, best_so_far: f64) -> Option<f64> {
+        let w = self.w;
+        let limit = best_so_far * best_so_far;
+        let (mi, si) = (self.means[i], self.stds[i]);
+        let (mj, sj) = (self.means[j], self.stds[j]);
+        let inv_i = if si < 1e-12 { 0.0 } else { 1.0 / si };
+        let inv_j = if sj < 1e-12 { 0.0 } else { 1.0 / sj };
+        let a = &self.data[i..i + w];
+        let b = &self.data[j..j + w];
+        let mut acc = 0.0;
+        for k in 0..w {
+            let x = (a[k] - mi) * inv_i;
+            let y = (b[k] - mj) * inv_j;
+            let d = x - y;
+            acc += d * d;
+            if acc > limit {
+                return None;
+            }
+        }
+        Some(acc.sqrt())
+    }
+
+    /// Nearest-neighbour distance of subsequence `i`, excluding trivial
+    /// matches (any `j` with `|i−j| < w`, the standard self-match exclusion
+    /// zone). Returns `None` when no admissible neighbour exists.
+    pub fn nn_dist(&self, i: usize) -> Option<f64> {
+        let mut best = f64::INFINITY;
+        let mut found = false;
+        for j in 0..self.count() {
+            if j.abs_diff(i) < self.w {
+                continue;
+            }
+            let d = self.dist_sq(i, j);
+            if d < best {
+                best = d;
+                found = true;
+            }
+        }
+        found.then(|| best.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::znormalize;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean_sq(&[1.0], &[4.0]), 9.0);
+        assert_eq!(euclidean(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn euclidean_length_mismatch_panics() {
+        euclidean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn znorm_dist_matches_explicit_normalisation() {
+        let data: Vec<f64> = (0..60).map(|i| (i as f64 * 0.35).sin() * (1.0 + i as f64 * 0.01)).collect();
+        let w = 12;
+        let zs = ZnormSeries::new(&data, w);
+        for (i, j) in [(0usize, 30usize), (5, 40), (10, 25)] {
+            let a = znormalize(&data[i..i + w]);
+            let b = znormalize(&data[j..j + w]);
+            let direct = euclidean(&a, &b);
+            assert!((zs.dist(i, j) - direct).abs() < 1e-8, "({i},{j})");
+        }
+    }
+
+    #[test]
+    fn dist_is_scale_and_offset_invariant() {
+        let base: Vec<f64> = (0..20).map(|i| (i as f64 * 0.5).sin()).collect();
+        let mut data = base.clone();
+        data.extend(base.iter().map(|v| v * 7.0 + 100.0)); // same shape, scaled
+        let zs = ZnormSeries::new(&data, 20);
+        // The O(w) dot-product formula loses ~√ε precision near corr = 1.
+        assert!(zs.dist(0, 20) < 1e-4);
+    }
+
+    #[test]
+    fn early_abandon_agrees_when_not_abandoned() {
+        let data: Vec<f64> = (0..80).map(|i| ((i * i) as f64 * 0.002).sin()).collect();
+        let zs = ZnormSeries::new(&data, 16);
+        let full = zs.dist(3, 50);
+        let ea = zs.dist_early_abandon(3, 50, f64::INFINITY).unwrap();
+        assert!((full - ea).abs() < 1e-8);
+        // And abandons when the bound is tight.
+        assert!(zs.dist_early_abandon(3, 50, full * 0.5).is_none());
+    }
+
+    #[test]
+    fn nn_dist_excludes_trivial_matches() {
+        // Periodic signal: NN of any subsequence is ~one period away, distance ~0.
+        let p = 16usize;
+        let data: Vec<f64> = (0..6 * p)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / p as f64).sin())
+            .collect();
+        let zs = ZnormSeries::new(&data, p);
+        let d = zs.nn_dist(0).unwrap();
+        assert!(d < 1e-6, "nn dist {d}");
+    }
+
+    #[test]
+    fn nn_dist_none_when_everything_is_trivial() {
+        let data = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let zs = ZnormSeries::new(&data, 4);
+        // Only subsequences 0 and 1 exist; |0-1| < 4 so both are trivial.
+        assert!(zs.nn_dist(0).is_none());
+    }
+
+    #[test]
+    fn degenerate_constant_subsequences() {
+        let mut data = vec![5.0; 30];
+        for i in 20..30 {
+            data[i] = (i as f64).sin();
+        }
+        let zs = ZnormSeries::new(&data, 8);
+        // Two constant windows: distance zero.
+        assert_eq!(zs.dist(0, 10), 0.0);
+        // Constant vs varying: √w.
+        assert!((zs.dist(0, 21) - (8.0f64).sqrt()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,373 @@
+//! Fast Fourier transform.
+//!
+//! Two engines are provided behind one entry point:
+//!
+//! * an iterative, in-place radix-2 Cooley–Tukey FFT for power-of-two lengths;
+//! * Bluestein's chirp-z algorithm for arbitrary lengths, which re-expresses a
+//!   length-`n` DFT as a circular convolution evaluated with the radix-2 FFT.
+//!
+//! [`fft`] / [`ifft`] dispatch automatically, so callers can transform windows
+//! of any length (UCR windows are 2.5 periods long and almost never a power of
+//! two).
+
+use std::f64::consts::PI;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number in rectangular form.
+///
+/// Deliberately minimal: only the operations the FFT and spectral features
+/// need. Field order matches the conventional `(re, im)` layout.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²` (the spectral *power* of Table I).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `data.len()` must be a power of two. `inverse` selects the sign of the
+/// twiddle exponent; scaling by `1/n` for the inverse transform is the
+/// caller's responsibility (done in [`ifft`]).
+fn fft_pow2(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein's algorithm: arbitrary-length DFT via a padded circular
+/// convolution computed with the radix-2 engine.
+fn fft_bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+
+    // Chirp sequence w_k = e^{sign·iπk²/n}. k² mod 2n avoids precision loss
+    // from huge angles when n is large.
+    let mut chirp = Vec::with_capacity(n);
+    for k in 0..n {
+        let k2 = (k as u64 * k as u64) % (2 * n as u64);
+        chirp.push(Complex::cis(sign * PI * k2 as f64 / n as f64));
+    }
+
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex::ZERO; m];
+    let mut b = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+        b[k] = chirp[k].conj();
+    }
+    // b must be symmetric: b[m-k] = b[k] for the circular convolution to align.
+    for k in 1..n {
+        b[m - k] = b[k];
+    }
+
+    fft_pow2(&mut a, false);
+    fft_pow2(&mut b, false);
+    for k in 0..m {
+        a[k] = a[k] * b[k];
+    }
+    fft_pow2(&mut a, true);
+    let inv_m = 1.0 / m as f64;
+
+    (0..n).map(|k| (a[k].scale(inv_m)) * chirp[k]).collect()
+}
+
+/// Forward DFT of a complex sequence of any length.
+///
+/// Returns `X[k] = Σ_n x[n]·e^{-2πikn/N}` — the convention of the paper's
+/// Eq. (2).
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut data = input.to_vec();
+        fft_pow2(&mut data, false);
+        data
+    } else {
+        fft_bluestein(input, false)
+    }
+}
+
+/// Inverse DFT (includes the `1/N` normalisation), any length.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let inv_n = 1.0 / n as f64;
+    if n.is_power_of_two() {
+        let mut data = input.to_vec();
+        fft_pow2(&mut data, true);
+        for z in &mut data {
+            *z = z.scale(inv_n);
+        }
+        data
+    } else {
+        let mut out = fft_bluestein(input, true);
+        for z in &mut out {
+            *z = z.scale(inv_n);
+        }
+        out
+    }
+}
+
+/// Forward DFT of a real sequence. Returns all `N` bins (the upper half is the
+/// conjugate mirror of the lower half; spectral-feature extraction slices what
+/// it needs).
+pub fn rfft(input: &[f64]) -> Vec<Complex> {
+    let buf: Vec<Complex> = input.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fft(&buf)
+}
+
+/// Inverse of [`rfft`] discarding the (numerically tiny) imaginary parts.
+pub fn irfft_real(input: &[Complex]) -> Vec<f64> {
+    ifft(input).into_iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        let y = fft(&x);
+        for z in y {
+            assert_close(z.re, 1.0, 1e-12);
+            assert_close(z.im, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_at_dc() {
+        let x = vec![Complex::ONE; 16];
+        let y = fft(&x);
+        assert_close(y[0].re, 16.0, 1e-10);
+        for z in &y[1..] {
+            assert!(z.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_non_pow2() {
+        let n = 12;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let fast = fft(&x);
+        for k in 0..n {
+            let mut acc = Complex::ZERO;
+            for (i, xi) in x.iter().enumerate() {
+                acc = acc + *xi * Complex::cis(-2.0 * PI * (k * i) as f64 / n as f64);
+            }
+            assert!((fast[k] - acc).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_prime_length() {
+        let n = 17;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let fast = fft(&x);
+        for k in 0..n {
+            let mut acc = Complex::ZERO;
+            for (i, xi) in x.iter().enumerate() {
+                acc = acc + *xi * Complex::cis(-2.0 * PI * (k * i) as f64 / n as f64);
+            }
+            assert!((fast[k] - acc).abs() < 1e-8, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn ifft_round_trip_pow2() {
+        let x: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let y = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ifft_round_trip_arbitrary() {
+        for n in [3usize, 5, 7, 10, 25, 100, 351] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 1.3).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let y = ifft(&fft(&x));
+            for (a, b) in x.iter().zip(&y) {
+                assert!((*a - *b).abs() < 1e-8, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rfft_sinusoid_peaks_at_its_frequency() {
+        let n = 128;
+        let k0 = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k0 as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let y = rfft(&x);
+        let mags: Vec<f64> = y.iter().take(n / 2).map(|z| z.abs()).collect();
+        let argmax = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(argmax, k0);
+        assert_close(mags[k0], n as f64 / 2.0, 1e-8);
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let x: Vec<f64> = (0..50).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let y = rfft(&x);
+        let freq_energy: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert_close(time_energy, freq_energy, 1e-8);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(fft(&[]).is_empty());
+        let one = fft(&[Complex::new(3.5, -1.0)]);
+        assert_eq!(one.len(), 1);
+        assert_close(one[0].re, 3.5, 1e-15);
+        assert_close(one[0].im, -1.0, 1e-15);
+    }
+}

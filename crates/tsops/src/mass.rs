@@ -1,0 +1,160 @@
+//! MASS — Mueen's Algorithm for Similarity Search.
+//!
+//! Computes the z-normalised Euclidean distance between a query and **every**
+//! subsequence of a series in `O(n log n)` via FFT convolution, instead of
+//! `O(n·w)` naive sliding. This is the standard building block under
+//! matrix-profile methods; here it accelerates (a) TriAD's single-window
+//! selection scan over the training split and (b) the exact matrix profile
+//! for long series / long subsequence lengths.
+
+use crate::fft::{fft, ifft, Complex};
+use crate::stats::{mean, rolling_mean_std, std_dev};
+
+/// Sliding dot products `⟨query, series[i..i+m]⟩` for all valid `i`,
+/// computed with one FFT-sized convolution.
+pub fn sliding_dot_products(query: &[f64], series: &[f64]) -> Vec<f64> {
+    let m = query.len();
+    let n = series.len();
+    assert!(m >= 1, "empty query");
+    if n < m {
+        return Vec::new();
+    }
+    // Correlation via convolution with the reversed query, zero-padded to a
+    // power of two ≥ n + m.
+    let size = (n + m).next_power_of_two();
+    let mut a: Vec<Complex> = Vec::with_capacity(size);
+    a.extend(series.iter().map(|&v| Complex::new(v, 0.0)));
+    a.resize(size, Complex::ZERO);
+    let mut b: Vec<Complex> = Vec::with_capacity(size);
+    b.extend(query.iter().rev().map(|&v| Complex::new(v, 0.0)));
+    b.resize(size, Complex::ZERO);
+
+    let fa = fft(&a);
+    let fb = fft(&b);
+    let prod: Vec<Complex> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
+    let conv = ifft(&prod);
+    // conv[m-1+i] = Σ_k query[k]·series[i+k]
+    (0..=n - m).map(|i| conv[m - 1 + i].re).collect()
+}
+
+/// The MASS distance profile: z-normalised Euclidean distance from `query`
+/// to every length-`m` subsequence of `series` (`m = query.len()`).
+///
+/// ```
+/// let series: Vec<f64> = (0..200).map(|i| (i as f64 * 0.2).sin()).collect();
+/// let query = series[40..72].to_vec();
+/// let profile = tsops::mass::mass(&query, &series);
+/// assert_eq!(profile.len(), series.len() - query.len() + 1);
+/// assert!(profile[40] < 1e-6); // exact self-match
+/// ```
+///
+/// Degenerate (constant) subsequences follow the same convention as
+/// [`crate::distance::ZnormSeries`]: constant-vs-constant → 0,
+/// constant-vs-varying → `√m`.
+pub fn mass(query: &[f64], series: &[f64]) -> Vec<f64> {
+    let m = query.len();
+    assert!(m >= 2, "query must have ≥ 2 samples");
+    if series.len() < m {
+        return Vec::new();
+    }
+    let mq = mean(query);
+    let sq = std_dev(query);
+    let query_degenerate = sq < 1e-12;
+
+    let dots = sliding_dot_products(query, series);
+    let (means, stds) = rolling_mean_std(series, m);
+    let mf = m as f64;
+
+    dots.iter()
+        .zip(means.iter().zip(&stds))
+        .map(|(&dot, (&mu, &sigma))| {
+            let sub_degenerate = sigma < 1e-12;
+            match (query_degenerate, sub_degenerate) {
+                (true, true) => 0.0,
+                (true, false) | (false, true) => mf.sqrt(),
+                (false, false) => {
+                    let corr = ((dot - mf * mq * mu) / (mf * sq * sigma)).clamp(-1.0, 1.0);
+                    (2.0 * mf * (1.0 - corr)).max(0.0).sqrt()
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{euclidean, ZnormSeries};
+    use crate::stats::znormalize;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() + 0.2 * ((i * i) as f64 * 0.011).cos())
+            .collect()
+    }
+
+    #[test]
+    fn sliding_dots_match_naive() {
+        let series = signal(200);
+        let query = &series[40..72];
+        let fast = sliding_dot_products(query, &series);
+        assert_eq!(fast.len(), 200 - 32 + 1);
+        for i in [0usize, 7, 100, 168] {
+            let naive: f64 = query.iter().zip(&series[i..i + 32]).map(|(a, b)| a * b).sum();
+            assert!((fast[i] - naive).abs() < 1e-8, "offset {i}");
+        }
+    }
+
+    #[test]
+    fn mass_matches_explicit_distances() {
+        let series = signal(300);
+        let query = &series[120..160].to_vec();
+        let profile = mass(query, &series);
+        let zq = znormalize(query);
+        for i in [0usize, 33, 120, 200, 260] {
+            let zs = znormalize(&series[i..i + 40]);
+            let direct = euclidean(&zq, &zs);
+            assert!(
+                (profile[i] - direct).abs() < 1e-6,
+                "offset {i}: {} vs {direct}",
+                profile[i]
+            );
+        }
+        // Exact self-match at the query's own offset.
+        assert!(profile[120] < 1e-6);
+    }
+
+    #[test]
+    fn mass_agrees_with_znorm_series() {
+        let series = signal(150);
+        let w = 25;
+        let zs = ZnormSeries::new(&series, w);
+        let query = &series[60..60 + w].to_vec();
+        let profile = mass(query, &series);
+        for j in 0..zs.count() {
+            assert!(
+                (profile[j] - zs.dist(60, j)).abs() < 1e-6,
+                "j={j}: {} vs {}",
+                profile[j],
+                zs.dist(60, j)
+            );
+        }
+    }
+
+    #[test]
+    fn mass_degenerate_conventions() {
+        let mut series = vec![2.0; 60];
+        for (i, v) in series[30..60].iter_mut().enumerate() {
+            *v = (i as f64 * 0.9).sin();
+        }
+        let flat_query = vec![5.0; 10];
+        let profile = mass(&flat_query, &series);
+        assert!(profile[0].abs() < 1e-9); // constant vs constant
+        assert!((profile[40] - (10.0f64).sqrt()).abs() < 1e-9); // constant vs varying
+    }
+
+    #[test]
+    fn mass_short_series_is_empty() {
+        assert!(mass(&[1.0, 2.0, 3.0], &[1.0, 2.0]).is_empty());
+    }
+}

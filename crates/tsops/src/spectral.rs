@@ -1,0 +1,146 @@
+//! Handcrafted frequency-domain features (paper Table I).
+//!
+//! For each harmonic `X[k]` of a window the paper uses three features:
+//!
+//! | feature | definition |
+//! |---|---|
+//! | spectral amplitude | `A(X[k]) = √(Re² + Im²)` |
+//! | spectral phase     | `φ(X[k]) = atan2(Im, Re)` |
+//! | spectral power     | `P(X[k]) = Re² + Im²` |
+//!
+//! TriAD feeds the three series as a 3-channel input to the frequency encoder,
+//! length-matched to the temporal window (`L` bins: the full two-sided
+//! spectrum, which for real input carries the mirrored upper half — keeping it
+//! preserves the `L × C` shape contract of Sec. III-B).
+
+use crate::fft::{rfft, Complex};
+
+/// The three Table-I feature series of one window, each of the same length as
+/// the input window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralFeatures {
+    pub amplitude: Vec<f64>,
+    pub phase: Vec<f64>,
+    pub power: Vec<f64>,
+}
+
+impl SpectralFeatures {
+    /// Number of frequency bins (equals the input window length).
+    pub fn len(&self) -> usize {
+        self.amplitude.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.amplitude.is_empty()
+    }
+
+    /// Stack into a `3 × L` channel-major matrix (the layout the frequency
+    /// encoder consumes).
+    pub fn to_channels(&self) -> [&[f64]; 3] {
+        [&self.amplitude, &self.phase, &self.power]
+    }
+}
+
+/// Compute amplitude/phase/power for every bin of the window's DFT.
+pub fn spectral_features(window: &[f64]) -> SpectralFeatures {
+    let spec = rfft(window);
+    features_of_spectrum(&spec)
+}
+
+/// Same as [`spectral_features`] but over an already-computed spectrum
+/// (lets callers share one FFT across feature sets).
+pub fn features_of_spectrum(spec: &[Complex]) -> SpectralFeatures {
+    let n = spec.len();
+    let mut amplitude = Vec::with_capacity(n);
+    let mut phase = Vec::with_capacity(n);
+    let mut power = Vec::with_capacity(n);
+    for z in spec {
+        let p = z.norm_sqr();
+        amplitude.push(p.sqrt());
+        phase.push(z.arg());
+        power.push(p);
+    }
+    SpectralFeatures {
+        amplitude,
+        phase,
+        power,
+    }
+}
+
+/// Index of the dominant non-DC harmonic in the lower half-spectrum.
+///
+/// Used for period estimation: a pure periodic signal of period `p` sampled
+/// over `n` points concentrates energy at bin `k ≈ n/p`.
+pub fn dominant_harmonic(window: &[f64]) -> Option<usize> {
+    let n = window.len();
+    if n < 4 {
+        return None;
+    }
+    let spec = rfft(window);
+    let half = n / 2;
+    (1..=half)
+        .max_by(|&a, &b| spec[a].norm_sqr().total_cmp(&spec[b].norm_sqr()))
+        .filter(|&k| spec[k].norm_sqr() > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn amplitude_is_sqrt_power() {
+        let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).sin() + 0.2).collect();
+        let f = spectral_features(&x);
+        for k in 0..f.len() {
+            assert!((f.amplitude[k] * f.amplitude[k] - f.power[k]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn feature_lengths_match_window() {
+        let x = vec![1.0; 33];
+        let f = spectral_features(&x);
+        assert_eq!(f.len(), 33);
+        assert_eq!(f.phase.len(), 33);
+        assert_eq!(f.power.len(), 33);
+    }
+
+    #[test]
+    fn dominant_harmonic_of_sine() {
+        let n = 200;
+        let k0 = 8;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
+        assert_eq!(dominant_harmonic(&x), Some(k0));
+    }
+
+    #[test]
+    fn dominant_harmonic_ignores_dc() {
+        // Big DC offset must not win.
+        let n = 64;
+        let k0 = 3;
+        let x: Vec<f64> = (0..n)
+            .map(|i| 100.0 + (2.0 * PI * k0 as f64 * i as f64 / n as f64).sin())
+            .collect();
+        assert_eq!(dominant_harmonic(&x), Some(k0));
+    }
+
+    #[test]
+    fn dominant_harmonic_none_for_tiny_or_flat() {
+        assert_eq!(dominant_harmonic(&[1.0, 2.0]), None);
+        assert_eq!(dominant_harmonic(&vec![5.0; 32]), None);
+    }
+
+    #[test]
+    fn phase_of_cosine_is_zero_at_peak_bin() {
+        let n = 128;
+        let k0 = 4;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let f = spectral_features(&x);
+        assert!(f.phase[k0].abs() < 1e-6, "phase {}", f.phase[k0]);
+    }
+}

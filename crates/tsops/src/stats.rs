@@ -1,0 +1,195 @@
+//! Descriptive statistics and normalisation helpers.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Population standard deviation; `0.0` for slices shorter than 1.
+pub fn std_dev(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let m = mean(x);
+    (x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64).sqrt()
+}
+
+/// Z-normalise in place: zero mean, unit variance. A (near-)constant slice is
+/// zeroed rather than divided by ~0 — constant subsequences carry no shape
+/// information and must not explode distances.
+pub fn znormalize_mut(x: &mut [f64]) {
+    let m = mean(x);
+    let s = std_dev(x);
+    if s < 1e-12 {
+        for v in x.iter_mut() {
+            *v = 0.0;
+        }
+    } else {
+        let inv = 1.0 / s;
+        for v in x.iter_mut() {
+            *v = (*v - m) * inv;
+        }
+    }
+}
+
+/// Z-normalised copy of the input. See [`znormalize_mut`].
+pub fn znormalize(x: &[f64]) -> Vec<f64> {
+    let mut out = x.to_vec();
+    znormalize_mut(&mut out);
+    out
+}
+
+/// Min–max scale to `[0, 1]`; constants map to `0.5`.
+pub fn minmax_scale(x: &[f64]) -> Vec<f64> {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in x {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !(hi - lo).is_finite() || hi - lo < 1e-12 {
+        return vec![0.5; x.len()];
+    }
+    let inv = 1.0 / (hi - lo);
+    x.iter().map(|v| (v - lo) * inv).collect()
+}
+
+/// Rolling mean and standard deviation of every length-`w` subsequence,
+/// computed in O(n) with compensated cumulative sums.
+///
+/// Returns `(means, stds)` of length `n − w + 1`. This is the backbone of the
+/// z-normalised distance used throughout discord discovery; the `max(0)` guard
+/// absorbs the tiny negative variances cumulative sums can produce.
+pub fn rolling_mean_std(x: &[f64], w: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(w >= 1, "window must be ≥ 1");
+    let n = x.len();
+    if n < w {
+        return (Vec::new(), Vec::new());
+    }
+    let count = n - w + 1;
+    let mut means = Vec::with_capacity(count);
+    let mut stds = Vec::with_capacity(count);
+
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for &v in &x[..w] {
+        sum += v;
+        sum_sq += v * v;
+    }
+    let wf = w as f64;
+    for i in 0..count {
+        let m = sum / wf;
+        let var = (sum_sq / wf - m * m).max(0.0);
+        means.push(m);
+        stds.push(var.sqrt());
+        if i + w < n {
+            let out = x[i];
+            let inc = x[i + w];
+            sum += inc - out;
+            sum_sq += inc * inc - out * out;
+        }
+    }
+    (means, stds)
+}
+
+/// Autocorrelation at integer lags `0..=max_lag` (biased estimator,
+/// normalised so `acf[0] == 1` when variance is non-zero).
+pub fn autocorrelation(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = x.len();
+    let m = mean(x);
+    let var: f64 = x.iter().map(|v| (v - m) * (v - m)).sum();
+    let max_lag = max_lag.min(n.saturating_sub(1));
+    let mut acf = Vec::with_capacity(max_lag + 1);
+    if var < 1e-12 {
+        acf.push(1.0);
+        acf.extend(std::iter::repeat(0.0).take(max_lag));
+        return acf;
+    }
+    for lag in 0..=max_lag {
+        let mut acc = 0.0;
+        for i in 0..n - lag {
+            acc += (x[i] - m) * (x[i + lag] - m);
+        }
+        acf.push(acc / var);
+    }
+    acf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((std_dev(&[1.0, 1.0, 1.0])).abs() < 1e-15);
+        assert!((std_dev(&[0.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn znorm_has_zero_mean_unit_std() {
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin() * 3.0 + 7.0).collect();
+        let z = znormalize(&x);
+        assert!(mean(&z).abs() < 1e-10);
+        assert!((std_dev(&z) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn znorm_of_constant_is_zero() {
+        let z = znormalize(&[4.0; 10]);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn minmax_bounds() {
+        let s = minmax_scale(&[3.0, -1.0, 5.0]);
+        assert_eq!(s, vec![0.5 + 1.0 / 6.0, 0.0, 1.0]);
+        assert_eq!(minmax_scale(&[2.0, 2.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn rolling_stats_match_direct_computation() {
+        let x: Vec<f64> = (0..50).map(|i| ((i * 7 % 13) as f64) * 0.5 - 2.0).collect();
+        let w = 8;
+        let (ms, ss) = rolling_mean_std(&x, w);
+        assert_eq!(ms.len(), x.len() - w + 1);
+        for i in 0..ms.len() {
+            let seg = &x[i..i + w];
+            assert!((ms[i] - mean(seg)).abs() < 1e-10);
+            assert!((ss[i] - std_dev(seg)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rolling_stats_degenerate_cases() {
+        let (m, s) = rolling_mean_std(&[1.0, 2.0], 5);
+        assert!(m.is_empty() && s.is_empty());
+        let (m, s) = rolling_mean_std(&[1.0, 2.0, 3.0], 3);
+        assert_eq!(m.len(), 1);
+        assert!((m[0] - 2.0).abs() < 1e-12);
+        assert!(s[0] > 0.0);
+    }
+
+    #[test]
+    fn acf_of_periodic_signal_peaks_at_period() {
+        let p = 25usize;
+        let x: Vec<f64> = (0..500)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / p as f64).sin())
+            .collect();
+        let acf = autocorrelation(&x, 100);
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        // Local max at lag = p, and it should be large.
+        assert!(acf[p] > 0.9);
+        assert!(acf[p] > acf[p - 2] && acf[p] > acf[p + 2]);
+    }
+
+    #[test]
+    fn acf_of_constant_is_defined() {
+        let acf = autocorrelation(&[3.3; 20], 5);
+        assert_eq!(acf[0], 1.0);
+        assert!(acf[1..].iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,150 @@
+//! Time-series segmentation into fixed-length, strided windows.
+//!
+//! TriAD (Sec. IV-A2) segments each series into windows covering ~2.5 periods
+//! with a stride of a quarter window. [`Segmenter`] owns that policy;
+//! [`Windows`] is the resulting view with bookkeeping to map window indices
+//! back to timestamp ranges (needed when votes are projected back onto the
+//! series).
+
+/// Iterator-free segmentation result: start offsets plus the shared length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Windows {
+    /// Start timestamp of each window.
+    pub starts: Vec<usize>,
+    /// Common window length `L`.
+    pub len: usize,
+}
+
+impl Windows {
+    /// Number of windows `M`.
+    pub fn count(&self) -> usize {
+        self.starts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Half-open timestamp range `[start, start+L)` of window `i`.
+    pub fn range(&self, i: usize) -> std::ops::Range<usize> {
+        let s = self.starts[i];
+        s..s + self.len
+    }
+
+    /// Borrow the slice of window `i` out of the source series.
+    pub fn slice<'a>(&self, series: &'a [f64], i: usize) -> &'a [f64] {
+        &series[self.range(i)]
+    }
+
+    /// Indices of all windows whose range contains timestamp `t`.
+    pub fn covering(&self, t: usize) -> Vec<usize> {
+        self.starts
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s <= t && t < s + self.len)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Segmentation policy: window length and stride.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segmenter {
+    pub window: usize,
+    pub stride: usize,
+}
+
+impl Segmenter {
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window >= 1, "window length must be ≥ 1");
+        assert!(stride >= 1, "stride must be ≥ 1");
+        Segmenter { window, stride }
+    }
+
+    /// The paper's policy: `L = ceil(2.5 · period)`, `stride = max(1, L/4)`.
+    pub fn for_period(period: usize) -> Self {
+        let window = ((period as f64) * 2.5).ceil() as usize;
+        let window = window.max(4);
+        Segmenter::new(window, (window / 4).max(1))
+    }
+
+    /// Segment `series`, always including a final window flush with the end of
+    /// the series so no suffix is ever left uncovered (an anomaly in the tail
+    /// must land inside some window).
+    pub fn segment(&self, series_len: usize) -> Windows {
+        let l = self.window;
+        if series_len < l {
+            return Windows {
+                starts: Vec::new(),
+                len: l,
+            };
+        }
+        let last = series_len - l;
+        let mut starts: Vec<usize> = (0..=last).step_by(self.stride).collect();
+        if *starts.last().expect("at least one window") != last {
+            starts.push(last);
+        }
+        Windows { starts, len: l }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_whole_series() {
+        let seg = Segmenter::new(10, 3);
+        let w = seg.segment(25);
+        assert_eq!(w.len, 10);
+        assert_eq!(w.starts, vec![0, 3, 6, 9, 12, 15]);
+        // Final window flush with the end.
+        assert_eq!(*w.starts.last().unwrap() + w.len, 25);
+    }
+
+    #[test]
+    fn exact_fit_has_single_flush_window() {
+        let w = Segmenter::new(10, 4).segment(10);
+        assert_eq!(w.starts, vec![0]);
+    }
+
+    #[test]
+    fn too_short_series_yields_no_windows() {
+        let w = Segmenter::new(10, 2).segment(7);
+        assert!(w.is_empty());
+        assert_eq!(w.count(), 0);
+    }
+
+    #[test]
+    fn stride_divides_exactly_no_duplicate_tail() {
+        let w = Segmenter::new(4, 2).segment(12);
+        assert_eq!(w.starts, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn for_period_policy() {
+        let s = Segmenter::for_period(140);
+        assert_eq!(s.window, 350);
+        assert_eq!(s.stride, 87);
+        // Degenerate small periods still give usable windows.
+        let s = Segmenter::for_period(1);
+        assert!(s.window >= 4 && s.stride >= 1);
+    }
+
+    #[test]
+    fn covering_finds_overlapping_windows() {
+        let w = Segmenter::new(10, 3).segment(25);
+        let c = w.covering(11);
+        // Windows starting at 3, 6, 9 contain t=11; 12 starts after it.
+        assert_eq!(c, vec![1, 2, 3]);
+        assert!(w.covering(0) == vec![0]);
+        assert!(w.covering(24).contains(&(w.count() - 1)));
+    }
+
+    #[test]
+    fn slice_returns_expected_values() {
+        let series: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let w = Segmenter::new(5, 5).segment(series.len());
+        assert_eq!(w.slice(&series, 1), &[5.0, 6.0, 7.0, 8.0, 9.0]);
+    }
+}

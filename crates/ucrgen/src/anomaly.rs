@@ -1,0 +1,229 @@
+//! Anomaly injectors — the six families showcased in the paper's Fig. 16.
+//!
+//! Each injector mutates exactly the half-open `range` of the series and
+//! nothing else, so the archive generator can guarantee the training prefix
+//! stays clean. Magnitudes are calibrated against the local signal std so
+//! anomalies are *non-trivial*: visible to a competent detector, invisible to
+//! a `max(|x|) > τ` one-liner (the property that separates UCR from the
+//! flawed benchmarks of Sec. II-B).
+
+use crate::signal::gaussian;
+use rand::Rng;
+use std::ops::Range;
+use tsaug::classic::resample_linear;
+
+/// The six anomaly families of Fig. 16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnomalyKind {
+    /// Unexpected fluctuations (added noise).
+    Noise,
+    /// Unexpected extension of stable behaviour (a plateau).
+    Duration,
+    /// Abrupt doubling of the inherent seasonality.
+    Seasonal,
+    /// Unanticipated rise inside the event.
+    Trend,
+    /// Lasting jump or drop.
+    LevelShift,
+    /// Normal shape locally distorted (time-reversed segment).
+    Contextual,
+}
+
+impl AnomalyKind {
+    pub const ALL: [AnomalyKind; 6] = [
+        AnomalyKind::Noise,
+        AnomalyKind::Duration,
+        AnomalyKind::Seasonal,
+        AnomalyKind::Trend,
+        AnomalyKind::LevelShift,
+        AnomalyKind::Contextual,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnomalyKind::Noise => "noise",
+            AnomalyKind::Duration => "duration",
+            AnomalyKind::Seasonal => "seasonal",
+            AnomalyKind::Trend => "trend",
+            AnomalyKind::LevelShift => "level_shift",
+            AnomalyKind::Contextual => "contextual",
+        }
+    }
+}
+
+/// Inject an anomaly of `kind` into `series[range]`.
+///
+/// `local_std` should be the std of the clean signal (used to calibrate
+/// magnitudes); `period` is the generating period (used by `Seasonal`).
+pub fn inject<R: Rng>(
+    rng: &mut R,
+    series: &mut [f64],
+    range: Range<usize>,
+    kind: AnomalyKind,
+    local_std: f64,
+    period: usize,
+) {
+    assert!(range.end <= series.len(), "anomaly range out of bounds");
+    assert!(!range.is_empty(), "empty anomaly range");
+    let scale = local_std.max(1e-6);
+    let seg = &mut series[range.clone()];
+    let n = seg.len();
+    match kind {
+        AnomalyKind::Noise => {
+            // 0.8–1.5× the signal std: clearly rougher, not clipped spikes.
+            let sigma = scale * (0.8 + 0.7 * rng.random::<f64>());
+            for v in seg.iter_mut() {
+                *v += gaussian(rng) * sigma;
+            }
+        }
+        AnomalyKind::Duration => {
+            // Hold the segment's first value with a faint noise floor.
+            let level = seg[0];
+            let sigma = scale * 0.03;
+            for v in seg.iter_mut() {
+                *v = level + gaussian(rng) * sigma;
+            }
+        }
+        AnomalyKind::Seasonal => {
+            // Double the local frequency: compress the segment 2× in time and
+            // tile it. Uses the real samples so amplitude/noise texture match.
+            let half = resample_linear(seg, (n / 2).max(1));
+            let mut doubled = Vec::with_capacity(n);
+            while doubled.len() < n {
+                doubled.extend_from_slice(&half);
+            }
+            doubled.truncate(n);
+            seg.copy_from_slice(&doubled);
+            let _ = period; // period informs callers choosing range lengths
+        }
+        AnomalyKind::Trend => {
+            // Ramp up to 1.5–2.5 σ across the event.
+            let peak = scale * (1.5 + rng.random::<f64>());
+            for (i, v) in seg.iter_mut().enumerate() {
+                *v += peak * (i as f64 / n.max(1) as f64);
+            }
+        }
+        AnomalyKind::LevelShift => {
+            let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+            let shift = sign * scale * (1.2 + 0.8 * rng.random::<f64>());
+            for v in seg.iter_mut() {
+                *v += shift;
+            }
+        }
+        AnomalyKind::Contextual => {
+            seg.reverse();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    fn base(n: usize, p: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                (2.0 * PI * i as f64 / p as f64).sin()
+                    + 0.4 * (4.0 * PI * i as f64 / p as f64).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn injectors_touch_only_the_range() {
+        for kind in AnomalyKind::ALL {
+            let mut rng = StdRng::seed_from_u64(1);
+            let x = base(400, 40);
+            let mut y = x.clone();
+            inject(&mut rng, &mut y, 150..220, kind, 0.7, 40);
+            assert_eq!(&x[..150], &y[..150], "{kind:?} leaked left");
+            assert_eq!(&x[220..], &y[220..], "{kind:?} leaked right");
+            assert!(
+                x[150..220].iter().zip(&y[150..220]).any(|(a, b)| a != b),
+                "{kind:?} changed nothing"
+            );
+            assert!(y.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn anomalies_are_not_one_liner_trivial() {
+        // Injected values must stay within the global min/max envelope
+        // (±25%) so a magnitude threshold cannot find them.
+        for kind in [
+            AnomalyKind::Duration,
+            AnomalyKind::Seasonal,
+            AnomalyKind::Contextual,
+        ] {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut y = base(400, 40);
+            let (lo, hi) = y
+                .iter()
+                .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            inject(&mut rng, &mut y, 150..220, kind, 0.7, 40);
+            let margin = (hi - lo) * 0.25;
+            for &v in &y[150..220] {
+                assert!(
+                    v >= lo - margin && v <= hi + margin,
+                    "{kind:?} produced out-of-envelope value {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seasonal_doubles_local_frequency() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = 40;
+        let mut y = base(800, p);
+        inject(&mut rng, &mut y, 300..460, AnomalyKind::Seasonal, 0.7, p);
+        // Zero crossings in the anomalous window vs a normal window of the
+        // same length: roughly double.
+        let crossings = |s: &[f64]| s.windows(2).filter(|w| w[0] * w[1] < 0.0).count();
+        let normal = crossings(&base(800, p)[300..460]);
+        let anom = crossings(&y[300..460]);
+        assert!(
+            anom as f64 > normal as f64 * 1.5,
+            "crossings {anom} vs normal {normal}"
+        );
+    }
+
+    #[test]
+    fn duration_flattens_the_segment() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut y = base(400, 40);
+        inject(&mut rng, &mut y, 100..180, AnomalyKind::Duration, 0.7, 40);
+        let seg = &y[100..180];
+        assert!(tsops::stats::std_dev(seg) < 0.1);
+    }
+
+    #[test]
+    fn level_shift_moves_the_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = base(400, 40);
+        let mut y = x.clone();
+        inject(&mut rng, &mut y, 200..280, AnomalyKind::LevelShift, 0.7, 40);
+        let dm = tsops::stats::mean(&y[200..280]) - tsops::stats::mean(&x[200..280]);
+        assert!(dm.abs() > 0.5, "shift {dm}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = base(300, 30);
+        let mut b = base(300, 30);
+        inject(&mut StdRng::seed_from_u64(9), &mut a, 100..150, AnomalyKind::Noise, 0.7, 30);
+        inject(&mut StdRng::seed_from_u64(9), &mut b, 100..150, AnomalyKind::Noise, 0.7, 30);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut y = base(100, 20);
+        inject(&mut rng, &mut y, 90..120, AnomalyKind::Noise, 0.5, 20);
+    }
+}

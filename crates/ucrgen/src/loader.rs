@@ -1,0 +1,162 @@
+//! Loader for the real UCR Anomaly Archive file format.
+//!
+//! Archive files are named
+//! `NNN_UCR_Anomaly_<name>_<train_end>_<anomaly_begin>_<anomaly_end>.txt`
+//! and contain one sample per line (some mirrors use whitespace-separated
+//! values; both are accepted). Indices in the filename are 1-based and the
+//! anomaly end is inclusive, per the archive's README — both are converted to
+//! this crate's 0-based half-open convention.
+
+use crate::anomaly::AnomalyKind;
+use crate::UcrDataset;
+use std::path::Path;
+
+/// Metadata parsed from an archive filename.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UcrMeta {
+    pub id: usize,
+    pub name: String,
+    pub train_end: usize,
+    /// 0-based half-open anomaly range.
+    pub anomaly: std::ops::Range<usize>,
+}
+
+/// Parse archive metadata out of a filename (not the full path).
+pub fn parse_filename(filename: &str) -> Result<UcrMeta, String> {
+    let stem = filename.strip_suffix(".txt").unwrap_or(filename);
+    let parts: Vec<&str> = stem.split('_').collect();
+    if parts.len() < 6 {
+        return Err(format!("unrecognised UCR filename: {filename}"));
+    }
+    let id: usize = parts[0]
+        .parse()
+        .map_err(|_| format!("bad dataset id in {filename}"))?;
+    let k = parts.len();
+    let train_end: usize = parts[k - 3]
+        .parse()
+        .map_err(|_| format!("bad train_end in {filename}"))?;
+    let a_begin: usize = parts[k - 2]
+        .parse()
+        .map_err(|_| format!("bad anomaly begin in {filename}"))?;
+    let a_end: usize = parts[k - 1]
+        .parse()
+        .map_err(|_| format!("bad anomaly end in {filename}"))?;
+    if a_begin == 0 || a_end < a_begin {
+        return Err(format!("inconsistent anomaly bounds in {filename}"));
+    }
+    let name = parts[3..k - 3].join("_");
+    Ok(UcrMeta {
+        id,
+        name,
+        train_end,
+        anomaly: (a_begin - 1)..a_end, // 1-based inclusive → 0-based half-open
+    })
+}
+
+/// Parse the sample values of an archive data file.
+pub fn parse_values(contents: &str) -> Result<Vec<f64>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in contents.lines().enumerate() {
+        for tok in line.split_whitespace() {
+            let v: f64 = tok
+                .parse()
+                .map_err(|_| format!("line {}: bad float {tok:?}", lineno + 1))?;
+            out.push(v);
+        }
+    }
+    if out.is_empty() {
+        return Err("empty data file".into());
+    }
+    Ok(out)
+}
+
+/// Load one dataset from a real archive file.
+pub fn load_file(path: &Path) -> Result<UcrDataset, String> {
+    let filename = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or("path has no UTF-8 filename")?;
+    let meta = parse_filename(filename)?;
+    let contents = std::fs::read_to_string(path).map_err(|e| format!("{path:?}: {e}"))?;
+    let series = parse_values(&contents)?;
+    let d = UcrDataset {
+        id: meta.id,
+        name: meta.name,
+        series,
+        train_end: meta.train_end,
+        anomaly: meta.anomaly,
+        period: 0, // unknown; detectors estimate it from the training split
+        kind: AnomalyKind::Contextual,
+    };
+    d.validate()?;
+    Ok(d)
+}
+
+/// Load every `.txt` dataset in a directory, sorted by id.
+pub fn load_dir(dir: &Path) -> Result<Vec<UcrDataset>, String> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{dir:?}: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("txt") {
+            out.push(load_file(&path)?);
+        }
+    }
+    out.sort_by_key(|d| d.id);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_canonical_filename() {
+        let m =
+            parse_filename("025_UCR_Anomaly_DISTORTEDInternalBleeding_2700_5600_5626.txt").unwrap();
+        assert_eq!(m.id, 25);
+        assert_eq!(m.name, "DISTORTEDInternalBleeding");
+        assert_eq!(m.train_end, 2700);
+        assert_eq!(m.anomaly, 5599..5626);
+    }
+
+    #[test]
+    fn parses_multi_underscore_names() {
+        let m = parse_filename("117_UCR_Anomaly_some_long_name_100_200_210.txt").unwrap();
+        assert_eq!(m.name, "some_long_name");
+        assert_eq!(m.anomaly, 199..210);
+    }
+
+    #[test]
+    fn rejects_malformed_names() {
+        assert!(parse_filename("random.txt").is_err());
+        assert!(parse_filename("001_UCR_Anomaly_x_abc_5_6.txt").is_err());
+        assert!(parse_filename("001_UCR_Anomaly_x_10_0_5.txt").is_err()); // 1-based begin = 0
+        assert!(parse_filename("001_UCR_Anomaly_x_10_8_5.txt").is_err()); // end < begin
+    }
+
+    #[test]
+    fn parses_values_in_both_layouts() {
+        assert_eq!(parse_values("1.0\n2.5\n-3\n").unwrap(), vec![1.0, 2.5, -3.0]);
+        assert_eq!(parse_values("1 2 3\n4 5\n").unwrap().len(), 5);
+        assert!(parse_values("").is_err());
+        assert!(parse_values("1.0\nnot_a_number\n").is_err());
+    }
+
+    #[test]
+    fn load_file_round_trip_via_tempfile() {
+        let dir = std::env::temp_dir().join("ucrgen_loader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("007_UCR_Anomaly_synthetic_60_81_90.txt");
+        let data: Vec<String> = (0..120).map(|i| format!("{:.3}", (i as f64 * 0.3).sin())).collect();
+        std::fs::write(&path, data.join("\n")).unwrap();
+        let d = load_file(&path).unwrap();
+        assert_eq!(d.id, 7);
+        assert_eq!(d.train_end, 60);
+        assert_eq!(d.anomaly, 80..90);
+        assert_eq!(d.series.len(), 120);
+        assert!(d.validate().is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,218 @@
+//! "Flawed benchmark" generators — the KPI-like and SWaT-like datasets of
+//! Table II and Fig. 3.
+//!
+//! Sec. II-B's point is that popular benchmarks contain *explicit* anomalies:
+//! extreme spikes (KPI) or long saturated excursions at unrealistic densities
+//! (SWaT) that a one-line threshold detects, and that the point-adjustment
+//! protocol then inflates every model's F1. These generators reproduce
+//! exactly those pathologies so the Table II experiment is reproducible.
+
+use crate::signal::gaussian;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// A labelled series with (possibly many) anomalous events — unlike the UCR
+/// contract, flawed benchmarks have multiple events per test split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledSeries {
+    pub name: String,
+    pub series: Vec<f64>,
+    pub train_end: usize,
+    /// Anomalous events in full-series coordinates, all ≥ `train_end`.
+    pub events: Vec<Range<usize>>,
+}
+
+impl LabelledSeries {
+    pub fn train(&self) -> &[f64] {
+        &self.series[..self.train_end]
+    }
+
+    pub fn test(&self) -> &[f64] {
+        &self.series[self.train_end..]
+    }
+
+    /// Point-wise ground truth over the test split.
+    pub fn test_labels(&self) -> Vec<bool> {
+        let n = self.test().len();
+        let mut labels = vec![false; n];
+        for ev in &self.events {
+            for i in ev.clone() {
+                if i >= self.train_end && i - self.train_end < n {
+                    labels[i - self.train_end] = true;
+                }
+            }
+        }
+        labels
+    }
+
+    /// Fraction of anomalous points in the test split (the "unrealistic
+    /// density" diagnostic from Sec. II-B).
+    pub fn anomaly_density(&self) -> f64 {
+        let labels = self.test_labels();
+        labels.iter().filter(|&&b| b).count() as f64 / labels.len().max(1) as f64
+    }
+}
+
+/// KPI-like: noisy weakly-periodic service metric with sparse *extreme
+/// spikes* — Fig. 3's one-liner anomalies. A `|x| > 4σ` threshold nails them.
+pub fn kpi_like(seed: u64, train_len: usize, test_len: usize, n_events: usize) -> LabelledSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = train_len + test_len;
+    let p = 120.0;
+    let mut series: Vec<f64> = (0..total)
+        .map(|i| {
+            let t = i as f64;
+            (2.0 * std::f64::consts::PI * t / p).sin() * 0.6 + gaussian(&mut rng) * 0.25
+        })
+        .collect();
+    let mut events = Vec::with_capacity(n_events);
+    for k in 0..n_events {
+        // Spread events across the test split; 1–4 point spikes.
+        let len = rng.random_range(1..=4usize);
+        let slot = test_len / n_events.max(1);
+        let base = train_len + k * slot;
+        let start = base + rng.random_range(0..slot.saturating_sub(len).max(1));
+        let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+        for i in start..(start + len).min(total) {
+            series[i] += sign * (6.0 + 2.0 * rng.random::<f64>());
+        }
+        events.push(start..(start + len).min(total));
+    }
+    LabelledSeries {
+        name: format!("kpi_like_{seed}"),
+        series,
+        train_end: train_len,
+        events,
+    }
+}
+
+/// SWaT-like: slow industrial process where anomalies are *long saturated
+/// excursions* occupying an unrealistically large share of the test split
+/// (the real SWaT test set is ~12% anomalous).
+pub fn swat_like(seed: u64, train_len: usize, test_len: usize, n_events: usize) -> LabelledSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = train_len + test_len;
+    let p = 400.0;
+    let mut series: Vec<f64> = (0..total)
+        .map(|i| {
+            let t = i as f64;
+            ((2.0 * std::f64::consts::PI * t / p).sin() * 2.0).tanh() + gaussian(&mut rng) * 0.05
+        })
+        .collect();
+    let mut events = Vec::with_capacity(n_events);
+    for k in 0..n_events {
+        let slot = test_len / n_events.max(1);
+        let len = (slot as f64 * (0.25 + 0.2 * rng.random::<f64>())) as usize;
+        let base = train_len + k * slot;
+        let start = base + rng.random_range(0..slot.saturating_sub(len).max(1));
+        let level = if rng.random::<bool>() { 3.0 } else { -3.0 };
+        for i in start..(start + len).min(total) {
+            series[i] = level + gaussian(&mut rng) * 0.05;
+        }
+        events.push(start..(start + len).min(total));
+    }
+    LabelledSeries {
+        name: format!("swat_like_{seed}"),
+        series,
+        train_end: train_len,
+        events,
+    }
+}
+
+/// Wrap a [`crate::UcrDataset`] as a single-event [`LabelledSeries`] so one
+/// evaluation path serves Table II's three dataset columns.
+pub fn from_ucr(d: &crate::UcrDataset) -> LabelledSeries {
+    LabelledSeries {
+        name: d.name.clone(),
+        series: d.series.clone(),
+        train_end: d.train_end,
+        events: vec![d.anomaly.clone()],
+    }
+}
+
+/// The "one-liner" detector of Sec. II-B: flag every test point whose
+/// |z-score| (against training statistics) exceeds `threshold`. The point of
+/// Table II is that this trivial function solves KPI/SWaT-like data.
+pub fn oneliner_predict(data: &LabelledSeries, threshold: f64) -> Vec<bool> {
+    let m = tsops::stats::mean(data.train());
+    let s = tsops::stats::std_dev(data.train()).max(1e-12);
+    data.test()
+        .iter()
+        .map(|&v| ((v - m) / s).abs() > threshold)
+        .collect()
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kpi_spikes_are_oneliner_detectable() {
+        let d = kpi_like(1, 2000, 3000, 8);
+        assert_eq!(d.events.len(), 8);
+        let pred = oneliner_predict(&d, 4.0);
+        let labels = d.test_labels();
+        // Every event is hit by the threshold detector.
+        for ev in &d.events {
+            let hit = (ev.start..ev.end).any(|i| pred[i - d.train_end]);
+            assert!(hit, "event {ev:?} missed");
+        }
+        // And false positives are rare.
+        let fp = pred
+            .iter()
+            .zip(&labels)
+            .filter(|(p, l)| **p && !**l)
+            .count();
+        assert!(fp < 30, "{fp} false positives");
+    }
+
+    #[test]
+    fn swat_density_is_unrealistically_high() {
+        let d = swat_like(2, 3000, 6000, 5);
+        let density = d.anomaly_density();
+        assert!(
+            density > 0.10,
+            "SWaT-like density should exceed 10%, got {density}"
+        );
+    }
+
+    #[test]
+    fn train_split_is_clean() {
+        for d in [kpi_like(3, 1500, 2500, 6), swat_like(3, 1500, 2500, 4)] {
+            assert!(d.events.iter().all(|e| e.start >= d.train_end));
+            // Train split max |z| stays moderate.
+            let m = tsops::stats::mean(d.train());
+            let s = tsops::stats::std_dev(d.train());
+            let maxz = d
+                .train()
+                .iter()
+                .map(|v| ((v - m) / s).abs())
+                .fold(0.0f64, f64::max);
+            assert!(maxz < 5.0, "{}: train max z {maxz}", d.name);
+        }
+    }
+
+    #[test]
+    fn labels_match_events() {
+        let d = kpi_like(4, 1000, 2000, 5);
+        let labels = d.test_labels();
+        let total: usize = d.events.iter().map(|e| e.len()).sum();
+        assert_eq!(labels.iter().filter(|&&b| b).count(), total);
+    }
+
+    #[test]
+    fn from_ucr_round_trip() {
+        let u = crate::archive::generate_dataset(5, 7);
+        let l = from_ucr(&u);
+        assert_eq!(l.test_labels(), u.test_labels());
+        assert_eq!(l.train(), u.train());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(kpi_like(9, 500, 500, 3), kpi_like(9, 500, 500, 3));
+        assert_eq!(swat_like(9, 500, 500, 2), swat_like(9, 500, 500, 2));
+    }
+}

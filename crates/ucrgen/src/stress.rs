@@ -1,0 +1,122 @@
+//! Stress generator: series that *violate* the UCR contract.
+//!
+//! TriAD's design assumes exactly one anomalous event per test split
+//! (Sec. III-D: "Given that each test set contains a single anomalous
+//! event"). Robustness work needs data outside that assumption: multiple
+//! events, events of mixed kinds, or no event at all. This module produces
+//! such series for the integration tests and for users evaluating how the
+//! pipeline degrades off-contract.
+
+use crate::anomaly::{inject, AnomalyKind};
+use crate::oneliner::LabelledSeries;
+use crate::signal::{SignalFamily, SignalSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a multi-event stress series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressConfig {
+    /// Number of anomalous events in the test split (0 = clean test data).
+    pub events: usize,
+    /// Event length range (samples).
+    pub event_len: (usize, usize),
+    /// Training length in periods.
+    pub train_periods: usize,
+    /// Test length in periods.
+    pub test_periods: usize,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            events: 3,
+            event_len: (20, 80),
+            train_periods: 30,
+            test_periods: 40,
+        }
+    }
+}
+
+/// Generate a multi-event series. Events cycle through the anomaly families
+/// and are spaced at least one period apart.
+pub fn generate_stress(seed: u64, cfg: &StressConfig) -> LabelledSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let family = SignalFamily::ALL[(seed as usize) % SignalFamily::ALL.len()];
+    let spec = SignalSpec::random(&mut rng, family);
+    let p = spec.period;
+    let train_len = p * cfg.train_periods;
+    let test_len = p * cfg.test_periods;
+    let total = train_len + test_len;
+    let mut series = spec.generate(&mut rng, total);
+    let local_std = tsops::stats::std_dev(&series[..train_len]);
+
+    let mut events = Vec::with_capacity(cfg.events);
+    if cfg.events > 0 {
+        let slot = test_len / cfg.events;
+        for k in 0..cfg.events {
+            let kind = AnomalyKind::ALL[k % AnomalyKind::ALL.len()];
+            let (lo, hi) = cfg.event_len;
+            let len = rng.random_range(lo..=hi.max(lo)).min(slot.saturating_sub(p).max(4));
+            let base = train_len + k * slot + p / 2;
+            let give = slot.saturating_sub(len + p).max(1);
+            let start = base + rng.random_range(0..give);
+            let range = start..(start + len).min(total);
+            if range.is_empty() {
+                continue;
+            }
+            inject(&mut rng, &mut series, range.clone(), kind, local_std, p);
+            events.push(range);
+        }
+    }
+    LabelledSeries {
+        name: format!("stress_{seed}_{}ev", cfg.events),
+        series,
+        train_end: train_len,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_event_count() {
+        let s = generate_stress(3, &StressConfig::default());
+        assert_eq!(s.events.len(), 3);
+        // Events are disjoint and inside the test split.
+        for (i, e) in s.events.iter().enumerate() {
+            assert!(e.start >= s.train_end);
+            assert!(e.end <= s.series.len());
+            for other in &s.events[i + 1..] {
+                assert!(e.end <= other.start || other.end <= e.start, "overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_events_is_clean() {
+        let cfg = StressConfig {
+            events: 0,
+            ..Default::default()
+        };
+        let s = generate_stress(1, &cfg);
+        assert!(s.events.is_empty());
+        assert!(s.test_labels().iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let cfg = StressConfig::default();
+        assert_eq!(generate_stress(9, &cfg), generate_stress(9, &cfg));
+        assert_ne!(generate_stress(9, &cfg).series, generate_stress(10, &cfg).series);
+    }
+
+    #[test]
+    fn labels_cover_all_events() {
+        let s = generate_stress(5, &StressConfig::default());
+        let labels = s.test_labels();
+        let expected: usize = s.events.iter().map(|e| e.len()).sum();
+        assert_eq!(labels.iter().filter(|&&b| b).count(), expected);
+    }
+}

@@ -1,0 +1,101 @@
+//! Industrial-sensor monitoring — the paper's motivating IIoT scenario.
+//!
+//! A plant sensor cycles periodically; one day a valve starts sticking and
+//! the duty cycle flattens for a few hundred samples. This example compares
+//! three tools on the same incident:
+//!
+//! 1. the naive |z| > 4σ "one-liner" (works on flawed benchmarks, fails here),
+//! 2. a trained LSTM-AE with best-F1 thresholding,
+//! 3. TriAD's full pipeline.
+//!
+//! ```sh
+//! cargo run --release --example industrial_monitoring
+//! ```
+
+use baselines::lstm_ae::{LstmAe, LstmAeConfig};
+use baselines::Detector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use triad_core::{TriAd, TriadConfig};
+use ucrgen::oneliner::{oneliner_predict, LabelledSeries};
+
+fn plant_signal(n: usize, period: f64, rng: &mut StdRng) -> Vec<f64> {
+    use rand::Rng;
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            // Smoothed duty cycle with slow load drift.
+            ((2.0 * std::f64::consts::PI * t / period).sin() * 3.0).tanh()
+                + 0.0001 * t
+                + 0.03 * (rng.random::<f64>() - 0.5)
+        })
+        .collect()
+}
+
+fn main() {
+    let period = 48.0;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut series = plant_signal(2600, period, &mut rng);
+    // The sticking valve: output freezes near its current level.
+    let anomaly = 2100..2300;
+    let level = series[anomaly.start];
+    for v in &mut series[anomaly.clone()] {
+        *v = level + 0.01 * (*v - level);
+    }
+
+    let data = LabelledSeries {
+        name: "sticking_valve".into(),
+        series,
+        train_end: 1600,
+        events: vec![anomaly.clone()],
+    };
+    let labels = data.test_labels();
+    println!(
+        "incident: valve sticks at t={}..{} (test coords {:?})",
+        anomaly.start,
+        anomaly.end,
+        anomaly.start - data.train_end..anomaly.end - data.train_end
+    );
+
+    // 1. One-liner.
+    let pred = oneliner_predict(&data, 4.0);
+    let m = evalkit::pointwise::prf(&pred, &labels);
+    println!(
+        "one-liner |z|>4σ : P {:.3} R {:.3} F1 {:.3}  (stuck output is *within* normal range)",
+        m.precision, m.recall, m.f1
+    );
+
+    // 2. LSTM-AE.
+    let scores = LstmAe::trained(LstmAeConfig {
+        epochs: 6,
+        ..Default::default()
+    })
+    .score(data.train(), data.test());
+    let (_, m) = evalkit::threshold::best_f1(&scores, &labels);
+    println!(
+        "LSTM-AE (trained): P {:.3} R {:.3} F1 {:.3}  (best-threshold protocol)",
+        m.precision, m.recall, m.f1
+    );
+
+    // 3. TriAD.
+    let cfg = TriadConfig {
+        epochs: 6,
+        merlin_step: 2,
+        ..Default::default()
+    };
+    let fitted = TriAd::new(cfg).fit(data.train()).expect("fit");
+    let det = fitted.detect(data.test());
+    let m = evalkit::pointwise::prf(&det.prediction, &labels);
+    let aff = evalkit::affiliation::affiliation_prf(&det.prediction, &labels);
+    println!(
+        "TriAD            : P {:.3} R {:.3} F1 {:.3}  affiliation F1 {:.3}  window {:?} fallback={}",
+        m.precision,
+        m.recall,
+        m.f1,
+        aff.f1,
+        det.selected_window,
+        det.used_fallback
+    );
+    println!("\nThe duration anomaly never leaves the signal's amplitude envelope, so the");
+    println!("threshold detector is blind; TriAD's residual/frequency views flag the window.");
+}

@@ -1,0 +1,4 @@
+//! TriAD reproduction umbrella crate: see the `triad_core` crate for the main API.
+//!
+//! This package exists to host the runnable `examples/` and the cross-crate
+//! integration tests in `tests/`; it re-exports nothing.

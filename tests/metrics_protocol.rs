@@ -1,0 +1,76 @@
+//! Integration test of the Sec. II-B claim chain: on explicit-anomaly
+//! (KPI/SWaT-like) data, point adjustment inflates scores so much that a
+//! random detector looks strong, while PA%K deflates it — and the one-liner
+//! threshold really does solve those datasets.
+
+use baselines::random::RandomDetector;
+use baselines::Detector;
+use ucrgen::oneliner::{kpi_like, oneliner_predict, swat_like};
+
+#[test]
+fn pa_inflates_random_scores_on_swat_like_data() {
+    let d = swat_like(5, 2000, 4000, 4);
+    let labels = d.test_labels();
+    let scores = RandomDetector::new(1).score(d.train(), d.test());
+    // Random flags ~half the points at the median threshold.
+    let thr = evalkit::threshold::quantile(&scores, 0.5);
+    let pred = evalkit::threshold::apply(&scores, thr);
+
+    let pw = evalkit::pointwise::prf(&pred, &labels);
+    let pa = evalkit::pa::prf_pa(&pred, &labels);
+    let pak = evalkit::pak::pak_auc(&pred, &labels);
+
+    // The Table II shape: PA rockets above PW; PA%K sits between.
+    assert!(pa.f1 > pw.f1 + 0.1, "PA {:.3} vs PW {:.3}", pa.f1, pw.f1);
+    assert!(pak.f1_auc <= pa.f1 && pak.f1_auc >= pw.f1 - 1e-9);
+    // Long dense events make even the random detector look decent under PA.
+    assert!(pa.f1 > 0.5, "PA F1 {:.3}", pa.f1);
+}
+
+#[test]
+fn oneliner_solves_kpi_like_but_not_archive_data() {
+    let kpi = kpi_like(6, 2000, 4000, 8);
+    let pred = oneliner_predict(&kpi, 4.0);
+    let pa = evalkit::pa::prf_pa(&pred, &kpi.test_labels());
+    assert!(pa.f1 > 0.8, "one-liner on KPI-like: PA F1 {:.3}", pa.f1);
+
+    // On an archive dataset the same one-liner collapses.
+    let ds = ucrgen::archive::generate_dataset(7, 8);
+    let wrapped = ucrgen::oneliner::from_ucr(&ds);
+    let pred = oneliner_predict(&wrapped, 4.0);
+    let pa = evalkit::pa::prf_pa(&pred, &wrapped.test_labels());
+    assert!(
+        pa.f1 < 0.5,
+        "one-liner should fail on archive data, got PA F1 {:.3}",
+        pa.f1
+    );
+}
+
+#[test]
+fn affiliation_punishes_flag_everything_on_dense_anomalies() {
+    let d = swat_like(7, 1500, 3000, 3);
+    let labels = d.test_labels();
+    let all = vec![true; labels.len()];
+    let aff = evalkit::affiliation::affiliation_prf(&all, &labels);
+    // Recall is perfect but precision must be visibly below 1.
+    assert!(aff.recall > 0.99);
+    assert!(aff.precision < 0.85, "precision {:.3}", aff.precision);
+}
+
+#[test]
+fn pak_interpolates_between_pw_and_pa_across_k() {
+    let d = kpi_like(8, 1000, 2000, 5);
+    let labels = d.test_labels();
+    let scores = RandomDetector::new(2).score(d.train(), d.test());
+    let thr = evalkit::threshold::quantile(&scores, 0.9);
+    let pred = evalkit::threshold::apply(&scores, thr);
+    let pw = evalkit::pointwise::prf(&pred, &labels).f1;
+    let pa = evalkit::pa::prf_pa(&pred, &labels).f1;
+    let mut last = f64::INFINITY;
+    for k in [1.0, 25.0, 50.0, 75.0, 100.0] {
+        let f1 = evalkit::pak::prf_at_k(&pred, &labels, k).f1;
+        assert!(f1 <= last + 1e-12, "PA%K not monotone at K={k}");
+        assert!(f1 <= pa + 1e-12 && f1 >= pw - 1e-12);
+        last = f1;
+    }
+}

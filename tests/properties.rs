@@ -1,0 +1,162 @@
+//! Property-based tests (proptest) over the substrate invariants the whole
+//! pipeline leans on.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT round-trip: ifft(fft(x)) == x for arbitrary real signals and
+    /// lengths (hits both the radix-2 and Bluestein paths).
+    #[test]
+    fn fft_round_trip(x in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+        let spec = tsops::fft::rfft(&x);
+        let back = tsops::fft::irfft_real(&spec);
+        prop_assert_eq!(back.len(), x.len());
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{} vs {}", a, b);
+        }
+    }
+
+    /// Parseval: time-domain and frequency-domain energies match.
+    #[test]
+    fn parseval(x in prop::collection::vec(-100f64..100.0, 2..150)) {
+        let te: f64 = x.iter().map(|v| v * v).sum();
+        let fe: f64 = tsops::fft::rfft(&x).iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        prop_assert!((te - fe).abs() < 1e-6 * (1.0 + te));
+    }
+
+    /// Z-normalisation invariants: zero mean, unit (or zero) std, and
+    /// invariance to affine input transforms.
+    #[test]
+    fn znorm_affine_invariance(
+        x in prop::collection::vec(-50f64..50.0, 4..100),
+        scale in 0.1f64..10.0,
+        offset in -100f64..100.0,
+    ) {
+        let z1 = tsops::stats::znormalize(&x);
+        let shifted: Vec<f64> = x.iter().map(|v| v * scale + offset).collect();
+        let z2 = tsops::stats::znormalize(&shifted);
+        for (a, b) in z1.iter().zip(&z2) {
+            prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+        }
+    }
+
+    /// Z-normalised subsequence distance is symmetric, non-negative, and
+    /// bounded by 2√w.
+    #[test]
+    fn znorm_distance_properties(
+        x in prop::collection::vec(-10f64..10.0, 30..120),
+        wsel in 2usize..12,
+    ) {
+        let w = wsel.min(x.len() / 2);
+        let zs = tsops::distance::ZnormSeries::new(&x, w);
+        let n = zs.count();
+        prop_assume!(n >= 2);
+        let i = 0;
+        let j = n - 1;
+        let dij = zs.dist(i, j);
+        let dji = zs.dist(j, i);
+        prop_assert!((dij - dji).abs() < 1e-9);
+        prop_assert!(dij >= 0.0);
+        prop_assert!(dij <= 2.0 * (w as f64).sqrt() + 1e-6);
+        prop_assert!(zs.dist(i, i) < 1e-9);
+    }
+
+    /// Point adjustment only ever adds positives, never removes them.
+    #[test]
+    fn pa_is_monotone(
+        pred in prop::collection::vec(any::<bool>(), 1..200),
+        labels in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let n = pred.len().min(labels.len());
+        let (pred, labels) = (&pred[..n], &labels[..n]);
+        let adj = evalkit::pa::adjust(pred, labels);
+        for i in 0..n {
+            prop_assert!(adj[i] || !pred[i], "PA removed a positive at {}", i);
+        }
+        // And F1(PA) dominates F1(PW).
+        let pw = evalkit::pointwise::prf(pred, labels).f1;
+        let pa = evalkit::pointwise::prf(&adj, labels).f1;
+        prop_assert!(pa >= pw - 1e-12);
+    }
+
+    /// PA%K F1 is monotone non-increasing in K for any prediction.
+    #[test]
+    fn pak_monotone_in_k(
+        pred in prop::collection::vec(any::<bool>(), 10..150),
+        labels in prop::collection::vec(any::<bool>(), 10..150),
+    ) {
+        let n = pred.len().min(labels.len());
+        let (pred, labels) = (&pred[..n], &labels[..n]);
+        let mut last = f64::INFINITY;
+        for k in [0.0, 20.0, 40.0, 60.0, 80.0, 100.0] {
+            let f1 = evalkit::pak::prf_at_k(pred, labels, k).f1;
+            prop_assert!(f1 <= last + 1e-12);
+            last = f1;
+        }
+    }
+
+    /// Affiliation metrics stay in [0, 1] for arbitrary inputs.
+    #[test]
+    fn affiliation_bounded(
+        pred in prop::collection::vec(any::<bool>(), 5..150),
+        labels in prop::collection::vec(any::<bool>(), 5..150),
+    ) {
+        let n = pred.len().min(labels.len());
+        let m = evalkit::affiliation::affiliation_prf(&pred[..n], &labels[..n]);
+        for v in [m.precision, m.recall, m.f1] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "{}", v);
+        }
+    }
+
+    /// Segmentation always covers the full series (no uncovered suffix) and
+    /// every window is in bounds.
+    #[test]
+    fn segmentation_covers(
+        len in 1usize..500,
+        window in 1usize..60,
+        stride in 1usize..30,
+    ) {
+        prop_assume!(stride <= window); // overlapping-or-adjacent policy only
+        let seg = tsops::window::Segmenter::new(window, stride);
+        let w = seg.segment(len);
+        if len >= window {
+            prop_assert!(!w.is_empty());
+            let mut covered = vec![false; len];
+            for i in 0..w.count() {
+                let r = w.range(i);
+                prop_assert!(r.end <= len);
+                for c in &mut covered[r] { *c = true; }
+            }
+            prop_assert!(covered.iter().all(|&c| c), "uncovered point");
+        } else {
+            prop_assert!(w.is_empty());
+        }
+    }
+
+    /// The Butterworth cascade never amplifies any frequency (|H| ≤ 1 for a
+    /// low-pass Butterworth) and is monotone decreasing in frequency.
+    #[test]
+    fn butterworth_gain_bounded(cut in 0.05f64..0.9) {
+        let f = tsops::filter::Butterworth::lowpass(4, cut);
+        let mut last = f64::INFINITY;
+        for k in 0..=20 {
+            let freq = k as f64 / 20.0 * 0.999;
+            let gain = f.magnitude(freq);
+            prop_assert!(gain <= 1.0 + 1e-9);
+            prop_assert!(gain <= last + 1e-9, "gain not monotone at {}", freq);
+            last = gain;
+        }
+    }
+
+    /// Archive generation respects the UCR contract for arbitrary seeds.
+    #[test]
+    fn archive_contract(seed in 0u64..5000, id in 1usize..260) {
+        let ds = ucrgen::archive::generate_dataset(seed, id);
+        prop_assert!(ds.validate().is_ok());
+        prop_assert!(ds.anomaly.start >= ds.train_end);
+        prop_assert!(!ds.test_labels().iter().all(|&b| b));
+        prop_assert!(ds.test_labels().iter().any(|&b| b));
+    }
+}
