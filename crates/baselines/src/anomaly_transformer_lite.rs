@@ -227,9 +227,7 @@ mod tests {
 
     fn dataset() -> (Vec<f64>, Vec<f64>) {
         let p = 20.0;
-        let full: Vec<f64> = (0..700)
-            .map(|i| (2.0 * PI * i as f64 / p).sin())
-            .collect();
+        let full: Vec<f64> = (0..700).map(|i| (2.0 * PI * i as f64 / p).sin()).collect();
         let mut test = full[400..].to_vec();
         for i in 120..150 {
             test[i] += 1.2;

@@ -59,15 +59,8 @@ pub fn scatter_pointwise(
 
 /// Spread one scalar score per window onto the points it covers (mean over
 /// covering windows).
-pub fn scatter_window_scores(
-    windows: &Windows,
-    per_window: &[f64],
-    series_len: usize,
-) -> Vec<f64> {
-    let expanded: Vec<Vec<f64>> = per_window
-        .iter()
-        .map(|&s| vec![s; windows.len])
-        .collect();
+pub fn scatter_window_scores(windows: &Windows, per_window: &[f64], series_len: usize) -> Vec<f64> {
+    let expanded: Vec<Vec<f64>> = per_window.iter().map(|&s| vec![s; windows.len]).collect();
     scatter_pointwise(windows, &expanded, series_len)
 }
 

@@ -215,8 +215,7 @@ mod tests {
     fn trained_model_scores_anomaly_above_normal() {
         let (train, test, anom) = dataset();
         let s = LstmAe::trained(quick()).score(&train, &test);
-        let in_mean: f64 =
-            s[anom.clone()].iter().sum::<f64>() / anom.len() as f64;
+        let in_mean: f64 = s[anom.clone()].iter().sum::<f64>() / anom.len() as f64;
         let out: Vec<f64> = s
             .iter()
             .enumerate()

@@ -138,8 +138,16 @@ impl Detector for Ts2VecLite {
                 let views: Vec<(Vec<f64>, Vec<f64>)> = chunk
                     .iter()
                     .map(|&i| {
-                        let o1 = if max_off > 0 { rng.random_range(0..=max_off) } else { 0 };
-                        let o2 = if max_off > 0 { rng.random_range(0..=max_off) } else { 0 };
+                        let o1 = if max_off > 0 {
+                            rng.random_range(0..=max_off)
+                        } else {
+                            0
+                        };
+                        let o2 = if max_off > 0 {
+                            rng.random_range(0..=max_off)
+                        } else {
+                            0
+                        };
                         (
                             slices[i][o1..o1 + crop].to_vec(),
                             slices[i][o2..o2 + crop].to_vec(),
@@ -188,12 +196,7 @@ impl Detector for Ts2VecLite {
             .map(|e| {
                 train_embs
                     .iter()
-                    .map(|t| {
-                        e.iter()
-                            .zip(t)
-                            .map(|(a, b)| (a - b) * (a - b))
-                            .sum::<f32>() as f64
-                    })
+                    .map(|t| e.iter().zip(t).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() as f64)
                     .fold(f64::INFINITY, f64::min)
             })
             .collect();
@@ -232,9 +235,7 @@ mod tests {
 
     fn dataset() -> (Vec<f64>, Vec<f64>, std::ops::Range<usize>) {
         let p = 25.0;
-        let full: Vec<f64> = (0..900)
-            .map(|i| (2.0 * PI * i as f64 / p).sin())
-            .collect();
+        let full: Vec<f64> = (0..900).map(|i| (2.0 * PI * i as f64 / p).sin()).collect();
         let mut test = full[500..].to_vec();
         for i in 200..260 {
             test[i] = (6.0 * PI * i as f64 / p).sin();

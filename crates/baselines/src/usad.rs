@@ -254,9 +254,7 @@ mod tests {
 
     fn dataset() -> (Vec<f64>, Vec<f64>, std::ops::Range<usize>) {
         let p = 25.0;
-        let full: Vec<f64> = (0..900)
-            .map(|i| (2.0 * PI * i as f64 / p).sin())
-            .collect();
+        let full: Vec<f64> = (0..900).map(|i| (2.0 * PI * i as f64 / p).sin()).collect();
         let mut test = full[500..].to_vec();
         for i in 180..230 {
             test[i] += 1.5; // level shift

@@ -24,18 +24,36 @@ fn main() {
     let n: usize = args.get("datasets", 8);
     let epochs: usize = args.get("epochs", 4);
     let weight: f64 = args.get("weight", 1.0);
-    let archive = generate_archive(7, &ArchiveConfig { count: n, ..Default::default() });
+    let archive = generate_archive(
+        7,
+        &ArchiveConfig {
+            count: n,
+            ..Default::default()
+        },
+    );
 
-    let base = TriadConfig { epochs, merlin_step: 2, ..Default::default() };
+    let base = TriadConfig {
+        epochs,
+        merlin_step: 2,
+        ..Default::default()
+    };
     let variants: Vec<(&str, TriadConfig)> = vec![
         ("Eq. 8 (plain votes)", base.clone()),
         (
             "weighted (normalised discords)",
-            TriadConfig { weighted_voting: true, triad_vote_weight: weight, ..base.clone() },
+            TriadConfig {
+                weighted_voting: true,
+                triad_vote_weight: weight,
+                ..base.clone()
+            },
         ),
         (
             "weighted, window x2",
-            TriadConfig { weighted_voting: true, triad_vote_weight: 2.0, ..base.clone() },
+            TriadConfig {
+                weighted_voting: true,
+                triad_vote_weight: 2.0,
+                ..base.clone()
+            },
         ),
     ];
 
@@ -53,7 +71,13 @@ fn main() {
     }
     print_table(
         "Scoring ablation — Eq. 8 vs the future-work weighted voting",
-        &["Scoring", "F1(PW)", "PA%K F1-AUC", "Aff F1", "fallback rate"],
+        &[
+            "Scoring",
+            "F1(PW)",
+            "PA%K F1-AUC",
+            "Aff F1",
+            "fallback rate",
+        ],
         &rows,
     );
 }

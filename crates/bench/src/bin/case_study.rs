@@ -33,14 +33,26 @@ fn main() {
         ds.period
     );
 
-    let cfg = TriadConfig { epochs, ..Default::default() };
+    let cfg = TriadConfig {
+        epochs,
+        ..Default::default()
+    };
     let fitted = TriAd::new(cfg).fit(ds.train()).expect("fit");
     let det = fitted.detect(ds.test());
 
     // Fig. 11 — per-domain window similarity scores.
     for r in &det.rankings {
-        let pts: Vec<(f64, f64)> = r.scores.iter().enumerate().map(|(i, &s)| (i as f64, s)).collect();
-        println!("\n# domain {} — most deviant window index: {}", r.domain.name(), r.top);
+        let pts: Vec<(f64, f64)> = r
+            .scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as f64, s))
+            .collect();
+        println!(
+            "\n# domain {} — most deviant window index: {}",
+            r.domain.name(),
+            r.top
+        );
         print_series(
             &format!("Fig11 window similarity ({})", r.domain.name()),
             "window",
@@ -50,13 +62,21 @@ fn main() {
     }
 
     // Fig. 12 — the discord sweep.
-    println!("\n# Fig12 — selected window {:?}, search region {:?}", det.selected_window, det.search_region);
+    println!(
+        "\n# Fig12 — selected window {:?}, search region {:?}",
+        det.selected_window, det.search_region
+    );
     let pts: Vec<(f64, f64)> = det
         .discords
         .iter()
         .map(|d| (d.length as f64, d.index as f64))
         .collect();
-    print_series("Fig12 discord location vs length", "length", "start index", &pts);
+    print_series(
+        "Fig12 discord location vs length",
+        "length",
+        "start index",
+        &pts,
+    );
 
     // Fig. 13 — threshold sweep over vote quantiles.
     println!("\n# Fig13 — precision/recall under vote-threshold percentiles");
@@ -64,12 +84,22 @@ fn main() {
     let labels = ds.test_labels();
     let positive: Vec<f64> = det.votes.iter().copied().filter(|&v| v > 0.0).collect();
     for pct in [0.0, 0.25, 0.5, 0.75, 0.9, 0.95] {
-        let thr = if positive.is_empty() { 0.0 } else { evalkit::threshold::quantile(&positive, pct) };
+        let thr = if positive.is_empty() {
+            0.0
+        } else {
+            evalkit::threshold::quantile(&positive, pct)
+        };
         let pred: Vec<bool> = det.votes.iter().map(|&v| v > thr).collect();
         let m = prf(&pred, &labels);
         println!("{pct:.2}\t{:.3}\t{:.3}\t{:.3}", m.precision, m.recall, m.f1);
     }
-    println!("\n# default (mean-positive-vote) threshold = {:.3}", det.threshold);
+    println!(
+        "\n# default (mean-positive-vote) threshold = {:.3}",
+        det.threshold
+    );
     let m = prf(&det.prediction, &labels);
-    println!("# final prediction: P {:.3} R {:.3} F1 {:.3}, fallback = {}", m.precision, m.recall, m.f1, det.used_fallback);
+    println!(
+        "# final prediction: P {:.3} R {:.3} F1 {:.3}, fallback = {}",
+        m.precision, m.recall, m.f1, det.used_fallback
+    );
 }

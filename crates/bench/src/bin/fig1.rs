@@ -36,7 +36,11 @@ fn main() {
         ("scaled", &scaled),
         ("shuffled", &shuffled),
     ] {
-        let pts: Vec<(f64, f64)> = series.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+        let pts: Vec<(f64, f64)> = series
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64, v))
+            .collect();
         print_series(&format!("Fig1 {name}"), "t", "x", &pts);
     }
 }

@@ -17,8 +17,11 @@ fn main() {
             .map(|id| generate_dataset(7, id))
             .find(|d| d.kind == kind)
             .expect("every kind appears");
-        let scores = MtgFlowLite::new(MtgFlowConfig { epochs, ..Default::default() })
-            .score(ds.train(), ds.test());
+        let scores = MtgFlowLite::new(MtgFlowConfig {
+            epochs,
+            ..Default::default()
+        })
+        .score(ds.train(), ds.test());
         let labels = ds.test_labels();
         // Flag the top anomaly-length points; count false positives.
         let k = ds.anomaly_len();

@@ -14,7 +14,13 @@ fn main() {
     let epochs: usize = args.get("epochs", 5);
     // Hunt for a dataset whose anomaly is at least as long as the window —
     // the Fig. 15 condition.
-    let archive = generate_archive(7, &ArchiveConfig { count: 120, ..Default::default() });
+    let archive = generate_archive(
+        7,
+        &ArchiveConfig {
+            count: 120,
+            ..Default::default()
+        },
+    );
     let ds = archive
         .iter()
         .find(|d| d.anomaly_len() >= (d.period as f64 * 2.0) as usize)
@@ -26,7 +32,11 @@ fn main() {
         (ds.period as f64 * 2.5).ceil()
     );
 
-    let cfg = TriadConfig { epochs, merlin_step: 2, ..Default::default() };
+    let cfg = TriadConfig {
+        epochs,
+        merlin_step: 2,
+        ..Default::default()
+    };
     let fitted = TriAd::new(cfg).fit(ds.train()).expect("fit");
     let det = fitted.detect(ds.test());
     let anomaly = ds.anomaly_in_test();

@@ -17,7 +17,11 @@ fn main() {
             .map(|id| generate_dataset(7, id))
             .find(|d| d.kind == kind)
             .expect("every kind appears");
-        let cfg = TriadConfig { epochs, merlin_step: 2, ..Default::default() };
+        let cfg = TriadConfig {
+            epochs,
+            merlin_step: 2,
+            ..Default::default()
+        };
         match bench::run_triad(&ds, &cfg) {
             Ok(o) => rows.push(vec![
                 kind.name().into(),
@@ -28,13 +32,29 @@ fn main() {
                 f3(o.metrics.affiliation.f1),
                 f3(o.metrics.pak.f1_auc),
             ]),
-            Err(e) => rows.push(vec![kind.name().into(), ds.name.clone(), e, "-".into(), "-".into(), "-".into(), "-".into()]),
+            Err(e) => rows.push(vec![
+                kind.name().into(),
+                ds.name.clone(),
+                e,
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         }
         eprintln!("{} done", kind.name());
     }
     print_table(
         "Fig. 16 — TriAD across the six anomaly families",
-        &["Anomaly", "Dataset", "len", "tri-hit", "single-hit", "Aff F1", "PA%K F1"],
+        &[
+            "Anomaly",
+            "Dataset",
+            "len",
+            "tri-hit",
+            "single-hit",
+            "Aff F1",
+            "PA%K F1",
+        ],
         &rows,
     );
 }

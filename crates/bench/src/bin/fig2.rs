@@ -6,8 +6,8 @@
 use baselines::lstm_ae::{LstmAe, LstmAeConfig};
 use baselines::Detector;
 use bench::{print_series, Args};
-use ucrgen::archive::generate_dataset;
 use ucrgen::anomaly::AnomalyKind;
+use ucrgen::archive::generate_dataset;
 
 fn main() {
     let args = Args::parse();
@@ -19,8 +19,11 @@ fn main() {
         .find(|d| d.kind == AnomalyKind::Duration && d.anomaly_len() > 60)
         .expect("archive contains duration anomalies");
 
-    let scores = LstmAe::trained(LstmAeConfig { epochs, ..Default::default() })
-        .score(ds.train(), ds.test());
+    let scores = LstmAe::trained(LstmAeConfig {
+        epochs,
+        ..Default::default()
+    })
+    .score(ds.train(), ds.test());
     let anom = ds.anomaly_in_test();
     let inside: f64 = scores[anom.clone()].iter().sum::<f64>() / anom.len() as f64;
     let outside: f64 = scores
@@ -30,13 +33,30 @@ fn main() {
         .map(|(_, &v)| v)
         .sum::<f64>()
         / (scores.len() - anom.len()) as f64;
-    println!("# Fig. 2 — {}: anomaly {:?} ({} pts)", ds.name, anom, anom.len());
+    println!(
+        "# Fig. 2 — {}: anomaly {:?} ({} pts)",
+        ds.name,
+        anom,
+        anom.len()
+    );
     println!("# mean recon error inside anomaly  : {inside:.4}");
     println!("# mean recon error outside anomaly : {outside:.4}");
-    println!("# ratio: {:.2}x (close to 1 = the paper's failure mode)", inside / outside.max(1e-12));
+    println!(
+        "# ratio: {:.2}x (close to 1 = the paper's failure mode)",
+        inside / outside.max(1e-12)
+    );
 
-    let pts: Vec<(f64, f64)> = ds.test().iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+    let pts: Vec<(f64, f64)> = ds
+        .test()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as f64, v))
+        .collect();
     print_series("Fig2 test split", "t", "x", &pts);
-    let err: Vec<(f64, f64)> = scores.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+    let err: Vec<(f64, f64)> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as f64, v))
+        .collect();
     print_series("Fig2 reconstruction error", "t", "sq_err", &err);
 }

@@ -13,12 +13,28 @@ fn main() {
         .iter()
         .filter(|ev| (ev.start..ev.end).any(|i| pred[i - d.train_end]))
         .count();
-    println!("# Fig. 3 — KPI-like test split; one-liner |z|>4 catches {hits}/{} events", d.events.len());
+    println!(
+        "# Fig. 3 — KPI-like test split; one-liner |z|>4 catches {hits}/{} events",
+        d.events.len()
+    );
     let m = tsops::stats::mean(d.train());
     let s = tsops::stats::std_dev(d.train());
-    println!("# threshold lines: {:.3} and {:.3}", m + 4.0 * s, m - 4.0 * s);
-    let pts: Vec<(f64, f64)> = d.test().iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+    println!(
+        "# threshold lines: {:.3} and {:.3}",
+        m + 4.0 * s,
+        m - 4.0 * s
+    );
+    let pts: Vec<(f64, f64)> = d
+        .test()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as f64, v))
+        .collect();
     print_series("Fig3 KPI-like test split", "t", "x", &pts);
-    let lab: Vec<(f64, f64)> = labels.iter().enumerate().map(|(i, &b)| (i as f64, b as u8 as f64)).collect();
+    let lab: Vec<(f64, f64)> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (i as f64, b as u8 as f64))
+        .collect();
     print_series("Fig3 ground truth", "t", "label", &lab);
 }

@@ -24,17 +24,31 @@ fn main() {
     while !(shown.0 && shown.1) {
         let (aug, kind, range) = augment_window(&mut StdRng::seed_from_u64(seed), &window, &cfg);
         let fresh = match kind {
-            AugKind::Jitter if !shown.0 => { shown.0 = true; true }
-            AugKind::Warp if !shown.1 => { shown.1 = true; true }
+            AugKind::Jitter if !shown.0 => {
+                shown.0 = true;
+                true
+            }
+            AugKind::Warp if !shown.1 => {
+                shown.1 = true;
+                true
+            }
             _ => false,
         };
         if fresh {
             println!("# Fig. 5 — {kind:?} on segment {range:?} (seed {seed})");
-            let pts: Vec<(f64, f64)> = aug.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+            let pts: Vec<(f64, f64)> = aug
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as f64, v))
+                .collect();
             print_series(&format!("Fig5 {kind:?}"), "t", "x", &pts);
         }
         seed += 1;
     }
-    let pts: Vec<(f64, f64)> = window.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+    let pts: Vec<(f64, f64)> = window
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as f64, v))
+        .collect();
     print_series("Fig5 original", "t", "x", &pts);
 }

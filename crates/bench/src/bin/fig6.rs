@@ -6,11 +6,23 @@ use ucrgen::archive::{generate_archive, ArchiveConfig};
 fn main() {
     let args = Args::parse();
     let count: usize = args.get("datasets", 250);
-    let archive = generate_archive(7, &ArchiveConfig { count, ..Default::default() });
+    let archive = generate_archive(
+        7,
+        &ArchiveConfig {
+            count,
+            ..Default::default()
+        },
+    );
     let lens: Vec<usize> = archive.iter().map(|d| d.anomaly_len()).collect();
 
-    let buckets: [(usize, usize); 6] =
-        [(1, 50), (51, 100), (101, 200), (201, 400), (401, 800), (801, 1700)];
+    let buckets: [(usize, usize); 6] = [
+        (1, 50),
+        (51, 100),
+        (101, 200),
+        (201, 400),
+        (401, 800),
+        (801, 1700),
+    ];
     let rows: Vec<Vec<String>> = buckets
         .iter()
         .map(|&(lo, hi)| {
@@ -30,7 +42,11 @@ fn main() {
     println!(
         "\nmin {} / median {} / max {}",
         lens.iter().min().unwrap(),
-        { let mut s = lens.clone(); s.sort_unstable(); s[s.len() / 2] },
+        {
+            let mut s = lens.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        },
         lens.iter().max().unwrap()
     );
     println!("(Generator lengths are clamped to test-split/3; see DESIGN.md scale note.)");

@@ -11,7 +11,10 @@ fn main() {
     // Real UCR test splits run to hundreds of periods; our synthetic default
     // is 18-28. --test-periods 100 (say) reproduces the paper's ~20x ratio.
     let tp: usize = args.get("test-periods", 0);
-    let mut cfg = ArchiveConfig { count, ..Default::default() };
+    let mut cfg = ArchiveConfig {
+        count,
+        ..Default::default()
+    };
     if tp > 0 {
         cfg.test_periods = (tp, tp + tp / 2);
     }

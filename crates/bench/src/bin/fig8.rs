@@ -11,7 +11,9 @@ use ucrgen::UcrDataset;
 
 fn accuracy(archive: &[UcrDataset], cfg: &TriadConfig) -> f64 {
     let hits = par_map(archive, |ds| {
-        bench::run_triad(ds, cfg).map(|o| o.tri_window_hit).unwrap_or(false)
+        bench::run_triad(ds, cfg)
+            .map(|o| o.tri_window_hit)
+            .unwrap_or(false)
     });
     hits.iter().filter(|&&h| h).count() as f64 / archive.len() as f64
 }
@@ -23,37 +25,79 @@ fn main() {
     // Default to the hard archive: at default difficulty window-level
     // accuracy saturates at 1.0 and the sweeps are flat (--hard 0 to revert).
     let hard: usize = args.get("hard", 1);
-    let base_cfg = if hard != 0 { ArchiveConfig::hard() } else { ArchiveConfig::default() };
-    let archive = generate_archive(7, &ArchiveConfig { count: n, ..base_cfg });
-    let base = TriadConfig { epochs, merlin_step: 4, ..Default::default() };
+    let base_cfg = if hard != 0 {
+        ArchiveConfig::hard()
+    } else {
+        ArchiveConfig::default()
+    };
+    let archive = generate_archive(
+        7,
+        &ArchiveConfig {
+            count: n,
+            ..base_cfg
+        },
+    );
+    let base = TriadConfig {
+        epochs,
+        merlin_step: 4,
+        ..Default::default()
+    };
 
     let alphas = [0.2, 0.4, 0.6, 0.8];
     let pts: Vec<(f64, f64)> = alphas
         .iter()
         .map(|&alpha| {
-            let acc = accuracy(&archive, &TriadConfig { alpha, ..base.clone() });
+            let acc = accuracy(
+                &archive,
+                &TriadConfig {
+                    alpha,
+                    ..base.clone()
+                },
+            );
             eprintln!("alpha {alpha}: {acc:.3}");
             (alpha, acc)
         })
         .collect();
-    print_series("Fig8a tri-window accuracy vs alpha", "alpha", "accuracy", &pts);
+    print_series(
+        "Fig8a tri-window accuracy vs alpha",
+        "alpha",
+        "accuracy",
+        &pts,
+    );
 
     let depths = [2usize, 4, 6, 8];
     let pts: Vec<(f64, f64)> = depths
         .iter()
         .map(|&depth| {
-            let acc = accuracy(&archive, &TriadConfig { depth, ..base.clone() });
+            let acc = accuracy(
+                &archive,
+                &TriadConfig {
+                    depth,
+                    ..base.clone()
+                },
+            );
             eprintln!("depth {depth}: {acc:.3}");
             (depth as f64, acc)
         })
         .collect();
-    print_series("Fig8b tri-window accuracy vs depth", "depth", "accuracy", &pts);
+    print_series(
+        "Fig8b tri-window accuracy vs depth",
+        "depth",
+        "accuracy",
+        &pts,
+    );
 
     let dims = [8usize, 16, 32, 64];
     let pts: Vec<(f64, f64)> = dims
         .iter()
         .map(|&hidden| {
-            let acc = accuracy(&archive, &TriadConfig { hidden, ..base.clone() });
+            let acc = accuracy(
+                &archive,
+                &TriadConfig {
+                    hidden,
+                    ..base.clone()
+                },
+            );
             eprintln!("h_d {hidden}: {acc:.3}");
             (hidden as f64, acc)
         })

@@ -10,7 +10,9 @@ use ucrgen::UcrDataset;
 
 fn accuracy(archive: &[UcrDataset], cfg: &TriadConfig) -> f64 {
     let hits = par_map(archive, |ds| {
-        bench::run_triad(ds, cfg).map(|o| o.tri_window_hit).unwrap_or(false)
+        bench::run_triad(ds, cfg)
+            .map(|o| o.tri_window_hit)
+            .unwrap_or(false)
     });
     hits.iter().filter(|&&h| h).count() as f64 / archive.len() as f64
 }
@@ -22,17 +24,61 @@ fn main() {
     // Default to the hard archive: at default difficulty window-level
     // accuracy saturates at 1.0 and the sweeps are flat (--hard 0 to revert).
     let hard: usize = args.get("hard", 1);
-    let base_cfg = if hard != 0 { ArchiveConfig::hard() } else { ArchiveConfig::default() };
-    let archive = generate_archive(7, &ArchiveConfig { count: n, ..base_cfg });
-    let base = TriadConfig { epochs, merlin_step: 4, ..Default::default() };
+    let base_cfg = if hard != 0 {
+        ArchiveConfig::hard()
+    } else {
+        ArchiveConfig::default()
+    };
+    let archive = generate_archive(
+        7,
+        &ArchiveConfig {
+            count: n,
+            ..base_cfg
+        },
+    );
+    let base = TriadConfig {
+        epochs,
+        merlin_step: 4,
+        ..Default::default()
+    };
 
     let variants: Vec<(&str, TriadConfig)> = vec![
         ("TriAD (full)", base.clone()),
-        ("w/o temporal", TriadConfig { use_temporal: false, ..base.clone() }),
-        ("w/o frequency", TriadConfig { use_frequency: false, ..base.clone() }),
-        ("w/o residual", TriadConfig { use_residual: false, ..base.clone() }),
-        ("w/o intra loss", TriadConfig { use_intra: false, ..base.clone() }),
-        ("w/o inter loss", TriadConfig { use_inter: false, ..base.clone() }),
+        (
+            "w/o temporal",
+            TriadConfig {
+                use_temporal: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "w/o frequency",
+            TriadConfig {
+                use_frequency: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "w/o residual",
+            TriadConfig {
+                use_residual: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "w/o intra loss",
+            TriadConfig {
+                use_intra: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "w/o inter loss",
+            TriadConfig {
+                use_inter: false,
+                ..base.clone()
+            },
+        ),
     ];
 
     let mut rows = Vec::new();

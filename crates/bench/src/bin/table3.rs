@@ -46,18 +46,48 @@ fn main() {
     //     of running each author's code once) ---
     type DetectorFactory = Box<dyn Fn() -> Box<dyn Detector> + Sync>;
     let factories: Vec<DetectorFactory> = vec![
-        Box::new(move || Box::new(LstmAe::random(LstmAeConfig { epochs, ..Default::default() }))),
-        Box::new(move || Box::new(LstmAe::trained(LstmAeConfig { epochs, ..Default::default() }))),
-        Box::new(move || Box::new(Usad::new(UsadConfig { epochs, ..Default::default() }))),
-        Box::new(move || Box::new(Ts2VecLite::new(Ts2VecConfig { epochs, ..Default::default() }))),
+        Box::new(move || {
+            Box::new(LstmAe::random(LstmAeConfig {
+                epochs,
+                ..Default::default()
+            }))
+        }),
+        Box::new(move || {
+            Box::new(LstmAe::trained(LstmAeConfig {
+                epochs,
+                ..Default::default()
+            }))
+        }),
+        Box::new(move || {
+            Box::new(Usad::new(UsadConfig {
+                epochs,
+                ..Default::default()
+            }))
+        }),
+        Box::new(move || {
+            Box::new(Ts2VecLite::new(Ts2VecConfig {
+                epochs,
+                ..Default::default()
+            }))
+        }),
         Box::new(move || {
             Box::new(AnomalyTransformerLite::new(AnomalyTransformerConfig {
                 epochs,
                 ..Default::default()
             }))
         }),
-        Box::new(move || Box::new(MtgFlowLite::new(MtgFlowConfig { epochs, ..Default::default() }))),
-        Box::new(move || Box::new(DcDetectorLite::new(DcDetectorConfig { epochs, ..Default::default() }))),
+        Box::new(move || {
+            Box::new(MtgFlowLite::new(MtgFlowConfig {
+                epochs,
+                ..Default::default()
+            }))
+        }),
+        Box::new(move || {
+            Box::new(DcDetectorLite::new(DcDetectorConfig {
+                epochs,
+                ..Default::default()
+            }))
+        }),
     ];
 
     for factory in &factories {

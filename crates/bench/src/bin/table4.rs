@@ -50,7 +50,13 @@ fn main() {
     let cohort_n: usize = args.get("datasets", 12);
     let epochs: usize = args.get("epochs", 5);
 
-    let archive = generate_archive(7, &ArchiveConfig { count: archive_n, ..Default::default() });
+    let archive = generate_archive(
+        7,
+        &ArchiveConfig {
+            count: archive_n,
+            ..Default::default()
+        },
+    );
     let cohort: Vec<UcrDataset> = shortest(&archive, cohort_n).into_iter().cloned().collect();
     eprintln!(
         "table4: {} shortest of {} datasets (paper: 62 of 250), epochs {epochs}",
@@ -112,7 +118,11 @@ fn main() {
         &[
             vec!["Merlin++".into(), f3(merlin_acc), f3(merlin_time)],
             vec!["TriAD (tri-window)".into(), f3(tri_acc), f3(triad_time)],
-            vec!["TriAD (single window)".into(), f3(single_acc), f3(triad_time)],
+            vec![
+                "TriAD (single window)".into(),
+                f3(single_acc),
+                f3(triad_time),
+            ],
         ],
     );
     println!("\nNote: TriAD time includes per-dataset training; the paper's timing is");

@@ -57,10 +57,7 @@ impl MetricRow {
         labels: &[bool],
     ) -> MetricRow {
         let m = train_scores.iter().sum::<f64>() / train_scores.len().max(1) as f64;
-        let v = train_scores
-            .iter()
-            .map(|s| (s - m) * (s - m))
-            .sum::<f64>()
+        let v = train_scores.iter().map(|s| (s - m) * (s - m)).sum::<f64>()
             / train_scores.len().max(1) as f64;
         let thr = m + 3.0 * v.sqrt();
         let pred = evalkit::threshold::apply(test_scores, thr);
@@ -130,9 +127,7 @@ pub fn run_triad(ds: &UcrDataset, cfg: &TriadConfig) -> Result<TriadOutcome, Str
     let metrics = MetricRow::from_predictions(&det.prediction, &labels);
     let anomaly = ds.anomaly_in_test();
     let w = fitted.window_len();
-    let near = |r: &std::ops::Range<usize>| {
-        evalkit::eventwise::event_detected(r, &anomaly, w)
-    };
+    let near = |r: &std::ops::Range<usize>| evalkit::eventwise::event_detected(r, &anomaly, w);
     let tri_window_hit = det.candidates.iter().any(near);
     let single_window_hit = near(&det.selected_window);
     Ok(TriadOutcome {
@@ -326,7 +321,9 @@ mod tests {
 
     #[test]
     fn args_parse_defaults() {
-        let a = Args { pairs: vec![("datasets".into(), "12".into())] };
+        let a = Args {
+            pairs: vec![("datasets".into(), "12".into())],
+        };
         assert_eq!(a.get("datasets", 5usize), 12);
         assert_eq!(a.get("missing", 7usize), 7);
     }

@@ -3,9 +3,18 @@
 fn main() {
     println!("TriAD reproduction — experiment binaries (run with --release):");
     for (name, what) in [
-        ("table2", "LSTM-AE random vs trained under PW/PA/PA%K on KPI-like, SWaT-like, UCR (Table II)"),
-        ("table3", "all models × all metrics on the synthetic UCR archive (Table III)"),
-        ("table4", "MERLIN++ vs TriAD windows: event accuracy + inference time (Table IV)"),
+        (
+            "table2",
+            "LSTM-AE random vs trained under PW/PA/PA%K on KPI-like, SWaT-like, UCR (Table II)",
+        ),
+        (
+            "table3",
+            "all models × all metrics on the synthetic UCR archive (Table III)",
+        ),
+        (
+            "table4",
+            "MERLIN++ vs TriAD windows: event accuracy + inference time (Table IV)",
+        ),
         ("fig1", "traditional augmentations look anomalous (Fig. 1)"),
         ("fig2", "LSTM-AE reconstructs anomalies too well (Fig. 2)"),
         ("fig3", "KPI-like one-liner anomalies (Fig. 3)"),
@@ -14,7 +23,10 @@ fn main() {
         ("fig7", "MERLIN-vs-TriAD search-length ratio (Fig. 7)"),
         ("fig8", "parameter study: alpha / depth / h_d (Fig. 8)"),
         ("fig9", "ablation study (Fig. 9)"),
-        ("case_study", "full walk-through on one dataset (Figs. 10-13)"),
+        (
+            "case_study",
+            "full walk-through on one dataset (Figs. 10-13)",
+        ),
         ("fig14", "MTGFlow false positives (Fig. 14)"),
         ("fig15", "discord failure + Sec. IV-G fallback (Fig. 15)"),
         ("fig16", "six anomaly families detected (Fig. 16)"),

@@ -7,7 +7,9 @@
 //!   of a test series;
 //! * `gen`    — write a synthetic archive dataset in the UCR file format;
 //! * `eval`   — score a prediction file against a label file with the full
-//!   metric ladder.
+//!   metric ladder;
+//! * `serve`  — run the line-delimited-JSON model server (`triad-serve`);
+//! * `client` — one-shot client for a running server.
 //!
 //! Series files are plain text, one sample per line (whitespace-separated
 //! values are also accepted — the UCR archive format).
@@ -15,8 +17,10 @@
 //! The logic lives in this library crate so it is testable without spawning
 //! processes; `main.rs` is a thin wrapper.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 use triad_core::{persist, TriAd, TriadConfig};
+use triad_serve::{Client, ServeConfig, Value};
 
 /// Parsed command line: `triad <command> [--key value]...`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,10 +79,17 @@ USAGE:
   triad detect --test FILE (--train FILE [--epochs N] | --model FILE) [--labels FILE]
   triad gen    --out FILE [--seed N] [--id N]
   triad eval   --pred FILE --labels FILE
+  triad serve  [--addr HOST:PORT] [--models DIR] [--workers N] [--executors N]
+               [--max-batch N] [--max-delay-ms N] [--cache N]
+  triad client --verb VERB [--addr HOST:PORT] [--model NAME]
+               [--series FILE] [--train FILE] [--epochs N] [--seed N]
 
 Series files hold one sample per line (UCR archive format accepted).
 `detect` prints the flagged region; with --labels it also prints metrics.
 `gen` writes a synthetic dataset named with the UCR convention next to --out.
+`serve` blocks until a client sends the shutdown verb; `client` verbs are
+health, list, stats (add --format text for the plain-text dump), fit,
+detect, evict, and shutdown — responses print as one JSON line.
 "
     .to_string()
 }
@@ -110,6 +121,8 @@ pub fn run(cli: &Cli) -> Result<Vec<String>, String> {
         "detect" => cmd_detect(cli),
         "gen" => cmd_gen(cli),
         "eval" => cmd_eval(cli),
+        "serve" => cmd_serve(cli),
+        "client" => cmd_client(cli),
         "help" | "--help" | "-h" => Ok(vec![usage()]),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -204,7 +217,10 @@ fn cmd_eval(cli: &Cli) -> Result<Vec<String>, String> {
     let aff = evalkit::affiliation::affiliation_prf(&pred, &labels);
     let rng = evalkit::range_pr::range_prf(&pred, &labels);
     Ok(vec![
-        format!("F1(PW)      : {:.4} (P {:.4} R {:.4})", pw.f1, pw.precision, pw.recall),
+        format!(
+            "F1(PW)      : {:.4} (P {:.4} R {:.4})",
+            pw.f1, pw.precision, pw.recall
+        ),
         format!("F1(PA)      : {:.4}", pa.f1),
         format!(
             "PA%K AUC    : F1 {:.4} (P {:.4} R {:.4})",
@@ -219,6 +235,78 @@ fn cmd_eval(cli: &Cli) -> Result<Vec<String>, String> {
             rng.f1, rng.precision, rng.recall
         ),
     ])
+}
+
+/// Default port for `serve`/`client` when `--addr` is omitted.
+const DEFAULT_ADDR: &str = "127.0.0.1:7700";
+
+fn cmd_serve(cli: &Cli) -> Result<Vec<String>, String> {
+    let cfg = ServeConfig {
+        addr: cli.get("addr").unwrap_or(DEFAULT_ADDR).to_string(),
+        models_dir: PathBuf::from(cli.get("models").unwrap_or("models")),
+        workers: cli.get_num("workers", 4usize)?,
+        executors: cli.get_num("executors", 2usize)?,
+        max_batch: cli.get_num("max-batch", 16usize)?,
+        max_delay_ms: cli.get_num("max-delay-ms", 20u64)?,
+        request_timeout_ms: cli.get_num("request-timeout-ms", 30_000u64)?,
+        idle_timeout_ms: cli.get_num("idle-timeout-ms", 10_000u64)?,
+        cache_capacity: cli.get_num("cache", 8usize)?,
+    };
+    let models_dir = cfg.models_dir.clone();
+    let handle = triad_serve::start(cfg).map_err(|e| format!("serve: {e}"))?;
+    // Announce the bound address before blocking (port 0 resolves here) so
+    // scripts can parse it and connect.
+    println!(
+        "triad-serve listening on {} (models in {})",
+        handle.addr(),
+        models_dir.display()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    Ok(vec!["server drained and stopped".into()])
+}
+
+fn cmd_client(cli: &Cli) -> Result<Vec<String>, String> {
+    let addr = cli.get("addr").unwrap_or(DEFAULT_ADDR);
+    let verb = cli.require("verb")?;
+    let timeout = Duration::from_millis(cli.get_num("timeout-ms", 180_000u64)?);
+    let mut client = Client::connect(addr, timeout).map_err(|e| format!("connect {addr}: {e}"))?;
+    let resp = match verb {
+        "health" => client.health(),
+        "list" => client.list(),
+        "stats" if cli.get("format") == Some("text") => {
+            return client
+                .stats_text()
+                .map(|t| t.lines().map(str::to_string).collect())
+                .map_err(|e| format!("stats: {e}"));
+        }
+        "stats" => client.stats(),
+        "evict" => client.evict(cli.require("model")?),
+        "shutdown" => client.shutdown(),
+        "fit" => {
+            let train = read_series(Path::new(cli.require("train")?))?;
+            let mut extra: Vec<(&str, Value)> = Vec::new();
+            for key in ["epochs", "seed", "merlin_step"] {
+                if let Some(v) = cli.get(key) {
+                    let n: u64 = v.parse().map_err(|_| format!("--{key}: bad value {v:?}"))?;
+                    extra.push((key, Value::Num(n as f64)));
+                }
+            }
+            client.fit(cli.require("model")?, &train, extra)
+        }
+        "detect" => {
+            let series = read_series(Path::new(cli.require("series")?))?;
+            client.detect(cli.require("model")?, &series)
+        }
+        other => {
+            return Err(format!(
+                "unknown client verb {other:?} (health, list, stats, fit, detect, evict, shutdown)"
+            ))
+        }
+    };
+    let resp = resp.map_err(|e| format!("{verb}: {e}"))?;
+    Ok(vec![resp.to_string()])
 }
 
 #[cfg(test)]
@@ -261,7 +349,13 @@ mod tests {
         let dir = tmpdir("e2e");
         // gen
         let cli = Cli::parse(&argv(&[
-            "gen", "--out", dir.to_str().unwrap(), "--seed", "7", "--id", "3",
+            "gen",
+            "--out",
+            dir.to_str().unwrap(),
+            "--seed",
+            "7",
+            "--id",
+            "3",
         ]))
         .unwrap();
         let out = run(&cli).unwrap();
@@ -277,7 +371,12 @@ mod tests {
         let ds = ucrgen::loader::load_file(&file).unwrap();
         let train_p = dir.join("train.txt");
         let test_p = dir.join("test.txt");
-        let fmt = |s: &[f64]| s.iter().map(|v| format!("{v:.6}")).collect::<Vec<_>>().join("\n");
+        let fmt = |s: &[f64]| {
+            s.iter()
+                .map(|v| format!("{v:.6}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
         std::fs::write(&train_p, fmt(ds.train())).unwrap();
         std::fs::write(&test_p, fmt(ds.test())).unwrap();
         let labels_p = dir.join("labels.txt");
@@ -338,8 +437,7 @@ mod tests {
         let dir = tmpdir("nosrc");
         let test_p = dir.join("t.txt");
         std::fs::write(&test_p, "1.0\n2.0\n").unwrap();
-        let cli =
-            Cli::parse(&argv(&["detect", "--test", test_p.to_str().unwrap()])).unwrap();
+        let cli = Cli::parse(&argv(&["detect", "--test", test_p.to_str().unwrap()])).unwrap();
         assert!(run(&cli).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -151,7 +151,10 @@ pub fn detect(
         });
     }
 
-    let mut cand_idx: Vec<usize> = rankings.iter().flat_map(|r| r.tops.iter().copied()).collect();
+    let mut cand_idx: Vec<usize> = rankings
+        .iter()
+        .flat_map(|r| r.tops.iter().copied())
+        .collect();
     cand_idx.sort_unstable();
     cand_idx.dedup();
     let candidates: Vec<Range<usize>> = cand_idx.iter().map(|&i| windows.range(i)).collect();

@@ -24,7 +24,13 @@ pub struct DomainEncoder {
 impl DomainEncoder {
     /// `depth` residual blocks, `c_in → hidden` at the first block, dilation
     /// `2^i` at block `i`.
-    pub fn new<R: Rng>(rng: &mut R, c_in: usize, hidden: usize, depth: usize, kernel: usize) -> Self {
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        c_in: usize,
+        hidden: usize,
+        depth: usize,
+        kernel: usize,
+    ) -> Self {
         assert!(depth >= 1);
         let mut blocks = Vec::with_capacity(depth);
         for i in 0..depth {

@@ -50,8 +50,7 @@ impl FeatureExtractor {
                 let f = spectral_features(window);
                 let amp: Vec<f64> = f.amplitude.iter().map(|&a| (1.0 + a).ln()).collect();
                 let pow: Vec<f64> = f.power.iter().map(|&p| (1.0 + p).ln()).collect();
-                let phase: Vec<f64> =
-                    f.phase.iter().map(|&p| p / std::f64::consts::PI).collect();
+                let phase: Vec<f64> = f.phase.iter().map(|&p| p / std::f64::consts::PI).collect();
                 vec![znormalize(&amp), phase, znormalize(&pow)]
             }
             Domain::Residual => {

@@ -99,7 +99,8 @@ impl ContrastiveLoss {
                 terms.push(g.scale(l, w as f32));
             }
             if self.use_inter && n_domains > 1 {
-                let others: Vec<NodeId> = (0..n_domains).filter(|&e| e != d).map(|e| rs[e]).collect();
+                let others: Vec<NodeId> =
+                    (0..n_domains).filter(|&e| e != d).map(|e| rs[e]).collect();
                 let l = self.inter(g, rs[d], &others);
                 let w = if self.use_intra { self.alpha } else { 1.0 };
                 terms.push(g.scale(l, w as f32));
@@ -184,7 +185,10 @@ mod tests {
             let mut t = Tensor::from_vec(
                 &[3, 5],
                 (0..15)
-                    .map(|i| ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 97) as f32 / 97.0 - 0.5)
+                    .map(|i| {
+                        ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 97) as f32 / 97.0
+                            - 0.5
+                    })
                     .collect(),
             );
             unit_rows(&mut t);

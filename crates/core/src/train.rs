@@ -27,11 +27,7 @@ pub struct Model {
 
 impl Model {
     pub fn params(&self) -> Vec<Param> {
-        let mut p: Vec<Param> = self
-            .encoders
-            .iter()
-            .flat_map(|(_, e)| e.params())
-            .collect();
+        let mut p: Vec<Param> = self.encoders.iter().flat_map(|(_, e)| e.params()).collect();
         p.extend(self.head.params());
         p
     }
@@ -252,7 +248,8 @@ mod tests {
     fn periodic(n: usize, p: f64) -> Vec<f64> {
         (0..n)
             .map(|i| {
-                (2.0 * PI * i as f64 / p).sin() + 0.3 * (4.0 * PI * i as f64 / p).sin()
+                (2.0 * PI * i as f64 / p).sin()
+                    + 0.3 * (4.0 * PI * i as f64 / p).sin()
                     + 0.02 * ((i * 2654435761_usize % 100) as f64 / 100.0 - 0.5)
             })
             .collect()
@@ -287,7 +284,7 @@ mod tests {
     fn fit_rejects_aperiodic_or_short_input() {
         let cfg = quick_cfg();
         assert!(fit(&cfg, &vec![0.0; 500]).is_err()); // constant
-        // Force window = 100 on a 60-sample series: too short for 2 windows.
+                                                      // Force window = 100 on a 60-sample series: too short for 2 windows.
         let mut short_cfg = cfg.clone();
         short_cfg.period_override = Some(40);
         assert!(fit(&short_cfg, &periodic(60, 40.0)).is_err());
@@ -323,9 +320,7 @@ mod tests {
         let train = periodic(800, 40.0);
         let t = fit(&quick_cfg(), &train).unwrap();
         let w = &train[0..t.report.window];
-        let r = t
-            .model
-            .embed_windows(&t.extractor, &[w], Domain::Temporal);
+        let r = t.model.embed_windows(&t.extractor, &[w], Domain::Temporal);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].len(), t.report.window);
         let n: f32 = r[0].iter().map(|v| v * v).sum::<f32>().sqrt();

@@ -144,11 +144,7 @@ mod tests {
             .map(|i| (2.0 * PI * i as f64 / 40.0).sin())
             .collect();
         let mp = matrix_profile(&x, 40);
-        let max = mp
-            .profile
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let max = mp.profile.iter().cloned().fold(0.0f64, f64::max);
         assert!(max < 1e-3, "max profile {max}");
     }
 

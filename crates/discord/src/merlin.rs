@@ -87,9 +87,7 @@ pub fn merlin_top_k(series: &[f64], cfg: MerlinConfig, k: usize) -> Vec<Vec<Disc
         }
         let zs = ZnormSeries::new(series, w);
         let mut r = match prev {
-            Some(p) if p.distance > 1e-9 => {
-                0.99 * p.distance * (w as f64 / p.length as f64).sqrt()
-            }
+            Some(p) if p.distance > 1e-9 => 0.99 * p.distance * (w as f64 / p.length as f64).sqrt(),
             _ => 2.0 * (w as f64).sqrt(),
         };
         let mut found: Vec<Discord> = Vec::new();
@@ -148,9 +146,7 @@ pub(crate) fn merlin_with(
         }
         let zs = ZnormSeries::new(series, w);
         let mut r = match prev {
-            Some(p) if p.distance > 1e-9 => {
-                0.99 * p.distance * (w as f64 / p.length as f64).sqrt()
-            }
+            Some(p) if p.distance > 1e-9 => 0.99 * p.distance * (w as f64 / p.length as f64).sqrt(),
             _ => 2.0 * (w as f64).sqrt(),
         };
 

@@ -140,9 +140,7 @@ pub fn merlin_pp(series: &[f64], cfg: MerlinConfig) -> Vec<Discord> {
         // O(w) early-abandoning distance it tries to avoid.
         let index = PivotIndex::build(&zs, 8.min(zs.count()));
         let mut r = match prev {
-            Some(p) if p.distance > 1e-9 => {
-                0.99 * p.distance * (w as f64 / p.length as f64).sqrt()
-            }
+            Some(p) if p.distance > 1e-9 => 0.99 * p.distance * (w as f64 / p.length as f64).sqrt(),
             _ => 2.0 * (w as f64).sqrt(),
         };
 
@@ -178,8 +176,10 @@ mod tests {
 
     fn anomalous(n: usize, p: usize, at: usize, len: usize) -> Vec<f64> {
         let mut x: Vec<f64> = (0..n)
-            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / p as f64).sin()
-                + 0.05 * ((i * 37 % 11) as f64))
+            .map(|i| {
+                (2.0 * std::f64::consts::PI * i as f64 / p as f64).sin()
+                    + 0.05 * ((i * 37 % 11) as f64)
+            })
             .collect();
         for i in at..(at + len).min(n) {
             x[i] += 1.8 * ((i - at) as f64 * 0.9).sin();

@@ -167,7 +167,12 @@ mod tests {
         }
         let mn = affiliation_prf(&near, &labels);
         let mf = affiliation_prf(&far, &labels);
-        assert!(mn.precision > mf.precision, "{} vs {}", mn.precision, mf.precision);
+        assert!(
+            mn.precision > mf.precision,
+            "{} vs {}",
+            mn.precision,
+            mf.precision
+        );
         assert!(mn.recall > mf.recall);
         assert!(mn.f1 > mf.f1);
     }

@@ -92,7 +92,9 @@ mod tests {
     #[test]
     fn random_like_ties_give_half() {
         let scores = [0.5; 10];
-        let labels = [true, false, true, false, true, false, true, false, true, false];
+        let labels = [
+            true, false, true, false, true, false, true, false, true, false,
+        ];
         assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
         // AP for all-tied scores = prevalence.
         assert!((average_precision(&scores, &labels) - 0.5).abs() < 1e-12);

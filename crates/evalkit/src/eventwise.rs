@@ -30,7 +30,11 @@ pub fn point_detects_event(point: usize, event: &Range<usize>, margin: usize) ->
 /// Fraction of (prediction, event) pairs that hit — Table IV's accuracy
 /// column. `predictions[i]` is the detector's output region for dataset `i`
 /// (`None` = no detection).
-pub fn accuracy(predictions: &[Option<Range<usize>>], events: &[Range<usize>], margin: usize) -> f64 {
+pub fn accuracy(
+    predictions: &[Option<Range<usize>>],
+    events: &[Range<usize>],
+    margin: usize,
+) -> f64 {
     assert_eq!(predictions.len(), events.len(), "length mismatch");
     if events.is_empty() {
         return 0.0;

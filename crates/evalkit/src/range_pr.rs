@@ -39,11 +39,13 @@ fn score_side(targets: &[Range<usize>], others: &[Range<usize>], alpha: f64) -> 
     let total: f64 = targets
         .iter()
         .map(|t| {
-            let overlapping: Vec<usize> =
-                others.iter().map(|o| overlap(t, o)).filter(|&v| v > 0).collect();
+            let overlapping: Vec<usize> = others
+                .iter()
+                .map(|o| overlap(t, o))
+                .filter(|&v| v > 0)
+                .collect();
             let exists = if overlapping.is_empty() { 0.0 } else { 1.0 };
-            let overlap_sum: f64 =
-                overlapping.iter().map(|&v| v as f64 / t.len() as f64).sum();
+            let overlap_sum: f64 = overlapping.iter().map(|&v| v as f64 / t.len() as f64).sum();
             let overlap_reward = gamma(overlapping.len()) * overlap_sum.min(1.0);
             alpha * exists + (1.0 - alpha) * overlap_reward
         })
@@ -109,7 +111,7 @@ mod tests {
         let pred = with_range(100, 50..60); // covers half the event, all inside
         let m = range_prf(&pred, &labels);
         assert!((m.precision - 1.0).abs() < 1e-12); // prediction fully inside
-        // recall = 0.5·1 (existence) + 0.5·0.5 (overlap) = 0.75
+                                                    // recall = 0.5·1 (existence) + 0.5·0.5 (overlap) = 0.75
         assert!((m.recall - 0.75).abs() < 1e-12, "recall {}", m.recall);
     }
 

@@ -83,7 +83,13 @@ fn accumulate(grads: &mut [Option<Tensor>], id: NodeId, g: Tensor) {
 fn matmul_raw(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
-    assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+    assert_eq!(
+        k,
+        k2,
+        "matmul inner dims: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
     for i in 0..m {
@@ -214,18 +220,20 @@ impl Graph {
         let out = Tensor::from_vec(self.values[a].shape(), data);
         let ng = self.any_grad(&[a, b]);
         let backfn: Option<BackFn> = ng.then(|| {
-            Box::new(move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
-                let (va, vb) = (&vals[a], &vals[b]);
-                let mut ga = Tensor::zeros(va.shape());
-                let mut gb = Tensor::zeros(vb.shape());
-                for i in 0..g.numel() {
-                    let (da, db) = back(va.data()[i], vb.data()[i], g.data()[i]);
-                    ga.data_mut()[i] = da;
-                    gb.data_mut()[i] = db;
-                }
-                accumulate(grads, a, ga);
-                accumulate(grads, b, gb);
-            }) as BackFn
+            Box::new(
+                move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
+                    let (va, vb) = (&vals[a], &vals[b]);
+                    let mut ga = Tensor::zeros(va.shape());
+                    let mut gb = Tensor::zeros(vb.shape());
+                    for i in 0..g.numel() {
+                        let (da, db) = back(va.data()[i], vb.data()[i], g.data()[i]);
+                        ga.data_mut()[i] = da;
+                        gb.data_mut()[i] = db;
+                    }
+                    accumulate(grads, a, ga);
+                    accumulate(grads, b, gb);
+                },
+            ) as BackFn
         });
         self.push(out, ng, backfn)
     }
@@ -268,15 +276,17 @@ impl Graph {
         let ng = self.needs_grad[a];
         let out_id = self.values.len() + 0; // id this node will get
         let backfn: Option<BackFn> = ng.then(|| {
-            Box::new(move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
-                let va = &vals[a];
-                let vo = &vals[out_id];
-                let mut ga = Tensor::zeros(va.shape());
-                for i in 0..g.numel() {
-                    ga.data_mut()[i] = back(va.data()[i], vo.data()[i], g.data()[i]);
-                }
-                accumulate(grads, a, ga);
-            }) as BackFn
+            Box::new(
+                move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
+                    let va = &vals[a];
+                    let vo = &vals[out_id];
+                    let mut ga = Tensor::zeros(va.shape());
+                    for i in 0..g.numel() {
+                        ga.data_mut()[i] = back(va.data()[i], vo.data()[i], g.data()[i]);
+                    }
+                    accumulate(grads, a, ga);
+                },
+            ) as BackFn
         });
         self.push(out, ng, backfn)
     }
@@ -286,11 +296,7 @@ impl Graph {
     }
 
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
-        self.unary(
-            a,
-            |x| 1.0 / (1.0 + (-x).exp()),
-            |_, y, g| g * y * (1.0 - y),
-        )
+        self.unary(a, |x| 1.0 / (1.0 + (-x).exp()), |_, y, g| g * y * (1.0 - y))
     }
 
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
@@ -335,11 +341,13 @@ impl Graph {
         let out = matmul_raw(&self.values[a], &self.values[b]);
         let ng = self.any_grad(&[a, b]);
         let backfn: Option<BackFn> = ng.then(|| {
-            Box::new(move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
-                // dA = G × Bᵀ ; dB = Aᵀ × G
-                accumulate(grads, a, matmul_nt(g, &vals[b]));
-                accumulate(grads, b, matmul_tn(&vals[a], g));
-            }) as BackFn
+            Box::new(
+                move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
+                    // dA = G × Bᵀ ; dB = Aᵀ × G
+                    accumulate(grads, a, matmul_nt(g, &vals[b]));
+                    accumulate(grads, b, matmul_tn(&vals[a], g));
+                },
+            ) as BackFn
         });
         self.push(out, ng, backfn)
     }
@@ -357,16 +365,18 @@ impl Graph {
         let out = Tensor::from_vec(&[n, m], data);
         let ng = self.needs_grad[a];
         let backfn: Option<BackFn> = ng.then(|| {
-            Box::new(move |_vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
-                let (n2, m2) = (g.shape()[0], g.shape()[1]);
-                let mut gd = vec![0.0f32; m2 * n2];
-                for i in 0..n2 {
-                    for j in 0..m2 {
-                        gd[j * n2 + i] = g.at2(i, j);
+            Box::new(
+                move |_vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
+                    let (n2, m2) = (g.shape()[0], g.shape()[1]);
+                    let mut gd = vec![0.0f32; m2 * n2];
+                    for i in 0..n2 {
+                        for j in 0..m2 {
+                            gd[j * n2 + i] = g.at2(i, j);
+                        }
                     }
-                }
-                accumulate(grads, a, Tensor::from_vec(&[m2, n2], gd));
-            }) as BackFn
+                    accumulate(grads, a, Tensor::from_vec(&[m2, n2], gd));
+                },
+            ) as BackFn
         });
         self.push(out, ng, backfn)
     }
@@ -377,7 +387,10 @@ impl Graph {
 
     /// `[B,F] + [F]` row-wise bias.
     pub fn add_bias(&mut self, x: NodeId, b: NodeId) -> NodeId {
-        let (xs, bs) = (self.values[x].shape().to_vec(), self.values[b].shape().to_vec());
+        let (xs, bs) = (
+            self.values[x].shape().to_vec(),
+            self.values[b].shape().to_vec(),
+        );
         assert_eq!(xs.len(), 2, "add_bias lhs must be [B,F]");
         assert_eq!(bs, vec![xs[1]], "bias must be [F]");
         let f = xs[1];
@@ -389,17 +402,19 @@ impl Graph {
         }
         let ng = self.any_grad(&[x, b]);
         let backfn: Option<BackFn> = ng.then(|| {
-            Box::new(move |_vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
-                accumulate(grads, x, g.clone());
-                let f = g.shape()[1];
-                let mut gb = Tensor::zeros(&[f]);
-                for row in g.data().chunks(f) {
-                    for (o, &gv) in gb.data_mut().iter_mut().zip(row) {
-                        *o += gv;
+            Box::new(
+                move |_vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
+                    accumulate(grads, x, g.clone());
+                    let f = g.shape()[1];
+                    let mut gb = Tensor::zeros(&[f]);
+                    for row in g.data().chunks(f) {
+                        for (o, &gv) in gb.data_mut().iter_mut().zip(row) {
+                            *o += gv;
+                        }
                     }
-                }
-                accumulate(grads, b, gb);
-            }) as BackFn
+                    accumulate(grads, b, gb);
+                },
+            ) as BackFn
         });
         self.push(out, ng, backfn)
     }
@@ -410,9 +425,11 @@ impl Graph {
         let shape = self.values[a].shape().to_vec();
         let ng = self.needs_grad[a];
         let backfn: Option<BackFn> = ng.then(|| {
-            Box::new(move |_vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
-                accumulate(grads, a, Tensor::full(&shape, g.item()));
-            }) as BackFn
+            Box::new(
+                move |_vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
+                    accumulate(grads, a, Tensor::full(&shape, g.item()));
+                },
+            ) as BackFn
         });
         self.push(Tensor::scalar(s), ng, backfn)
     }
@@ -433,17 +450,19 @@ impl Graph {
         let out = Tensor::from_vec(&[bsz, 1], data);
         let ng = self.needs_grad[a];
         let backfn: Option<BackFn> = ng.then(|| {
-            Box::new(move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
-                let f = vals[a].shape()[1];
-                let mut ga = Tensor::zeros(vals[a].shape());
-                for (i, row) in ga.data_mut().chunks_mut(f).enumerate() {
-                    let gv = g.data()[i];
-                    for o in row {
-                        *o = gv;
+            Box::new(
+                move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
+                    let f = vals[a].shape()[1];
+                    let mut ga = Tensor::zeros(vals[a].shape());
+                    for (i, row) in ga.data_mut().chunks_mut(f).enumerate() {
+                        let gv = g.data()[i];
+                        for o in row {
+                            *o = gv;
+                        }
                     }
-                }
-                accumulate(grads, a, ga);
-            }) as BackFn
+                    accumulate(grads, a, ga);
+                },
+            ) as BackFn
         });
         self.push(out, ng, backfn)
     }
@@ -454,9 +473,11 @@ impl Graph {
         let ng = self.needs_grad[a];
         let old_shape = self.values[a].shape().to_vec();
         let backfn: Option<BackFn> = ng.then(|| {
-            Box::new(move |_vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
-                accumulate(grads, a, g.clone().reshaped(&old_shape));
-            }) as BackFn
+            Box::new(
+                move |_vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
+                    accumulate(grads, a, g.clone().reshaped(&old_shape));
+                },
+            ) as BackFn
         });
         self.push(out, ng, backfn)
     }
@@ -475,15 +496,17 @@ impl Graph {
         let out = Tensor::from_vec(&[bsz, w], data);
         let ng = self.needs_grad[a];
         let backfn: Option<BackFn> = ng.then(|| {
-            Box::new(move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
-                let f = vals[a].shape()[1];
-                let w = hi - lo;
-                let mut ga = Tensor::zeros(vals[a].shape());
-                for (grow, garow) in g.data().chunks(w).zip(ga.data_mut().chunks_mut(f)) {
-                    garow[lo..hi].copy_from_slice(grow);
-                }
-                accumulate(grads, a, ga);
-            }) as BackFn
+            Box::new(
+                move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
+                    let f = vals[a].shape()[1];
+                    let w = hi - lo;
+                    let mut ga = Tensor::zeros(vals[a].shape());
+                    for (grow, garow) in g.data().chunks(w).zip(ga.data_mut().chunks_mut(f)) {
+                        garow[lo..hi].copy_from_slice(grow);
+                    }
+                    accumulate(grads, a, ga);
+                },
+            ) as BackFn
         });
         self.push(out, ng, backfn)
     }
@@ -513,20 +536,23 @@ impl Graph {
         let ng = self.any_grad(ids);
         let ids_cl = ids.to_vec();
         let backfn: Option<BackFn> = ng.then(|| {
-            Box::new(move |_vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
-                let mut offset = 0usize;
-                for (&id, &w) in ids_cl.iter().zip(&widths) {
-                    let bsz = g.shape()[0];
-                    let total = g.shape()[1];
-                    let mut part = Tensor::zeros(&[bsz, w]);
-                    for r in 0..bsz {
-                        part.data_mut()[r * w..(r + 1) * w]
-                            .copy_from_slice(&g.data()[r * total + offset..r * total + offset + w]);
+            Box::new(
+                move |_vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
+                    let mut offset = 0usize;
+                    for (&id, &w) in ids_cl.iter().zip(&widths) {
+                        let bsz = g.shape()[0];
+                        let total = g.shape()[1];
+                        let mut part = Tensor::zeros(&[bsz, w]);
+                        for r in 0..bsz {
+                            part.data_mut()[r * w..(r + 1) * w].copy_from_slice(
+                                &g.data()[r * total + offset..r * total + offset + w],
+                            );
+                        }
+                        accumulate(grads, id, part);
+                        offset += w;
                     }
-                    accumulate(grads, id, part);
-                    offset += w;
-                }
-            }) as BackFn
+                },
+            ) as BackFn
         });
         self.push(out, ng, backfn)
     }
@@ -554,21 +580,23 @@ impl Graph {
         let ng = self.needs_grad[a];
         let out_id = self.values.len();
         let backfn: Option<BackFn> = ng.then(|| {
-            Box::new(move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
-                let f = g.shape()[1];
-                let y = &vals[out_id];
-                let mut ga = Tensor::zeros(g.shape());
-                for (r, norm) in norms.iter().enumerate() {
-                    let grow = &g.data()[r * f..(r + 1) * f];
-                    let yrow = &y.data()[r * f..(r + 1) * f];
-                    let dot: f32 = grow.iter().zip(yrow).map(|(a, b)| a * b).sum();
-                    let garow = &mut ga.data_mut()[r * f..(r + 1) * f];
-                    for i in 0..f {
-                        garow[i] = (grow[i] - yrow[i] * dot) / norm;
+            Box::new(
+                move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
+                    let f = g.shape()[1];
+                    let y = &vals[out_id];
+                    let mut ga = Tensor::zeros(g.shape());
+                    for (r, norm) in norms.iter().enumerate() {
+                        let grow = &g.data()[r * f..(r + 1) * f];
+                        let yrow = &y.data()[r * f..(r + 1) * f];
+                        let dot: f32 = grow.iter().zip(yrow).map(|(a, b)| a * b).sum();
+                        let garow = &mut ga.data_mut()[r * f..(r + 1) * f];
+                        for i in 0..f {
+                            garow[i] = (grow[i] - yrow[i] * dot) / norm;
+                        }
                     }
-                }
-                accumulate(grads, a, ga);
-            }) as BackFn
+                    accumulate(grads, a, ga);
+                },
+            ) as BackFn
         });
         self.push(out, ng, backfn)
     }
@@ -593,21 +621,23 @@ impl Graph {
         let ng = self.needs_grad[a];
         let out_id = self.values.len();
         let backfn: Option<BackFn> = ng.then(|| {
-            Box::new(move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
-                let f = g.shape()[1];
-                let y = &vals[out_id];
-                let mut ga = Tensor::zeros(g.shape());
-                for r in 0..g.shape()[0] {
-                    let grow = &g.data()[r * f..(r + 1) * f];
-                    let yrow = &y.data()[r * f..(r + 1) * f];
-                    let dot: f32 = grow.iter().zip(yrow).map(|(a, b)| a * b).sum();
-                    let garow = &mut ga.data_mut()[r * f..(r + 1) * f];
-                    for i in 0..f {
-                        garow[i] = yrow[i] * (grow[i] - dot);
+            Box::new(
+                move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
+                    let f = g.shape()[1];
+                    let y = &vals[out_id];
+                    let mut ga = Tensor::zeros(g.shape());
+                    for r in 0..g.shape()[0] {
+                        let grow = &g.data()[r * f..(r + 1) * f];
+                        let yrow = &y.data()[r * f..(r + 1) * f];
+                        let dot: f32 = grow.iter().zip(yrow).map(|(a, b)| a * b).sum();
+                        let garow = &mut ga.data_mut()[r * f..(r + 1) * f];
+                        for i in 0..f {
+                            garow[i] = yrow[i] * (grow[i] - dot);
+                        }
                     }
-                }
-                accumulate(grads, a, ga);
-            }) as BackFn
+                    accumulate(grads, a, ga);
+                },
+            ) as BackFn
         });
         self.push(out, ng, backfn)
     }
@@ -623,14 +653,21 @@ impl Graph {
     /// `(K−1)·dilation + 1`; same padding keeps `L` fixed, as Sec. III-B
     /// requires for the `L × h_d` hidden representation.
     pub fn conv1d(&mut self, x: NodeId, w: NodeId, b: NodeId, dilation: usize) -> NodeId {
-        let (xs, ws) = (self.values[x].shape().to_vec(), self.values[w].shape().to_vec());
+        let (xs, ws) = (
+            self.values[x].shape().to_vec(),
+            self.values[w].shape().to_vec(),
+        );
         assert_eq!(xs.len(), 3, "conv1d input must be [B,C,L]");
         assert_eq!(ws.len(), 3, "conv1d weight must be [Cout,Cin,K]");
         let (bsz, cin, l) = (xs[0], xs[1], xs[2]);
         let (cout, cin2, k) = (ws[0], ws[1], ws[2]);
         assert_eq!(cin, cin2, "conv1d channel mismatch");
         assert_eq!(k % 2, 1, "conv1d kernel must be odd for same padding");
-        assert_eq!(self.values[b].shape(), &[cout], "conv1d bias must be [Cout]");
+        assert_eq!(
+            self.values[b].shape(),
+            &[cout],
+            "conv1d bias must be [Cout]"
+        );
         assert!(dilation >= 1);
 
         let half = (k / 2) * dilation;
@@ -666,44 +703,46 @@ impl Graph {
 
         let ng = self.any_grad(&[x, w, b]);
         let backfn: Option<BackFn> = ng.then(|| {
-            Box::new(move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
-                let xv = vals[x].data();
-                let wv = vals[w].data();
-                let gv = g.data();
-                let mut gx = Tensor::zeros(vals[x].shape());
-                let mut gw = Tensor::zeros(vals[w].shape());
-                let mut gb = Tensor::zeros(vals[b].shape());
-                for bi in 0..bsz {
-                    for co in 0..cout {
-                        let grow = &gv[(bi * cout + co) * l..(bi * cout + co + 1) * l];
-                        gb.data_mut()[co] += grow.iter().sum::<f32>();
-                        for ci in 0..cin {
-                            let xrow = &xv[(bi * cin + ci) * l..(bi * cin + ci + 1) * l];
-                            let wrow = &wv[(co * cin + ci) * k..(co * cin + ci + 1) * k];
-                            let gxrow =
-                                &mut gx.data_mut()[(bi * cin + ci) * l..(bi * cin + ci + 1) * l];
-                            let gwrow =
-                                &mut gw.data_mut()[(co * cin + ci) * k..(co * cin + ci + 1) * k];
-                            for kk in 0..k {
-                                let shift = kk * dilation;
-                                let t_lo = half.saturating_sub(shift);
-                                let t_hi = (l + half).saturating_sub(shift).min(l);
-                                let wk = wrow[kk];
-                                let mut wacc = 0.0f32;
-                                for t in t_lo..t_hi {
-                                    let xi = t + shift - half;
-                                    gxrow[xi] += wk * grow[t];
-                                    wacc += xrow[xi] * grow[t];
+            Box::new(
+                move |vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
+                    let xv = vals[x].data();
+                    let wv = vals[w].data();
+                    let gv = g.data();
+                    let mut gx = Tensor::zeros(vals[x].shape());
+                    let mut gw = Tensor::zeros(vals[w].shape());
+                    let mut gb = Tensor::zeros(vals[b].shape());
+                    for bi in 0..bsz {
+                        for co in 0..cout {
+                            let grow = &gv[(bi * cout + co) * l..(bi * cout + co + 1) * l];
+                            gb.data_mut()[co] += grow.iter().sum::<f32>();
+                            for ci in 0..cin {
+                                let xrow = &xv[(bi * cin + ci) * l..(bi * cin + ci + 1) * l];
+                                let wrow = &wv[(co * cin + ci) * k..(co * cin + ci + 1) * k];
+                                let gxrow = &mut gx.data_mut()
+                                    [(bi * cin + ci) * l..(bi * cin + ci + 1) * l];
+                                let gwrow = &mut gw.data_mut()
+                                    [(co * cin + ci) * k..(co * cin + ci + 1) * k];
+                                for kk in 0..k {
+                                    let shift = kk * dilation;
+                                    let t_lo = half.saturating_sub(shift);
+                                    let t_hi = (l + half).saturating_sub(shift).min(l);
+                                    let wk = wrow[kk];
+                                    let mut wacc = 0.0f32;
+                                    for t in t_lo..t_hi {
+                                        let xi = t + shift - half;
+                                        gxrow[xi] += wk * grow[t];
+                                        wacc += xrow[xi] * grow[t];
+                                    }
+                                    gwrow[kk] += wacc;
                                 }
-                                gwrow[kk] += wacc;
                             }
                         }
                     }
-                }
-                accumulate(grads, x, gx);
-                accumulate(grads, w, gw);
-                accumulate(grads, b, gb);
-            }) as BackFn
+                    accumulate(grads, x, gx);
+                    accumulate(grads, w, gw);
+                    accumulate(grads, b, gb);
+                },
+            ) as BackFn
         });
         self.push(out, ng, backfn)
     }
@@ -728,17 +767,20 @@ impl Graph {
         }
         let ng = self.any_grad(&[x, b]);
         let backfn: Option<BackFn> = ng.then(|| {
-            Box::new(move |_vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
-                accumulate(grads, x, g.clone());
-                let mut gb = Tensor::zeros(&[c]);
-                for bi in 0..bsz {
-                    for ci in 0..c {
-                        gb.data_mut()[ci] +=
-                            g.data()[(bi * c + ci) * l..(bi * c + ci + 1) * l].iter().sum::<f32>();
+            Box::new(
+                move |_vals: &[Tensor], g: &Tensor, grads: &mut [Option<Tensor>]| {
+                    accumulate(grads, x, g.clone());
+                    let mut gb = Tensor::zeros(&[c]);
+                    for bi in 0..bsz {
+                        for ci in 0..c {
+                            gb.data_mut()[ci] += g.data()[(bi * c + ci) * l..(bi * c + ci + 1) * l]
+                                .iter()
+                                .sum::<f32>();
+                        }
                     }
-                }
-                accumulate(grads, b, gb);
-            }) as BackFn
+                    accumulate(grads, b, gb);
+                },
+            ) as BackFn
         });
         self.push(out, ng, backfn)
     }
@@ -819,9 +861,10 @@ mod tests {
     fn seeded(shape: &[usize], seed: u32) -> Tensor {
         let n: usize = shape.iter().product();
         let data: Vec<f32> = (0..n)
-            .map(|i| (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32
-                / 1000.0)
-                - 0.5)
+            .map(|i| {
+                (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32 / 1000.0)
+                    - 0.5
+            })
             .collect();
         Tensor::from_vec(shape, data)
     }

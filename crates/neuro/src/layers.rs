@@ -148,13 +148,7 @@ impl Lstm {
     }
 
     /// One step: `(x_t [B,in], h [B,H], c [B,H]) → (h', c')`.
-    pub fn step(
-        &self,
-        g: &mut Graph,
-        x: NodeId,
-        h: NodeId,
-        c: NodeId,
-    ) -> (NodeId, NodeId) {
+    pub fn step(&self, g: &mut Graph, x: NodeId, h: NodeId, c: NodeId) -> (NodeId, NodeId) {
         let hsz = self.hidden;
         let w_ih = g.param(&self.w_ih);
         let w_hh = g.param(&self.w_hh);
@@ -425,7 +419,10 @@ mod tests {
         let mut g2 = Graph::new();
         let xa = g2.input(Tensor::from_vec(
             &[4, 3],
-            (0..4).flat_map(|r| (0..3).map(move |j| (r, j))).map(|(r, j)| x_t.at2(r, j)).collect(),
+            (0..4)
+                .flat_map(|r| (0..3).map(move |j| (r, j)))
+                .map(|(r, j)| x_t.at2(r, j))
+                .collect(),
         ));
         let hid = c.net1.forward(&mut g2, xa);
         let hid = g2.relu(hid);

@@ -37,7 +37,11 @@ pub struct CosineSchedule {
 impl CosineSchedule {
     pub fn new(lr_max: f32, lr_min: f32, total_steps: u64) -> Self {
         assert!(lr_max >= lr_min && lr_min >= 0.0 && total_steps > 0);
-        CosineSchedule { lr_max, lr_min, total_steps }
+        CosineSchedule {
+            lr_max,
+            lr_min,
+            total_steps,
+        }
     }
 
     /// Learning rate at step `t` (0-based).

@@ -73,7 +73,10 @@ pub fn read_tensors<R: Read>(mut r: R) -> io::Result<Vec<Tensor>> {
         }
         let numel: usize = shape.iter().product();
         if numel > 256 << 20 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "tensor too large"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "tensor too large",
+            ));
         }
         let mut data = Vec::with_capacity(numel);
         let mut buf = [0u8; 4];
@@ -93,14 +96,22 @@ pub fn load_params<R: Read>(r: R, params: &[Param]) -> io::Result<()> {
     if tensors.len() != params.len() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("parameter count mismatch: file {} vs model {}", tensors.len(), params.len()),
+            format!(
+                "parameter count mismatch: file {} vs model {}",
+                tensors.len(),
+                params.len()
+            ),
         ));
     }
     for (t, p) in tensors.iter().zip(params) {
         if t.shape() != p.shape().as_slice() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("shape mismatch: file {:?} vs model {:?}", t.shape(), p.shape()),
+                format!(
+                    "shape mismatch: file {:?} vs model {:?}",
+                    t.shape(),
+                    p.shape()
+                ),
             ));
         }
     }

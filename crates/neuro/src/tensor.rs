@@ -85,14 +85,25 @@ impl Tensor {
 
     /// Extract the scalar value of a shape-`[1]` tensor.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.numel(), 1, "item() on non-scalar shape {:?}", self.shape);
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on non-scalar shape {:?}",
+            self.shape
+        );
         self.data[0]
     }
 
     /// Reinterpret with a new shape of identical element count.
     pub fn reshaped(mut self, shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(n, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        assert_eq!(
+            n,
+            self.data.len(),
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
         self.shape = shape.to_vec();
         self
     }

@@ -1,0 +1,431 @@
+//! Request batching/scheduling: concurrent `detect` requests against the
+//! same model are grouped and run together.
+//!
+//! Inference-time windowing/batching policy is a first-class axis for a
+//! reconstruction-style detector service; here the policy is the classic
+//! `max_batch` / `max_delay` pair: a batch closes as soon as it holds
+//! `max_batch` requests, or `max_delay` after its oldest request arrived,
+//! whichever comes first. Within a batch the model slot is locked once, the
+//! model deserialized at most once, and duplicate payloads (hot series
+//! polled by many clients) run the pipeline once and fan the result out.
+//!
+//! Executor threads pull due batches; different models execute in parallel,
+//! one batch per model at a time (the slot mutex serializes the non-`Sync`
+//! model anyway — see `registry`).
+
+use crate::json::Value;
+use crate::metrics::{inc, Metrics};
+use crate::proto::detection_fields;
+use crate::registry::ModelRegistry;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Batch-closing policy.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Close a batch at this many requests.
+    pub max_batch: usize,
+    /// …or this long after its oldest request, whichever comes first.
+    pub max_delay: Duration,
+    /// Requests still queued after this long are answered with a timeout
+    /// error instead of being executed.
+    pub request_timeout: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 16,
+            max_delay: Duration::from_millis(20),
+            request_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One queued detect request.
+pub struct DetectJob {
+    pub series: Vec<f64>,
+    pub enqueued: Instant,
+    pub reply: mpsc::Sender<Result<Value, String>>,
+}
+
+struct Queues {
+    /// Pending jobs per model.
+    pending: HashMap<String, Vec<DetectJob>>,
+    /// Models with a batch currently executing (at most one per model).
+    busy: HashSet<String>,
+}
+
+/// The shared batch scheduler.
+pub struct Batcher {
+    state: Mutex<Queues>,
+    work: Condvar,
+    policy: BatchPolicy,
+    draining: AtomicBool,
+}
+
+impl Batcher {
+    pub fn new(policy: BatchPolicy) -> Self {
+        Batcher {
+            state: Mutex::new(Queues {
+                pending: HashMap::new(),
+                busy: HashSet::new(),
+            }),
+            work: Condvar::new(),
+            policy,
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Enqueue a detect request; the result arrives on the returned channel.
+    pub fn submit(&self, model: &str, series: Vec<f64>) -> mpsc::Receiver<Result<Value, String>> {
+        let (tx, rx) = mpsc::channel();
+        let job = DetectJob {
+            series,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        let mut st = self.state.lock().unwrap();
+        st.pending.entry(model.to_string()).or_default().push(job);
+        drop(st);
+        self.work.notify_all();
+        rx
+    }
+
+    /// Begin drain: every queued request becomes immediately due, and
+    /// executors exit once the queues are empty. Call only after request
+    /// producers have stopped.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.work.notify_all();
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Block until a batch is due (returns it) or the batcher has drained
+    /// (returns `None`).
+    fn next_batch(&self) -> Option<(String, Vec<DetectJob>)> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            let now = Instant::now();
+            let mut due: Option<String> = None;
+            let mut next_deadline: Option<Instant> = None;
+            for (name, jobs) in st.pending.iter() {
+                if jobs.is_empty() || st.busy.contains(name) {
+                    continue;
+                }
+                let oldest = jobs.iter().map(|j| j.enqueued).min().unwrap();
+                if jobs.len() >= self.policy.max_batch
+                    || self.draining()
+                    || now >= oldest + self.policy.max_delay
+                {
+                    due = Some(name.clone());
+                    break;
+                }
+                let deadline = oldest + self.policy.max_delay;
+                next_deadline = Some(next_deadline.map_or(deadline, |d: Instant| d.min(deadline)));
+            }
+
+            if let Some(name) = due {
+                let jobs = st.pending.get_mut(&name).unwrap();
+                let take = jobs.len().min(self.policy.max_batch);
+                let batch: Vec<DetectJob> = jobs.drain(..take).collect();
+                if jobs.is_empty() {
+                    st.pending.remove(&name);
+                }
+                st.busy.insert(name.clone());
+                return Some((name, batch));
+            }
+
+            if self.draining() && st.pending.values().all(|v| v.is_empty()) {
+                return None;
+            }
+
+            let wait = match next_deadline {
+                Some(dl) => {
+                    let now = Instant::now();
+                    if dl <= now {
+                        continue;
+                    }
+                    dl - now
+                }
+                // Nothing queued (or everything busy): park until notified;
+                // the timeout is a safety net for missed wakeups.
+                None => Duration::from_millis(50),
+            };
+            st = self.work.wait_timeout(st, wait).unwrap().0;
+        }
+    }
+
+    fn finish(&self, model: &str) {
+        let mut st = self.state.lock().unwrap();
+        st.busy.remove(model);
+        drop(st);
+        self.work.notify_all();
+    }
+
+    /// Executor thread body: pull due batches and run them until drained.
+    pub fn run_executor(&self, registry: &RwLock<ModelRegistry>, metrics: &Metrics) {
+        while let Some((model, batch)) = self.next_batch() {
+            self.execute(registry, metrics, &model, batch);
+            self.finish(&model);
+        }
+    }
+
+    fn execute(
+        &self,
+        registry: &RwLock<ModelRegistry>,
+        metrics: &Metrics,
+        model: &str,
+        batch: Vec<DetectJob>,
+    ) {
+        inc(&metrics.batches_total);
+        metrics.batch_size.observe(batch.len() as u64);
+        metrics
+            .batched_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        if batch.len() >= 2 {
+            inc(&metrics.batches_multi);
+        }
+
+        // Expire requests that waited past their timeout budget.
+        let mut live: Vec<DetectJob> = Vec::with_capacity(batch.len());
+        for job in batch {
+            metrics
+                .queue_wait_us
+                .observe(job.enqueued.elapsed().as_micros() as u64);
+            if job.enqueued.elapsed() > self.policy.request_timeout {
+                inc(&metrics.timeouts_total);
+                let _ = job.reply.send(Err(format!(
+                    "request timed out after {:?} in queue",
+                    self.policy.request_timeout
+                )));
+            } else {
+                live.push(job);
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+
+        // Resolve the slot with a brief registry read lock, then release it
+        // before the (potentially long) pipeline run.
+        let slot = match registry.read() {
+            Ok(reg) => reg.slot(model),
+            Err(_) => None,
+        };
+        let Some(slot) = slot else {
+            for job in live {
+                let _ = job.reply.send(Err(format!("no such model {model:?}")));
+            }
+            return;
+        };
+
+        // Lock the model once for the whole batch (loading it on a miss).
+        // The guard borrows `slot`, not the registry, so the read lock drops
+        // right after.
+        let guard = {
+            let reg = match registry.read() {
+                Ok(r) => r,
+                Err(_) => {
+                    for job in live {
+                        let _ = job.reply.send(Err("registry poisoned".into()));
+                    }
+                    return;
+                }
+            };
+            match reg.lock_loaded(&slot) {
+                Ok(g) => g,
+                Err(e) => {
+                    for job in live {
+                        let _ = job.reply.send(Err(e.clone()));
+                    }
+                    return;
+                }
+            }
+        };
+        let fitted = guard.as_ref().expect("lock_loaded guarantees Some");
+
+        // Group identical payloads: one pipeline run per distinct series.
+        let mut groups: Vec<(u64, Vec<DetectJob>)> = Vec::new();
+        for job in live {
+            let h = hash_series(&job.series);
+            match groups
+                .iter_mut()
+                .find(|(gh, gjobs)| *gh == h && gjobs[0].series == job.series)
+            {
+                Some((_, gjobs)) => {
+                    inc(&metrics.batch_dedup_hits);
+                    gjobs.push(job);
+                }
+                None => groups.push((h, vec![job])),
+            }
+        }
+
+        for (_, gjobs) in groups {
+            let det = fitted.detect(&gjobs[0].series);
+            let fields = detection_fields(model, &det);
+            for job in gjobs {
+                metrics
+                    .detect_latency_us
+                    .observe(job.enqueued.elapsed().as_micros() as u64);
+                let _ = job.reply.send(Ok(fields.clone()));
+            }
+        }
+    }
+}
+
+fn hash_series(xs: &[f64]) -> u64 {
+    // FNV-1a over the raw f64 bits.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::get;
+    use std::f64::consts::PI;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+    use triad_core::{TriAd, TriadConfig};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("triad_batch_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn fixture(dir: &PathBuf, metrics: &Arc<Metrics>) -> Arc<RwLock<ModelRegistry>> {
+        let train: Vec<f64> = (0..600)
+            .map(|i| (2.0 * PI * i as f64 / 40.0).sin())
+            .collect();
+        let cfg = TriadConfig {
+            epochs: 2,
+            depth: 2,
+            hidden: 6,
+            batch: 4,
+            merlin_step: 4,
+            ..Default::default()
+        };
+        let fitted = TriAd::new(cfg).fit(&train).expect("fit");
+        let mut reg = ModelRegistry::open(dir, 4, Arc::clone(metrics)).unwrap();
+        reg.save_fitted("m", fitted).unwrap();
+        Arc::new(RwLock::new(reg))
+    }
+
+    fn test_series() -> Vec<f64> {
+        (0..300)
+            .map(|i| {
+                (2.0 * PI * i as f64 / 40.0).sin() + if (120..160).contains(&i) { 0.9 } else { 0.0 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_identical_requests_batch_and_dedup() {
+        let dir = tmp_dir("dedup");
+        let metrics = Arc::new(Metrics::new());
+        let registry = fixture(&dir, &metrics);
+        let batcher = Arc::new(Batcher::new(BatchPolicy {
+            max_batch: 8,
+            max_delay: Duration::from_millis(40),
+            request_timeout: Duration::from_secs(10),
+        }));
+
+        let exec = {
+            let batcher = Arc::clone(&batcher);
+            let registry = Arc::clone(&registry);
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || batcher.run_executor(&registry, &metrics))
+        };
+
+        let series = test_series();
+        let rxs: Vec<_> = (0..6)
+            .map(|_| batcher.submit("m", series.clone()))
+            .collect();
+        let mut bodies = Vec::new();
+        for rx in rxs {
+            bodies.push(
+                rx.recv_timeout(Duration::from_secs(60))
+                    .expect("reply")
+                    .expect("ok"),
+            );
+        }
+        for b in &bodies {
+            assert_eq!(b.to_string(), bodies[0].to_string());
+        }
+        assert!(get(&metrics.batches_multi) >= 1, "no multi-request batch");
+        assert!(get(&metrics.batch_dedup_hits) >= 1, "no dedup");
+        assert_eq!(get(&metrics.batched_requests), 6);
+
+        batcher.drain();
+        exec.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_model_and_drain() {
+        let dir = tmp_dir("unknown");
+        let metrics = Arc::new(Metrics::new());
+        let registry = fixture(&dir, &metrics);
+        let batcher = Arc::new(Batcher::new(BatchPolicy {
+            max_delay: Duration::from_millis(5),
+            ..Default::default()
+        }));
+        let exec = {
+            let batcher = Arc::clone(&batcher);
+            let registry = Arc::clone(&registry);
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || batcher.run_executor(&registry, &metrics))
+        };
+        let rx = batcher.submit("ghost", vec![1.0, 2.0]);
+        let err = rx
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap()
+            .unwrap_err();
+        assert!(err.contains("no such model"), "{err}");
+        batcher.drain();
+        exec.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_flushes_pending_jobs_without_executor_waiting_full_delay() {
+        let dir = tmp_dir("drainflush");
+        let metrics = Arc::new(Metrics::new());
+        let registry = fixture(&dir, &metrics);
+        // Huge max_delay: only drain() makes the job due.
+        let batcher = Arc::new(Batcher::new(BatchPolicy {
+            max_batch: 64,
+            max_delay: Duration::from_secs(3600),
+            request_timeout: Duration::from_secs(3600),
+        }));
+        let rx = batcher.submit("m", test_series());
+        batcher.drain();
+        let exec = {
+            let batcher = Arc::clone(&batcher);
+            let registry = Arc::clone(&registry);
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || batcher.run_executor(&registry, &metrics))
+        };
+        let body = rx.recv_timeout(Duration::from_secs(60)).unwrap().unwrap();
+        assert!(body.get("selected").is_some());
+        exec.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,130 @@
+//! Blocking client for the line-delimited JSON protocol.
+//!
+//! One [`Client`] wraps one TCP connection; requests are serialized on it in
+//! order (the protocol is strictly request→response per line). The CLI's
+//! `triad client` subcommand and the e2e suite both drive the server through
+//! this type.
+
+use crate::json::{self, Value};
+use crate::proto::MAX_LINE_BYTES;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn io_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl Client {
+    /// Connect to a server; `timeout` bounds each subsequent response wait.
+    pub fn connect<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io_err("no address resolved".into()))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request object, wait for its one response line.
+    pub fn call(&mut self, request: &Value) -> io::Result<Value> {
+        let line = request.to_string();
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut buf = String::new();
+        let n = (&mut self.reader)
+            .take(MAX_LINE_BYTES as u64)
+            .read_line(&mut buf)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        json::parse(buf.trim()).map_err(|e| io_err(format!("bad response JSON: {e}")))
+    }
+
+    /// `call` that also turns `ok:false` responses into errors carrying the
+    /// server's message.
+    pub fn call_ok(&mut self, request: &Value) -> io::Result<Value> {
+        let resp = self.call(request)?;
+        match resp.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(resp),
+            Some(false) => Err(io_err(
+                resp.get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown server error")
+                    .to_string(),
+            )),
+            None => Err(io_err(format!("response without ok field: {resp}"))),
+        }
+    }
+
+    fn verb(name: &str, fields: Vec<(&str, Value)>) -> Value {
+        let mut all = vec![("verb", Value::from(name))];
+        all.extend(fields);
+        Value::obj(all)
+    }
+
+    pub fn health(&mut self) -> io::Result<Value> {
+        self.call_ok(&Self::verb("health", vec![]))
+    }
+
+    pub fn list(&mut self) -> io::Result<Value> {
+        self.call_ok(&Self::verb("list", vec![]))
+    }
+
+    pub fn stats(&mut self) -> io::Result<Value> {
+        self.call_ok(&Self::verb("stats", vec![]))
+    }
+
+    pub fn stats_text(&mut self) -> io::Result<String> {
+        let resp = self.call_ok(&Self::verb("stats", vec![("format", "text".into())]))?;
+        Ok(resp
+            .get("text")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string())
+    }
+
+    pub fn evict(&mut self, model: &str) -> io::Result<Value> {
+        self.call_ok(&Self::verb("evict", vec![("model", model.into())]))
+    }
+
+    pub fn fit(
+        &mut self,
+        model: &str,
+        train: &[f64],
+        extra: Vec<(&str, Value)>,
+    ) -> io::Result<Value> {
+        let mut fields = vec![
+            ("model", Value::from(model)),
+            ("train", Value::num_arr(train)),
+        ];
+        fields.extend(extra);
+        self.call_ok(&Self::verb("fit", fields))
+    }
+
+    pub fn detect(&mut self, model: &str, series: &[f64]) -> io::Result<Value> {
+        self.call_ok(&Self::verb(
+            "detect",
+            vec![("model", model.into()), ("series", Value::num_arr(series))],
+        ))
+    }
+
+    pub fn shutdown(&mut self) -> io::Result<Value> {
+        self.call_ok(&Self::verb("shutdown", vec![]))
+    }
+}

@@ -1,0 +1,35 @@
+//! triad-serve: the concurrent model-serving subsystem.
+//!
+//! Four layers, bottom to top:
+//!
+//! - [`registry`] — named model slots over `triad-core::persist`: atomic
+//!   save/reload of fitted models in a directory, an LRU cache of
+//!   deserialized instances, and the threading story for the non-`Send`
+//!   pipeline (`SendModel` + per-slot mutex).
+//! - [`batch`] — groups concurrent `detect` requests per model under a
+//!   `max_batch`/`max_delay` policy so the pipeline is locked once per batch
+//!   and duplicate payloads run once.
+//! - [`server`] — a `TcpListener` accept loop feeding a thread pool over a
+//!   bounded channel; workers speak the [`proto`] line-delimited JSON
+//!   protocol (`fit`, `detect`, `list`, `evict`, `stats`, `health`,
+//!   `shutdown`) and graceful shutdown drains every in-flight request.
+//! - [`metrics`] — lock-free counters/histograms behind the `stats` verb.
+//!
+//! [`client`] is the matching blocking client used by `triad client` and the
+//! integration tests; [`json`] is the dependency-free JSON layer whose
+//! deterministic output makes bit-for-bit response comparison valid.
+
+pub mod batch;
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use batch::{BatchPolicy, Batcher};
+pub use client::Client;
+pub use json::Value;
+pub use metrics::Metrics;
+pub use registry::{ModelInfo, ModelRegistry, SendModel};
+pub use server::{start, ServeConfig, ServerHandle};

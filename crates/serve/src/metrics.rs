@@ -1,0 +1,280 @@
+//! Lock-free observability: atomic counters and histograms.
+//!
+//! Every hot-path update is a single relaxed `AtomicU64` op — no locks, no
+//! allocation — so instrumentation never serializes the worker pool. The
+//! `stats` verb snapshots everything into JSON; [`Metrics::render_text`]
+//! produces the plain-text dump.
+
+use crate::json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Fixed-bucket histogram (cumulative counts are derived at render time).
+pub struct Histogram {
+    /// Upper bounds, ascending; values beyond the last bound land in a final
+    /// overflow bucket.
+    bounds: &'static [u64],
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new(bounds: &'static [u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds,
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = Vec::with_capacity(self.counts.len() + 2);
+        for (i, c) in self.counts.iter().enumerate() {
+            let label = if i < self.bounds.len() {
+                format!("le_{}", self.bounds[i])
+            } else {
+                "inf".to_string()
+            };
+            fields.push((label, Value::Num(c.load(Ordering::Relaxed) as f64)));
+        }
+        fields.push(("count".into(), Value::Num(self.count() as f64)));
+        fields.push((
+            "sum".into(),
+            Value::Num(self.sum.load(Ordering::Relaxed) as f64),
+        ));
+        Value::Obj(fields)
+    }
+
+    fn render(&self, name: &str, unit: &str, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(
+            out,
+            "{name}_count {count}\n{name}_sum{unit} {sum}",
+            count = self.count(),
+            sum = self.sum.load(Ordering::Relaxed),
+        );
+        for (i, c) in self.counts.iter().enumerate() {
+            let bound = if i < self.bounds.len() {
+                format!("{}", self.bounds[i])
+            } else {
+                "+inf".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{bound}\"}} {}",
+                c.load(Ordering::Relaxed)
+            );
+        }
+    }
+}
+
+macro_rules! metrics_struct {
+    ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
+        /// All serving counters; one instance shared by every layer.
+        pub struct Metrics {
+            $($(#[$doc])* pub $name: AtomicU64,)*
+            /// Detect end-to-end latency (queue + batch + pipeline), µs.
+            pub detect_latency_us: Histogram,
+            /// Time a detect request waited before its batch ran, µs.
+            pub queue_wait_us: Histogram,
+            /// Fit latency, ms.
+            pub fit_latency_ms: Histogram,
+            /// Executed batch sizes (requests per batch).
+            pub batch_size: Histogram,
+            started: Instant,
+        }
+
+        impl Metrics {
+            pub fn new() -> Self {
+                Metrics {
+                    $($name: AtomicU64::new(0),)*
+                    detect_latency_us: Histogram::new(&[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000]),
+                    queue_wait_us: Histogram::new(&[100, 1_000, 10_000, 100_000, 1_000_000]),
+                    fit_latency_ms: Histogram::new(&[10, 100, 1_000, 10_000, 60_000]),
+                    batch_size: Histogram::new(&[1, 2, 4, 8, 16, 32]),
+                    started: Instant::now(),
+                }
+            }
+
+            /// Counter snapshot as JSON (the `stats` verb payload).
+            pub fn to_json(&self) -> Value {
+                let mut fields: Vec<(String, Value)> = vec![
+                    $( (stringify!($name).to_string(),
+                        Value::Num(self.$name.load(Ordering::Relaxed) as f64)), )*
+                ];
+                fields.push(("uptime_ms".into(),
+                    Value::Num(self.started.elapsed().as_millis() as f64)));
+                for (name, h) in [
+                    ("detect_latency_us", &self.detect_latency_us),
+                    ("queue_wait_us", &self.queue_wait_us),
+                    ("fit_latency_ms", &self.fit_latency_ms),
+                    ("batch_size", &self.batch_size),
+                ] {
+                    fields.push((name.to_string(), h.to_json()));
+                }
+                Value::Obj(fields)
+            }
+
+            /// Plain-text dump (Prometheus-flavoured exposition format).
+            pub fn render_text(&self) -> String {
+                use std::fmt::Write;
+                let mut out = String::new();
+                $(
+                    let _ = writeln!(
+                        out,
+                        "triad_{} {}",
+                        stringify!($name),
+                        self.$name.load(Ordering::Relaxed)
+                    );
+                )*
+                let _ = writeln!(out, "triad_uptime_ms {}", self.started.elapsed().as_millis());
+                self.detect_latency_us.render("triad_detect_latency_us", "_us", &mut out);
+                self.queue_wait_us.render("triad_queue_wait_us", "_us", &mut out);
+                self.fit_latency_ms.render("triad_fit_latency_ms", "_ms", &mut out);
+                self.batch_size.render("triad_batch_size", "", &mut out);
+                out
+            }
+        }
+    };
+}
+
+metrics_struct! {
+    /// Accepted TCP connections.
+    connections_total,
+    /// Requests parsed off the wire (all verbs).
+    requests_total,
+    /// Responses written back (success or error).
+    responses_total,
+    /// Requests answered with `ok:false`.
+    errors_total,
+    /// `fit` requests served.
+    fit_total,
+    /// `detect` requests served.
+    detect_total,
+    /// `list` requests served.
+    list_total,
+    /// `evict` requests served.
+    evict_total,
+    /// `stats` requests served.
+    stats_total,
+    /// `health` requests served.
+    health_total,
+    /// `shutdown` requests served.
+    shutdown_total,
+    /// Detect answered from an already-deserialized model slot.
+    cache_hits,
+    /// Detect that had to deserialize the model from disk first.
+    cache_misses,
+    /// Deserialized models dropped by LRU pressure or `evict`.
+    cache_evictions,
+    /// Batches executed by the scheduling layer.
+    batches_total,
+    /// Detect requests that went through batches.
+    batched_requests,
+    /// Batches that grouped ≥ 2 concurrent requests.
+    batches_multi,
+    /// Within-batch duplicate payloads answered by a shared pipeline run.
+    batch_dedup_hits,
+    /// Detect requests that timed out before execution.
+    timeouts_total,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+/// Convenience: relaxed increment.
+pub fn inc(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Convenience: relaxed read.
+pub fn get(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [5, 10, 11, 99, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - (5 + 10 + 11 + 99 + 5000) as f64 / 5.0).abs() < 1e-9);
+        let j = h.to_json();
+        assert_eq!(j.get("le_10").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("le_100").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("le_1000").unwrap().as_u64(), Some(0));
+        assert_eq!(j.get("inf").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn metrics_snapshot_and_text() {
+        let m = Metrics::new();
+        inc(&m.requests_total);
+        inc(&m.requests_total);
+        inc(&m.cache_hits);
+        m.batch_size.observe(3);
+        let j = m.to_json();
+        assert_eq!(j.get("requests_total").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert!(j.get("uptime_ms").unwrap().as_f64().unwrap() >= 0.0);
+        let text = m.render_text();
+        assert!(text.contains("triad_requests_total 2"), "{text}");
+        assert!(
+            text.contains("triad_batch_size_bucket{le=\"4\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let m = std::sync::Arc::new(Metrics::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = std::sync::Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        inc(&m.detect_total);
+                        m.detect_latency_us.observe(42);
+                    }
+                });
+            }
+        });
+        assert_eq!(get(&m.detect_total), 8000);
+        assert_eq!(m.detect_latency_us.count(), 8000);
+    }
+}

@@ -1,0 +1,116 @@
+//! Wire protocol: line-delimited JSON request/response envelopes.
+//!
+//! Every request is one JSON object on one line: `{"verb": "...", ...}`,
+//! optionally carrying an `"id"` the server echoes back. Every response is
+//! one JSON object on one line: `{"ok": true, "verb": ..., "id"?, ...body}`
+//! or `{"ok": false, "verb": ..., "id"?, "error": "..."}`.
+//!
+//! Response bodies are emitted with order-preserving, shortest-round-trip
+//! float serialization (see `json`), so the same detection always renders
+//! as the same byte string — the e2e suite relies on this to assert
+//! bit-for-bit identical results across evict/reload.
+
+use crate::json::Value;
+use triad_core::TriadDetection;
+
+/// Maximum accepted request line, bytes (guards the server against a rogue
+/// client streaming an unbounded line).
+pub const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Build a success response envelope around `body` fields.
+pub fn ok_response(verb: &str, id: Option<&Value>, body: Vec<(String, Value)>) -> Value {
+    let mut fields: Vec<(String, Value)> = vec![("ok".into(), Value::Bool(true))];
+    if let Some(id) = id {
+        fields.push(("id".into(), id.clone()));
+    }
+    fields.push(("verb".into(), verb.into()));
+    fields.extend(body);
+    Value::Obj(fields)
+}
+
+/// Build an error response envelope.
+pub fn err_response(verb: &str, id: Option<&Value>, error: &str) -> Value {
+    let mut fields: Vec<(String, Value)> = vec![("ok".into(), Value::Bool(false))];
+    if let Some(id) = id {
+        fields.push(("id".into(), id.clone()));
+    }
+    fields.push(("verb".into(), verb.into()));
+    fields.push(("error".into(), error.into()));
+    Value::Obj(fields)
+}
+
+fn range_value(r: &std::ops::Range<usize>) -> Value {
+    Value::Arr(vec![Value::Num(r.start as f64), Value::Num(r.end as f64)])
+}
+
+/// Deterministic JSON body for one detection result.
+pub fn detection_fields(model: &str, det: &TriadDetection) -> Value {
+    let flagged: Vec<Value> = det
+        .prediction
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| Value::Num(i as f64))
+        .collect();
+    let region = match det.predicted_region() {
+        Some(r) => range_value(&r),
+        None => Value::Null,
+    };
+    let discords: Vec<Value> = det
+        .discords
+        .iter()
+        .map(|d| {
+            Value::Obj(vec![
+                ("index".into(), Value::Num(d.index as f64)),
+                ("length".into(), Value::Num(d.length as f64)),
+                ("distance".into(), Value::Num(d.distance)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("model".into(), model.into()),
+        ("n_points".into(), Value::Num(det.prediction.len() as f64)),
+        ("threshold".into(), Value::Num(det.threshold)),
+        ("selected".into(), range_value(&det.selected_window)),
+        ("search_region".into(), range_value(&det.search_region)),
+        ("region".into(), region),
+        ("n_flagged".into(), Value::Num(flagged.len() as f64)),
+        ("flagged".into(), Value::Arr(flagged)),
+        ("used_fallback".into(), Value::Bool(det.used_fallback)),
+        ("discords".into(), Value::Arr(discords)),
+    ])
+}
+
+/// Merge a detection body into a response envelope (the detect verb's
+/// success path).
+pub fn detect_response(id: Option<&Value>, body: Value) -> Value {
+    let fields = match body {
+        Value::Obj(fields) => fields,
+        other => vec![("result".into(), other)],
+    };
+    ok_response("detect", id, fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelopes_echo_id_and_preserve_order() {
+        let id = Value::Num(7.0);
+        let ok = ok_response(
+            "list",
+            Some(&id),
+            vec![("models".into(), Value::Arr(vec![]))],
+        );
+        assert_eq!(
+            ok.to_string(),
+            r#"{"ok":true,"id":7,"verb":"list","models":[]}"#
+        );
+        let err = err_response("detect", None, "no such model");
+        assert_eq!(
+            err.to_string(),
+            r#"{"ok":false,"verb":"detect","error":"no such model"}"#
+        );
+    }
+}

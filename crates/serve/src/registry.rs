@@ -1,0 +1,410 @@
+//! Named model slots over `triad-core::persist`, with an LRU cache of
+//! deserialized models and atomic on-disk save/reload.
+//!
+//! The registry maps model names to files in a models directory
+//! (`<dir>/<name>.triad`). Deserialized [`FittedTriad`]s are cached per slot
+//! behind a `Mutex`; at most `capacity` slots hold a live model at once —
+//! beyond that the least-recently-used one is dropped back to its file
+//! (`evict` does the same explicitly, and a subsequent detect reloads
+//! bit-identical state, which the end-to-end test asserts).
+//!
+//! ## Threading model
+//!
+//! `FittedTriad` contains `neuro` parameters (`Rc<RefCell<…>>`), so it is
+//! neither `Send` nor `Sync`. [`SendModel`] asserts `Send` (see the safety
+//! comment); it is sound because a fitted model owns its entire `Rc` graph —
+//! `train::fit` and `persist::load` build a fresh graph per model and no
+//! `Rc` handle escapes the `FittedTriad` API — so the whole object moves
+//! between threads as one unit. It is **never** `Sync`: all access goes
+//! through the slot `Mutex`, one thread at a time, which is exactly what the
+//! batching layer wants anyway (one pipeline run per model at a time, many
+//! models in parallel).
+
+use crate::metrics::{inc, Metrics};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use triad_core::{persist, FittedTriad};
+
+/// Move-only wrapper making a fitted model transferable across threads.
+pub struct SendModel(pub FittedTriad);
+
+// SAFETY: `FittedTriad` is self-contained — every `Rc`/`RefCell` inside it is
+// created during `fit`/`load` and reachable only through this value (the
+// public API hands out `&`-references, never `Rc` clones). Moving sole
+// ownership to another thread therefore cannot race reference counts. The
+// wrapper is deliberately NOT `Sync`: concurrent `&SendModel` access from two
+// threads could still race `RefCell` borrow flags, so every `SendModel` in
+// this module lives behind a `Mutex` and is only touched by its lock holder.
+unsafe impl Send for SendModel {}
+
+impl std::ops::Deref for SendModel {
+    type Target = FittedTriad;
+    fn deref(&self) -> &FittedTriad {
+        &self.0
+    }
+}
+
+/// One named model: its file plus an optional deserialized instance.
+pub struct ModelSlot {
+    name: String,
+    path: PathBuf,
+    model: Mutex<Option<SendModel>>,
+    /// Logical-clock stamp of the last detect/load touch (drives LRU).
+    last_used: AtomicU64,
+    /// Serialized size on disk, bytes.
+    file_bytes: AtomicU64,
+}
+
+impl ModelSlot {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn is_loaded(&self) -> bool {
+        self.model.lock().map(|g| g.is_some()).unwrap_or(false)
+    }
+
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// Summary row for the `list` verb.
+pub struct ModelInfo {
+    pub name: String,
+    pub loaded: bool,
+    pub file_bytes: u64,
+}
+
+/// The registry. Callers share it as `Arc<RwLock<ModelRegistry>>`: writes
+/// (slot creation/removal) take the write lock; the per-request path only
+/// needs a read lock to clone a slot `Arc`, so detects on different models
+/// proceed in parallel.
+pub struct ModelRegistry {
+    dir: PathBuf,
+    slots: HashMap<String, Arc<ModelSlot>>,
+    clock: AtomicU64,
+    capacity: usize,
+    metrics: Arc<Metrics>,
+}
+
+/// `<name>.triad` under the models directory.
+const MODEL_EXT: &str = "triad";
+
+fn validate_name(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > 64 {
+        return Err("model name must be 1..=64 characters".into());
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+        || name.starts_with('.')
+    {
+        return Err(format!(
+            "invalid model name {name:?}: use [A-Za-z0-9_.-], not starting with '.'"
+        ));
+    }
+    Ok(())
+}
+
+impl ModelRegistry {
+    /// Open (creating if needed) a models directory; every existing
+    /// `*.triad` file becomes an unloaded slot.
+    pub fn open(dir: &Path, capacity: usize, metrics: Arc<Metrics>) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let mut slots = HashMap::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(MODEL_EXT) {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if validate_name(stem).is_err() {
+                continue;
+            }
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            slots.insert(
+                stem.to_string(),
+                Arc::new(ModelSlot {
+                    name: stem.to_string(),
+                    path: path.clone(),
+                    model: Mutex::new(None),
+                    last_used: AtomicU64::new(0),
+                    file_bytes: AtomicU64::new(bytes),
+                }),
+            );
+        }
+        Ok(ModelRegistry {
+            dir: dir.to_path_buf(),
+            slots,
+            clock: AtomicU64::new(1),
+            capacity: capacity.max(1),
+            metrics,
+        })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn touch(&self, slot: &ModelSlot) {
+        let t = self.clock.fetch_add(1, Ordering::Relaxed);
+        slot.last_used.store(t, Ordering::Relaxed);
+    }
+
+    /// Persist a freshly fitted model under `name` (atomic rename) and cache
+    /// the live instance. Overwrites any previous model of the same name.
+    pub fn save_fitted(&mut self, name: &str, fitted: FittedTriad) -> Result<(), String> {
+        validate_name(name)?;
+        let final_path = self.dir.join(format!("{name}.{MODEL_EXT}"));
+        let tmp_path = self.dir.join(format!(".{name}.{MODEL_EXT}.tmp"));
+        persist::save_file(&tmp_path, &fitted).map_err(|e| format!("save {name}: {e}"))?;
+        std::fs::rename(&tmp_path, &final_path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp_path);
+            format!("install {name}: {e}")
+        })?;
+        let bytes = std::fs::metadata(&final_path).map(|m| m.len()).unwrap_or(0);
+
+        let slot = self
+            .slots
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Arc::new(ModelSlot {
+                    name: name.to_string(),
+                    path: final_path.clone(),
+                    model: Mutex::new(None),
+                    last_used: AtomicU64::new(0),
+                    file_bytes: AtomicU64::new(0),
+                })
+            })
+            .clone();
+        slot.file_bytes.store(bytes, Ordering::Relaxed);
+        *slot.model.lock().map_err(|_| "slot poisoned")? = Some(SendModel(fitted));
+        self.touch(&slot);
+        self.enforce_capacity();
+        Ok(())
+    }
+
+    /// Look up a slot by name.
+    pub fn slot(&self, name: &str) -> Option<Arc<ModelSlot>> {
+        self.slots.get(name).cloned()
+    }
+
+    /// Lock a slot's model, deserializing from disk on a cache miss, and
+    /// update LRU bookkeeping. The returned guard keeps exclusive use of the
+    /// model for the caller's batch.
+    pub fn lock_loaded<'s>(
+        &self,
+        slot: &'s ModelSlot,
+    ) -> Result<MutexGuard<'s, Option<SendModel>>, String> {
+        let mut guard = slot.model.lock().map_err(|_| "slot poisoned")?;
+        if guard.is_some() {
+            inc(&self.metrics.cache_hits);
+        } else {
+            inc(&self.metrics.cache_misses);
+            let fitted =
+                persist::load_file(&slot.path).map_err(|e| format!("load {}: {e}", slot.name))?;
+            *guard = Some(SendModel(fitted));
+        }
+        self.touch(slot);
+        // A fresh load may have pushed us over the cache budget.
+        self.enforce_capacity();
+        Ok(guard)
+    }
+
+    /// Drop the deserialized copy (the file stays). Returns whether a live
+    /// instance was actually evicted.
+    pub fn evict(&self, name: &str) -> Result<bool, String> {
+        let Some(slot) = self.slots.get(name) else {
+            return Err(format!("no such model {name:?}"));
+        };
+        let mut guard = slot.model.lock().map_err(|_| "slot poisoned")?;
+        let was_loaded = guard.take().is_some();
+        if was_loaded {
+            inc(&self.metrics.cache_evictions);
+        }
+        Ok(was_loaded)
+    }
+
+    /// Keep at most `capacity` models deserialized, dropping the
+    /// least-recently-used ones. Slots whose lock is currently held (a batch
+    /// is running on them) are skipped — they are in use by definition.
+    fn enforce_capacity(&self) {
+        loop {
+            let mut loaded: Vec<(&Arc<ModelSlot>, u64)> = Vec::new();
+            for slot in self.slots.values() {
+                if let Ok(g) = slot.model.try_lock() {
+                    if g.is_some() {
+                        loaded.push((slot, slot.last_used.load(Ordering::Relaxed)));
+                    }
+                }
+            }
+            if loaded.len() <= self.capacity {
+                return;
+            }
+            let Some(&(victim, _)) = loaded.iter().min_by_key(|(_, t)| *t) else {
+                return;
+            };
+            if let Ok(mut g) = victim.model.try_lock() {
+                if g.take().is_some() {
+                    inc(&self.metrics.cache_evictions);
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// All known models, sorted by name.
+    pub fn list(&self) -> Vec<ModelInfo> {
+        let mut out: Vec<ModelInfo> = self
+            .slots
+            .values()
+            .map(|s| ModelInfo {
+                name: s.name.clone(),
+                loaded: s.is_loaded(),
+                file_bytes: s.file_bytes(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+    use triad_core::{TriAd, TriadConfig};
+
+    fn quick_fit(seed: u64) -> FittedTriad {
+        let train: Vec<f64> = (0..600)
+            .map(|i| (2.0 * PI * i as f64 / 40.0).sin())
+            .collect();
+        let cfg = TriadConfig {
+            epochs: 2,
+            depth: 2,
+            hidden: 6,
+            batch: 4,
+            merlin_step: 4,
+            seed,
+            ..Default::default()
+        };
+        TriAd::new(cfg).fit(&train).expect("fit")
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("triad_registry_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_list_evict_reload() {
+        let dir = tmp_dir("basic");
+        let metrics = Arc::new(Metrics::new());
+        let mut reg = ModelRegistry::open(&dir, 4, Arc::clone(&metrics)).unwrap();
+        assert!(reg.is_empty());
+
+        reg.save_fitted("m1", quick_fit(1)).unwrap();
+        let infos = reg.list();
+        assert_eq!(infos.len(), 1);
+        assert!(infos[0].loaded && infos[0].file_bytes > 0);
+
+        // Evict drops the instance but keeps the file; reload works.
+        assert!(reg.evict("m1").unwrap());
+        assert!(!reg.slot("m1").unwrap().is_loaded());
+        let slot = reg.slot("m1").unwrap();
+        {
+            let guard = reg.lock_loaded(&slot).unwrap();
+            assert!(guard.is_some());
+        }
+        assert_eq!(crate::metrics::get(&metrics.cache_misses), 1);
+        assert!(reg.evict("nope").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_discovers_saved_models() {
+        let dir = tmp_dir("reopen");
+        let metrics = Arc::new(Metrics::new());
+        {
+            let mut reg = ModelRegistry::open(&dir, 4, Arc::clone(&metrics)).unwrap();
+            reg.save_fitted("persisted", quick_fit(2)).unwrap();
+        }
+        let reg = ModelRegistry::open(&dir, 4, metrics).unwrap();
+        assert_eq!(reg.len(), 1);
+        let slot = reg.slot("persisted").unwrap();
+        assert!(!slot.is_loaded());
+        assert!(reg.lock_loaded(&slot).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_caps_loaded_models() {
+        let dir = tmp_dir("lru");
+        let metrics = Arc::new(Metrics::new());
+        let mut reg = ModelRegistry::open(&dir, 2, Arc::clone(&metrics)).unwrap();
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            reg.save_fitted(name, quick_fit(i as u64)).unwrap();
+        }
+        let loaded: usize = reg.list().iter().filter(|m| m.loaded).count();
+        assert!(loaded <= 2, "{loaded} loaded");
+        assert!(crate::metrics::get(&metrics.cache_evictions) >= 1);
+        // The most recently saved model survived.
+        assert!(reg.slot("c").unwrap().is_loaded());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        let dir = tmp_dir("names");
+        let metrics = Arc::new(Metrics::new());
+        let mut reg = ModelRegistry::open(&dir, 2, metrics).unwrap();
+        for bad in ["", "../escape", "a/b", ".hidden", &"x".repeat(65)] {
+            assert!(reg.save_fitted(bad, quick_fit(0)).is_err(), "{bad:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn detection_identical_across_evict_reload() {
+        let dir = tmp_dir("bitexact");
+        let metrics = Arc::new(Metrics::new());
+        let mut reg = ModelRegistry::open(&dir, 4, metrics).unwrap();
+        reg.save_fitted("m", quick_fit(7)).unwrap();
+        let test: Vec<f64> = (0..300)
+            .map(|i| {
+                (2.0 * PI * i as f64 / 40.0).sin() + if (120..160).contains(&i) { 0.8 } else { 0.0 }
+            })
+            .collect();
+        let slot = reg.slot("m").unwrap();
+        let before = {
+            let guard = reg.lock_loaded(&slot).unwrap();
+            guard.as_ref().unwrap().detect(&test)
+        };
+        reg.evict("m").unwrap();
+        let after = {
+            let guard = reg.lock_loaded(&slot).unwrap();
+            guard.as_ref().unwrap().detect(&test)
+        };
+        assert_eq!(before.prediction, after.prediction);
+        assert_eq!(before.votes, after.votes);
+        assert_eq!(before.discords, after.discords);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

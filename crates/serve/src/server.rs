@@ -1,0 +1,575 @@
+//! The TCP serving layer: accept loop, thread-pool dispatcher, verb
+//! handlers, graceful shutdown.
+//!
+//! Connections are fanned out over a fixed pool of worker threads through a
+//! bounded `crossbeam` channel (the accept loop blocks when every worker is
+//! busy and the backlog is full — natural backpressure). Workers speak the
+//! line-delimited JSON protocol from [`crate::proto`]; `detect` requests are
+//! handed to the [`crate::batch::Batcher`] and executed by dedicated
+//! executor threads, everything else is answered in place.
+//!
+//! Shutdown (the `shutdown` verb or [`ServerHandle::shutdown`]) drains: the
+//! accept loop stops taking connections, workers finish the requests already
+//! on their sockets, the batcher flushes its queues, and only then do the
+//! threads exit.
+
+use crate::batch::{BatchPolicy, Batcher};
+use crate::json::{self, Value};
+use crate::metrics::{inc, Metrics};
+use crate::proto::{detect_response, detection_fields, err_response, ok_response, MAX_LINE_BYTES};
+use crate::registry::ModelRegistry;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use triad_core::{TriAd, TriadConfig};
+
+/// Server tunables. `Default` suits tests and local runs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Directory of `*.triad` model files.
+    pub models_dir: PathBuf,
+    /// Connection worker threads.
+    pub workers: usize,
+    /// Batch executor threads.
+    pub executors: usize,
+    /// Detect batch closes at this many requests…
+    pub max_batch: usize,
+    /// …or this long after its oldest request, whichever first.
+    pub max_delay_ms: u64,
+    /// Queued detect requests older than this are answered with an error.
+    pub request_timeout_ms: u64,
+    /// Idle connections are closed after this long without a request.
+    pub idle_timeout_ms: u64,
+    /// Max models kept deserialized (LRU beyond that).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            models_dir: PathBuf::from("models"),
+            workers: 4,
+            executors: 2,
+            max_batch: 16,
+            max_delay_ms: 20,
+            request_timeout_ms: 30_000,
+            idle_timeout_ms: 10_000,
+            cache_capacity: 8,
+        }
+    }
+}
+
+/// State shared by the accept loop, workers, and executors.
+struct Shared {
+    registry: RwLock<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    batcher: Batcher,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    request_timeout: Duration,
+    idle_timeout: Duration,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flip the shutdown flag and poke the accept loop awake with a dummy
+    /// connection so it notices.
+    fn request_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        }
+    }
+}
+
+/// A running server; join it with [`ServerHandle::wait`] or stop it with
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.shared.metrics
+    }
+
+    /// Ask the server to stop accepting and start draining. Non-blocking.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Block until the server has fully drained and every thread exited.
+    pub fn wait(mut self) {
+        // Order matters: the accept thread owns the connection sender, so
+        // joining it closes the channel; workers then drain the remaining
+        // queued connections and exit; only after no producer is left may
+        // the batcher drain and release its executors.
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.batcher.drain();
+        for h in self.executors.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// `request_shutdown` + `wait`.
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.wait();
+    }
+}
+
+/// Bind, spawn the thread pools, and return a handle.
+pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let metrics = Arc::new(Metrics::new());
+    let registry = ModelRegistry::open(&cfg.models_dir, cfg.cache_capacity, Arc::clone(&metrics))?;
+    let policy = BatchPolicy {
+        max_batch: cfg.max_batch.max(1),
+        max_delay: Duration::from_millis(cfg.max_delay_ms),
+        request_timeout: Duration::from_millis(cfg.request_timeout_ms.max(1)),
+    };
+    let shared = Arc::new(Shared {
+        registry: RwLock::new(registry),
+        metrics: Arc::clone(&metrics),
+        batcher: Batcher::new(policy),
+        shutdown: AtomicBool::new(false),
+        addr,
+        request_timeout: policy.request_timeout,
+        idle_timeout: Duration::from_millis(cfg.idle_timeout_ms.max(1)),
+    });
+
+    let (conn_tx, conn_rx) = crossbeam::channel::bounded::<TcpStream>(1024);
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("triad-accept".into())
+            .spawn(move || {
+                // conn_tx lives (only) here: the loop breaking closes the
+                // channel and lets the workers run dry.
+                for stream in listener.incoming() {
+                    if shared.shutting_down() {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => {
+                            if conn_tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            if shared.shutting_down() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            })?
+    };
+
+    let mut workers = Vec::with_capacity(cfg.workers.max(1));
+    for i in 0..cfg.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        let rx = conn_rx.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("triad-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        handle_conn(&shared, stream);
+                    }
+                })?,
+        );
+    }
+    drop(conn_rx);
+
+    let mut executors = Vec::with_capacity(cfg.executors.max(1));
+    for i in 0..cfg.executors.max(1) {
+        let shared = Arc::clone(&shared);
+        executors.push(
+            std::thread::Builder::new()
+                .name(format!("triad-exec-{i}"))
+                .spawn(move || {
+                    shared
+                        .batcher
+                        .run_executor(&shared.registry, &shared.metrics)
+                })?,
+        );
+    }
+
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        workers,
+        executors,
+    })
+}
+
+/// `read_line` with a hard byte cap so one client can't balloon memory.
+fn read_request_line<R: BufRead>(r: &mut R, buf: &mut String) -> io::Result<usize> {
+    let mut limited = r.take(MAX_LINE_BYTES as u64);
+    let n = limited.read_line(buf)?;
+    if n >= MAX_LINE_BYTES && !buf.ends_with('\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request line too long",
+        ));
+    }
+    Ok(n)
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    inc(&shared.metrics.connections_total);
+    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = BufWriter::new(write_half);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match read_request_line(&mut reader, &mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(_) => break, // idle timeout, oversized line, or socket error
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        inc(&shared.metrics.requests_total);
+        let (response, wants_shutdown) = handle_request(shared, line.trim());
+        if response.get("ok").and_then(Value::as_bool) == Some(false) {
+            inc(&shared.metrics.errors_total);
+        }
+        let out = response.to_string();
+        if writer
+            .write_all(out.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        inc(&shared.metrics.responses_total);
+        if wants_shutdown {
+            shared.request_shutdown();
+            break;
+        }
+        if shared.shutting_down() {
+            // Finish the in-flight request (just did), then close.
+            break;
+        }
+    }
+}
+
+/// Dispatch one request line. Returns the response and whether the verb
+/// asked the whole server to shut down.
+fn handle_request(shared: &Arc<Shared>, line: &str) -> (Value, bool) {
+    let req = match json::parse(line) {
+        Ok(v @ Value::Obj(_)) => v,
+        Ok(_) => {
+            return (
+                err_response("?", None, "request must be a JSON object"),
+                false,
+            )
+        }
+        Err(e) => return (err_response("?", None, &format!("bad JSON: {e}")), false),
+    };
+    let id = req.get("id").cloned();
+    let id = id.as_ref();
+    let Some(verb) = req.get("verb").and_then(Value::as_str) else {
+        return (err_response("?", id, "missing \"verb\""), false);
+    };
+    match verb {
+        "health" => {
+            inc(&shared.metrics.health_total);
+            let models = shared.registry.read().map(|r| r.len()).unwrap_or(0);
+            (
+                ok_response(
+                    "health",
+                    id,
+                    vec![
+                        ("status".into(), "ok".into()),
+                        ("models".into(), Value::Num(models as f64)),
+                        ("draining".into(), Value::Bool(shared.shutting_down())),
+                    ],
+                ),
+                false,
+            )
+        }
+        "list" => {
+            inc(&shared.metrics.list_total);
+            let infos = match shared.registry.read() {
+                Ok(r) => r.list(),
+                Err(_) => return (err_response("list", id, "registry poisoned"), false),
+            };
+            let models: Vec<Value> = infos
+                .iter()
+                .map(|m| {
+                    Value::Obj(vec![
+                        ("name".into(), m.name.as_str().into()),
+                        ("loaded".into(), Value::Bool(m.loaded)),
+                        ("bytes".into(), Value::Num(m.file_bytes as f64)),
+                    ])
+                })
+                .collect();
+            (
+                ok_response("list", id, vec![("models".into(), Value::Arr(models))]),
+                false,
+            )
+        }
+        "stats" => {
+            inc(&shared.metrics.stats_total);
+            let body = if req.get("format").and_then(Value::as_str) == Some("text") {
+                vec![("text".into(), Value::Str(shared.metrics.render_text()))]
+            } else {
+                match shared.metrics.to_json() {
+                    Value::Obj(fields) => fields,
+                    other => vec![("metrics".into(), other)],
+                }
+            };
+            (ok_response("stats", id, body), false)
+        }
+        "evict" => {
+            inc(&shared.metrics.evict_total);
+            let Some(model) = req.get("model").and_then(Value::as_str) else {
+                return (err_response("evict", id, "evict requires \"model\""), false);
+            };
+            let evicted = match shared.registry.read() {
+                Ok(r) => r.evict(model),
+                Err(_) => Err("registry poisoned".into()),
+            };
+            match evicted {
+                Ok(was_loaded) => (
+                    ok_response(
+                        "evict",
+                        id,
+                        vec![
+                            ("model".into(), model.into()),
+                            ("was_loaded".into(), Value::Bool(was_loaded)),
+                        ],
+                    ),
+                    false,
+                ),
+                Err(e) => (err_response("evict", id, &e), false),
+            }
+        }
+        "fit" => {
+            inc(&shared.metrics.fit_total);
+            (handle_fit(shared, &req, id), false)
+        }
+        "detect" => {
+            inc(&shared.metrics.detect_total);
+            (handle_detect(shared, &req, id), false)
+        }
+        "shutdown" => {
+            inc(&shared.metrics.shutdown_total);
+            (
+                ok_response("shutdown", id, vec![("draining".into(), Value::Bool(true))]),
+                true,
+            )
+        }
+        other => (
+            err_response(other, id, &format!("unknown verb {other:?}")),
+            false,
+        ),
+    }
+}
+
+fn handle_fit(shared: &Arc<Shared>, req: &Value, id: Option<&Value>) -> Value {
+    let Some(model) = req.get("model").and_then(Value::as_str) else {
+        return err_response("fit", id, "fit requires \"model\"");
+    };
+    let Some(train) = req.get("train").and_then(|v| v.as_f64_vec()) else {
+        return err_response("fit", id, "fit requires a numeric \"train\" array");
+    };
+
+    let mut cfg = TriadConfig::default();
+    for (key, slot) in [
+        ("epochs", &mut cfg.epochs as &mut usize),
+        ("hidden", &mut cfg.hidden),
+        ("depth", &mut cfg.depth),
+        ("batch", &mut cfg.batch),
+        ("merlin_step", &mut cfg.merlin_step),
+    ] {
+        if let Some(v) = req.get(key).and_then(Value::as_u64) {
+            *slot = v as usize;
+        }
+    }
+    if let Some(seed) = req.get("seed").and_then(Value::as_u64) {
+        cfg.seed = seed;
+    }
+    if let Err(e) = cfg.validate() {
+        return err_response("fit", id, &format!("bad config: {e}"));
+    }
+
+    let t0 = Instant::now();
+    let fitted = match TriAd::new(cfg).fit(&train) {
+        Ok(f) => f,
+        Err(e) => return err_response("fit", id, &format!("fit failed: {e}")),
+    };
+    let period = fitted.period();
+    let window = fitted.window_len();
+    let saved = match shared.registry.write() {
+        Ok(mut r) => r
+            .save_fitted(model, fitted)
+            .map(|()| r.slot(model).map(|s| s.file_bytes()).unwrap_or(0)),
+        Err(_) => Err("registry poisoned".into()),
+    };
+    let bytes = match saved {
+        Ok(b) => b,
+        Err(e) => return err_response("fit", id, &e),
+    };
+    let elapsed_ms = t0.elapsed().as_millis() as u64;
+    shared.metrics.fit_latency_ms.observe(elapsed_ms);
+    ok_response(
+        "fit",
+        id,
+        vec![
+            ("model".into(), model.into()),
+            ("n_train".into(), Value::Num(train.len() as f64)),
+            ("period".into(), Value::Num(period as f64)),
+            ("window".into(), Value::Num(window as f64)),
+            ("bytes".into(), Value::Num(bytes as f64)),
+            ("elapsed_ms".into(), Value::Num(elapsed_ms as f64)),
+        ],
+    )
+}
+
+fn handle_detect(shared: &Arc<Shared>, req: &Value, id: Option<&Value>) -> Value {
+    let Some(model) = req.get("model").and_then(Value::as_str) else {
+        return err_response("detect", id, "detect requires \"model\"");
+    };
+    let Some(series) = req.get("series").and_then(|v| v.as_f64_vec()) else {
+        return err_response("detect", id, "detect requires a numeric \"series\" array");
+    };
+    if series.is_empty() {
+        return err_response("detect", id, "detect \"series\" must be non-empty");
+    }
+    let known = match shared.registry.read() {
+        Ok(r) => r.slot(model).is_some(),
+        Err(_) => return err_response("detect", id, "registry poisoned"),
+    };
+    if !known {
+        return err_response("detect", id, &format!("no such model {model:?}"));
+    }
+
+    let rx = shared.batcher.submit(model, series);
+    // Queue budget is `request_timeout` (enforced by the batcher); on top of
+    // that allow generous pipeline time before giving up on the reply.
+    let wait = shared.request_timeout + Duration::from_secs(120);
+    match rx.recv_timeout(wait) {
+        Ok(Ok(body)) => detect_response(id, body),
+        Ok(Err(e)) => err_response("detect", id, &e),
+        Err(_) => err_response("detect", id, "detect timed out"),
+    }
+}
+
+/// Run a detection directly (no server) — shared by `triad client --local`
+/// style tooling and unit tests.
+pub fn detect_once(
+    registry: &RwLock<ModelRegistry>,
+    model: &str,
+    series: &[f64],
+) -> Result<Value, String> {
+    let slot = registry
+        .read()
+        .map_err(|_| "registry poisoned".to_string())?
+        .slot(model)
+        .ok_or_else(|| format!("no such model {model:?}"))?;
+    let reg = registry
+        .read()
+        .map_err(|_| "registry poisoned".to_string())?;
+    let guard = reg.lock_loaded(&slot)?;
+    let det = guard
+        .as_ref()
+        .expect("lock_loaded guarantees Some")
+        .detect(series);
+    Ok(detection_fields(model, &det))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::get;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.workers >= 1 && cfg.executors >= 1 && cfg.max_batch >= 1);
+    }
+
+    #[test]
+    fn bad_requests_get_error_envelopes_without_a_model_dir() {
+        let dir = std::env::temp_dir().join(format!("triad_server_unit_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let handle = start(ServeConfig {
+            models_dir: dir.clone(),
+            workers: 1,
+            executors: 1,
+            ..Default::default()
+        })
+        .expect("start");
+        let addr = handle.addr();
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        for (req, needle) in [
+            ("not json", "bad JSON"),
+            ("[1,2]", "JSON object"),
+            ("{\"no\":\"verb\"}", "missing \\\"verb\\\""),
+            ("{\"verb\":\"teleport\"}", "unknown verb"),
+            ("{\"verb\":\"detect\",\"model\":\"m\"}", "series"),
+            (
+                "{\"verb\":\"detect\",\"model\":\"ghost\",\"series\":[1,2,3]}",
+                "no such model",
+            ),
+        ] {
+            s.write_all(req.as_bytes()).unwrap();
+            s.write_all(b"\n").unwrap();
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            let mut line = String::new();
+            r.read_line(&mut line).unwrap();
+            assert!(line.contains("\"ok\":false"), "{req} -> {line}");
+            assert!(line.contains(needle), "{req} -> {line}");
+        }
+
+        // health + stats still answer.
+        s.write_all(b"{\"verb\":\"health\",\"id\":1}\n").unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("\"ok\":true") && line.contains("\"id\":1"),
+            "{line}"
+        );
+
+        assert!(get(&handle.metrics().errors_total) >= 6);
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

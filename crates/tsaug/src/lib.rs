@@ -57,13 +57,7 @@ impl Default for AugmentConfig {
 }
 
 /// Add Gaussian noise (std `sigma`) to `x[start..start+len]` (Eq. 3).
-pub fn jitter_segment<R: Rng>(
-    rng: &mut R,
-    x: &mut [f64],
-    start: usize,
-    len: usize,
-    sigma: f64,
-) {
+pub fn jitter_segment<R: Rng>(rng: &mut R, x: &mut [f64], start: usize, len: usize, sigma: f64) {
     let end = (start + len).min(x.len());
     for v in &mut x[start..end] {
         *v += gaussian(rng) * sigma;
@@ -105,7 +99,11 @@ pub fn augment_window<R: Rng>(
     let kind = if rng.random::<bool>() {
         let sigma = tsops::stats::std_dev(window) * cfg.jitter_scale;
         // Guard: a constant window still needs visible jitter.
-        let sigma = if sigma < 1e-9 { cfg.jitter_scale } else { sigma };
+        let sigma = if sigma < 1e-9 {
+            cfg.jitter_scale
+        } else {
+            sigma
+        };
         jitter_segment(rng, &mut out, start, seg_len, sigma);
         AugKind::Jitter
     } else {
@@ -164,9 +162,7 @@ mod tests {
         assert_eq!(&x[..60], &y[..60]);
         assert_eq!(&x[120..], &y[120..]);
         // Inside: high-frequency energy reduced.
-        let hf = |s: &[f64]| -> f64 {
-            s.windows(2).map(|p| (p[1] - p[0]).powi(2)).sum::<f64>()
-        };
+        let hf = |s: &[f64]| -> f64 { s.windows(2).map(|p| (p[1] - p[0]).powi(2)).sum::<f64>() };
         assert!(hf(&y[60..120]) < hf(&x[60..120]) * 0.5);
     }
 
@@ -213,11 +209,8 @@ mod tests {
     #[test]
     fn augment_tiny_window_is_safe() {
         let x = vec![1.0, 2.0, 3.0];
-        let (aug, _, _) = augment_window(
-            &mut StdRng::seed_from_u64(0),
-            &x,
-            &AugmentConfig::default(),
-        );
+        let (aug, _, _) =
+            augment_window(&mut StdRng::seed_from_u64(0), &x, &AugmentConfig::default());
         assert_eq!(aug.len(), 3);
     }
 }

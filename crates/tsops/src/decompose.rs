@@ -182,9 +182,7 @@ pub fn decompose(series: &[f64], period: usize) -> Decomposition {
     }
 
     let seasonal: Vec<f64> = (0..n).map(|i| profile[i % period]).collect();
-    let residual: Vec<f64> = (0..n)
-        .map(|i| series[i] - trend[i] - seasonal[i])
-        .collect();
+    let residual: Vec<f64> = (0..n).map(|i| series[i] - trend[i] - seasonal[i]).collect();
     Decomposition {
         trend,
         seasonal,
@@ -214,10 +212,7 @@ mod tests {
         for p in [10usize, 25, 50, 140] {
             let x = periodic(p * 12, p as f64);
             let est = estimate_period(&x, x.len() / 2).unwrap();
-            assert!(
-                est.abs_diff(p) <= 1,
-                "period {p} estimated as {est}"
-            );
+            assert!(est.abs_diff(p) <= 1, "period {p} estimated as {est}");
         }
     }
 
@@ -267,8 +262,7 @@ mod tests {
         let x = periodic(400, 40.0);
         let d = decompose(&x, 40);
         let interior = &d.residual[40..360];
-        let rms =
-            (interior.iter().map(|v| v * v).sum::<f64>() / interior.len() as f64).sqrt();
+        let rms = (interior.iter().map(|v| v * v).sum::<f64>() / interior.len() as f64).sqrt();
         assert!(rms < 0.05, "residual rms {rms}");
     }
 

@@ -177,7 +177,9 @@ mod tests {
 
     #[test]
     fn znorm_dist_matches_explicit_normalisation() {
-        let data: Vec<f64> = (0..60).map(|i| (i as f64 * 0.35).sin() * (1.0 + i as f64 * 0.01)).collect();
+        let data: Vec<f64> = (0..60)
+            .map(|i| (i as f64 * 0.35).sin() * (1.0 + i as f64 * 0.01))
+            .collect();
         let w = 12;
         let zs = ZnormSeries::new(&data, w);
         for (i, j) in [(0usize, 30usize), (5, 40), (10, 25)] {

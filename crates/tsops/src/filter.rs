@@ -60,9 +60,7 @@ impl Biquad {
         let w = std::f64::consts::PI * freq;
         let z1 = crate::fft::Complex::cis(-w);
         let z2 = crate::fft::Complex::cis(-2.0 * w);
-        let num = crate::fft::Complex::new(self.b0, 0.0)
-            + z1.scale(self.b1)
-            + z2.scale(self.b2);
+        let num = crate::fft::Complex::new(self.b0, 0.0) + z1.scale(self.b1) + z2.scale(self.b2);
         let den = crate::fft::Complex::ONE + z1.scale(self.a1) + z2.scale(self.a2);
         num.abs() / den.abs()
     }

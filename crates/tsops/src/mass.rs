@@ -100,7 +100,11 @@ mod tests {
         let fast = sliding_dot_products(query, &series);
         assert_eq!(fast.len(), 200 - 32 + 1);
         for i in [0usize, 7, 100, 168] {
-            let naive: f64 = query.iter().zip(&series[i..i + 32]).map(|(a, b)| a * b).sum();
+            let naive: f64 = query
+                .iter()
+                .zip(&series[i..i + 32])
+                .map(|(a, b)| a * b)
+                .sum();
             assert!((fast[i] - naive).abs() < 1e-8, "offset {i}");
         }
     }

@@ -131,7 +131,9 @@ mod tests {
 
     #[test]
     fn znorm_has_zero_mean_unit_std() {
-        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin() * 3.0 + 7.0).collect();
+        let x: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.1).sin() * 3.0 + 7.0)
+            .collect();
         let z = znormalize(&x);
         assert!(mean(&z).abs() < 1e-10);
         assert!((std_dev(&z) - 1.0).abs() < 1e-10);

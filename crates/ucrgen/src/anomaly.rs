@@ -214,8 +214,22 @@ mod tests {
     fn determinism_per_seed() {
         let mut a = base(300, 30);
         let mut b = base(300, 30);
-        inject(&mut StdRng::seed_from_u64(9), &mut a, 100..150, AnomalyKind::Noise, 0.7, 30);
-        inject(&mut StdRng::seed_from_u64(9), &mut b, 100..150, AnomalyKind::Noise, 0.7, 30);
+        inject(
+            &mut StdRng::seed_from_u64(9),
+            &mut a,
+            100..150,
+            AnomalyKind::Noise,
+            0.7,
+            30,
+        );
+        inject(
+            &mut StdRng::seed_from_u64(9),
+            &mut b,
+            100..150,
+            AnomalyKind::Noise,
+            0.7,
+            30,
+        );
         assert_eq!(a, b);
     }
 

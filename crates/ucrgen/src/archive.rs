@@ -133,7 +133,11 @@ fn build(
     let margin = p.min((test_len.saturating_sub(a_len)) / 2);
     let lo = train_len + margin;
     let hi = (total - margin).saturating_sub(a_len).max(lo);
-    let a_start = if hi > lo { rng.random_range(lo..=hi) } else { lo };
+    let a_start = if hi > lo {
+        rng.random_range(lo..=hi)
+    } else {
+        lo
+    };
     let a_range = a_start..(a_start + a_len).min(total);
 
     let local_std = tsops::stats::std_dev(&series[..train_len]) * cfg.intensity;
@@ -227,7 +231,13 @@ mod tests {
 
     #[test]
     fn shortest_selects_by_length() {
-        let arc = generate_archive(9, &ArchiveConfig { count: 20, ..Default::default() });
+        let arc = generate_archive(
+            9,
+            &ArchiveConfig {
+                count: 20,
+                ..Default::default()
+            },
+        );
         let s = shortest(&arc, 5);
         assert_eq!(s.len(), 5);
         let max_short = s.iter().map(|d| d.series.len()).max().unwrap();
@@ -243,8 +253,14 @@ mod tests {
     #[test]
     fn hard_archive_has_subtler_anomalies() {
         // Magnitude-family anomalies shrink with intensity; noise floor grows.
-        let easy_cfg = ArchiveConfig { count: 30, ..Default::default() };
-        let hard_cfg = ArchiveConfig { count: 30, ..ArchiveConfig::hard() };
+        let easy_cfg = ArchiveConfig {
+            count: 30,
+            ..Default::default()
+        };
+        let hard_cfg = ArchiveConfig {
+            count: 30,
+            ..ArchiveConfig::hard()
+        };
         let easy = generate_archive(5, &easy_cfg);
         let hard = generate_archive(5, &hard_cfg);
         // Same ids/kinds (seeded identically) but hard signals are noisier.
@@ -254,12 +270,14 @@ mod tests {
         };
         let easy_noise: f64 = easy.iter().map(|d| noise_of(d)).sum::<f64>() / 30.0;
         let hard_noise: f64 = hard.iter().map(|d| noise_of(d)).sum::<f64>() / 30.0;
-        assert!(hard_noise > easy_noise * 1.5, "{hard_noise} vs {easy_noise}");
+        assert!(
+            hard_noise > easy_noise * 1.5,
+            "{hard_noise} vs {easy_noise}"
+        );
         // Level-shift magnitude scales with intensity.
         let shift_of = |d: &UcrDataset| {
             let r = d.anomaly.clone();
-            (tsops::stats::mean(&d.series[r.clone()])
-                - tsops::stats::mean(d.train())).abs()
+            (tsops::stats::mean(&d.series[r.clone()]) - tsops::stats::mean(d.train())).abs()
         };
         let pairs: Vec<(f64, f64)> = easy
             .iter()
@@ -269,8 +287,10 @@ mod tests {
             .collect();
         assert!(!pairs.is_empty());
         let (es, hs): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
-        let (em, hm) = (es.iter().sum::<f64>() / es.len() as f64,
-                        hs.iter().sum::<f64>() / hs.len() as f64);
+        let (em, hm) = (
+            es.iter().sum::<f64>() / es.len() as f64,
+            hs.iter().sum::<f64>() / hs.len() as f64,
+        );
         assert!(hm < em, "hard shift {hm} !< easy shift {em}");
         // Contract still holds.
         for d in &hard {

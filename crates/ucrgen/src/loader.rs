@@ -138,7 +138,10 @@ mod tests {
 
     #[test]
     fn parses_values_in_both_layouts() {
-        assert_eq!(parse_values("1.0\n2.5\n-3\n").unwrap(), vec![1.0, 2.5, -3.0]);
+        assert_eq!(
+            parse_values("1.0\n2.5\n-3\n").unwrap(),
+            vec![1.0, 2.5, -3.0]
+        );
         assert_eq!(parse_values("1 2 3\n4 5\n").unwrap().len(), 5);
         assert!(parse_values("").is_err());
         assert!(parse_values("1.0\nnot_a_number\n").is_err());
@@ -149,7 +152,9 @@ mod tests {
         let dir = std::env::temp_dir().join("ucrgen_loader_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("007_UCR_Anomaly_synthetic_60_81_90.txt");
-        let data: Vec<String> = (0..120).map(|i| format!("{:.3}", (i as f64 * 0.3).sin())).collect();
+        let data: Vec<String> = (0..120)
+            .map(|i| format!("{:.3}", (i as f64 * 0.3).sin()))
+            .collect();
         std::fs::write(&path, data.join("\n")).unwrap();
         let d = load_file(&path).unwrap();
         assert_eq!(d.id, 7);

@@ -143,7 +143,6 @@ pub fn oneliner_predict(data: &LabelledSeries, threshold: f64) -> Vec<bool> {
         .collect()
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,7 +56,9 @@ pub fn generate_stress(seed: u64, cfg: &StressConfig) -> LabelledSeries {
         for k in 0..cfg.events {
             let kind = AnomalyKind::ALL[k % AnomalyKind::ALL.len()];
             let (lo, hi) = cfg.event_len;
-            let len = rng.random_range(lo..=hi.max(lo)).min(slot.saturating_sub(p).max(4));
+            let len = rng
+                .random_range(lo..=hi.max(lo))
+                .min(slot.saturating_sub(p).max(4));
             let base = train_len + k * slot + p / 2;
             let give = slot.saturating_sub(len + p).max(1);
             let start = base + rng.random_range(0..give);
@@ -109,7 +111,10 @@ mod tests {
     fn deterministic_and_seed_sensitive() {
         let cfg = StressConfig::default();
         assert_eq!(generate_stress(9, &cfg), generate_stress(9, &cfg));
-        assert_ne!(generate_stress(9, &cfg).series, generate_stress(10, &cfg).series);
+        assert_ne!(
+            generate_stress(9, &cfg).series,
+            generate_stress(10, &cfg).series
+        );
     }
 
     #[test]

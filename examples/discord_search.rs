@@ -58,11 +58,22 @@ fn main() {
     let t_mpp = t0.elapsed();
     println!("\nMERLIN sweep 20..100 step 10   ({t_merlin:?}):");
     for d in &m {
-        println!("  len {:>3} → start {:>5}  d={:.3}", d.length, d.index, d.distance);
+        println!(
+            "  len {:>3} → start {:>5}  d={:.3}",
+            d.length, d.index, d.distance
+        );
     }
-    println!("MERLIN++ same sweep            ({t_mpp:?}): identical results = {}",
-        m.len() == mpp.len() && m.iter().zip(&mpp).all(|(a, b)| a.index == b.index));
+    println!(
+        "MERLIN++ same sweep            ({t_mpp:?}): identical results = {}",
+        m.len() == mpp.len() && m.iter().zip(&mpp).all(|(a, b)| a.index == b.index)
+    );
 
-    let hits = m.iter().filter(|d| d.index < 1540 && d.index + d.length > 1500).count();
-    println!("\n{hits}/{} per-length discords intersect the true anomaly", m.len());
+    let hits = m
+        .iter()
+        .filter(|d| d.index < 1540 && d.index + d.length > 1500)
+        .count();
+    println!(
+        "\n{hits}/{} per-length discords intersect the true anomaly",
+        m.len()
+    );
 }

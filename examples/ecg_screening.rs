@@ -54,7 +54,8 @@ fn main() {
     // Interpretability: which domain saw it?
     println!("\nper-domain most-deviant windows:");
     for r in &det.rankings {
-        let range = r.top * fitted.segmenter().stride..r.top * fitted.segmenter().stride + fitted.window_len();
+        let range = r.top * fitted.segmenter().stride
+            ..r.top * fitted.segmenter().stride + fitted.window_len();
         let sim = r.scores[r.top];
         let hit = range.start < anomaly.end && range.end > anomaly.start;
         println!(
@@ -67,7 +68,11 @@ fn main() {
             if hit { "← contains the anomaly" } else { "" }
         );
     }
-    println!("\nselected window {:?}; {} discord lengths probed", det.selected_window, det.discords.len());
+    println!(
+        "\nselected window {:?}; {} discord lengths probed",
+        det.selected_window,
+        det.discords.len()
+    );
 
     let labels: Vec<bool> = (0..test.len()).map(|i| anomaly.contains(&i)).collect();
     let aff = evalkit::affiliation::affiliation_prf(&det.prediction, &labels);

@@ -36,9 +36,18 @@ fn main() {
     };
 
     println!("loaded {} dataset(s)", datasets.len());
-    let cfg = TriadConfig { epochs: 6, merlin_step: 2, ..Default::default() };
+    let cfg = TriadConfig {
+        epochs: 6,
+        merlin_step: 2,
+        ..Default::default()
+    };
     for ds in datasets.iter().take(3) {
-        print!("{}: train {} pts, test {} pts ... ", ds.name, ds.train().len(), ds.test().len());
+        print!(
+            "{}: train {} pts, test {} pts ... ",
+            ds.name,
+            ds.train().len(),
+            ds.test().len()
+        );
         match TriAd::new(cfg.clone()).fit(ds.train()) {
             Ok(fitted) => {
                 let det = fitted.detect(ds.test());

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, release build, full test suite.
+# Run from anywhere; it cds to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo build --release"
+cargo build --workspace --release
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "CI green."

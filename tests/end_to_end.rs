@@ -55,7 +55,11 @@ fn detects_noise_anomaly_within_margin() {
         .candidates
         .iter()
         .any(|c| evalkit::eventwise::event_detected(c, &anomaly, w));
-    assert!(near_any, "no candidate near {anomaly:?}: {:?}", det.candidates);
+    assert!(
+        near_any,
+        "no candidate near {anomaly:?}: {:?}",
+        det.candidates
+    );
 }
 
 #[test]
@@ -105,8 +109,14 @@ fn tri_domain_beats_single_domain_on_frequency_anomaly() {
 #[test]
 fn archive_and_pipeline_are_reproducible_together() {
     let ds = generate_dataset(9, 4);
-    let d1 = TriAd::new(quick_cfg(2)).fit(ds.train()).unwrap().detect(ds.test());
-    let d2 = TriAd::new(quick_cfg(2)).fit(ds.train()).unwrap().detect(ds.test());
+    let d1 = TriAd::new(quick_cfg(2))
+        .fit(ds.train())
+        .unwrap()
+        .detect(ds.test());
+    let d2 = TriAd::new(quick_cfg(2))
+        .fit(ds.train())
+        .unwrap()
+        .detect(ds.test());
     assert_eq!(d1.prediction, d2.prediction);
     assert_eq!(d1.selected_window, d2.selected_window);
     assert_eq!(d1.discords, d2.discords);

@@ -68,9 +68,10 @@ fn merlin_top_k_recovers_multiple_events() {
         .iter()
         .filter(|ev| {
             let ev_test = ev.start - data.train_end..ev.end - data.train_end;
-            per_length.iter().flatten().any(|d| {
-                evalkit::eventwise::event_detected(&d.range(), &ev_test, 100)
-            })
+            per_length
+                .iter()
+                .flatten()
+                .any(|d| evalkit::eventwise::event_detected(&d.range(), &ev_test, 100))
         })
         .count();
     assert!(

@@ -1,0 +1,201 @@
+//! End-to-end test of the serving subsystem: a real `triad-serve` TCP server
+//! on an ephemeral port, driven only through sockets.
+//!
+//! Covers the full acceptance surface: fit over the wire on an archive
+//! dataset, eight concurrent detects that the batching layer must group
+//! (asserted via the `stats` counters), detection correctness within ±100
+//! points of the ground-truth event, bit-for-bit identical responses across
+//! evict/reload, and a graceful shutdown that drains an in-flight request.
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+use triad_serve::{Client, ServeConfig, Value};
+use ucrgen::anomaly::AnomalyKind;
+use ucrgen::archive::generate_dataset;
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(300);
+
+fn tmp_models_dir() -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("triad_serve_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// An easy archive dataset: a level-shift event in a clean periodic signal.
+fn easy_dataset() -> ucrgen::UcrDataset {
+    (0..120)
+        .map(|id| generate_dataset(3, id))
+        .find(|d| d.kind == AnomalyKind::LevelShift)
+        .expect("level-shift dataset in archive")
+}
+
+fn range_of(v: &Value, key: &str) -> (usize, usize) {
+    let arr = v.get(key).and_then(Value::as_arr).unwrap_or_else(|| {
+        panic!("response missing range {key}: {v}");
+    });
+    (
+        arr[0].as_u64().expect("range start") as usize,
+        arr[1].as_u64().expect("range end") as usize,
+    )
+}
+
+#[test]
+fn serve_fit_batch_detect_evict_shutdown() {
+    let models_dir = tmp_models_dir();
+    let handle = triad_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        models_dir: models_dir.clone(),
+        workers: 10,
+        // One executor makes the batching assertion deterministic: requests
+        // arriving while it runs the first batch must coalesce.
+        executors: 1,
+        max_batch: 16,
+        max_delay_ms: 150,
+        request_timeout_ms: 120_000,
+        idle_timeout_ms: 120_000,
+        cache_capacity: 4,
+    })
+    .expect("server start");
+    let addr = handle.addr().to_string();
+
+    let ds = easy_dataset();
+    let anomaly = ds.anomaly_in_test();
+    let test: Vec<f64> = ds.test().to_vec();
+
+    // --- fit over the wire -------------------------------------------------
+    let mut ctl = Client::connect(&addr, CLIENT_TIMEOUT).expect("connect");
+    let health = ctl.health().expect("health");
+    assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+
+    let fit = ctl
+        .fit(
+            "ucr-level-shift",
+            ds.train(),
+            vec![
+                ("epochs", Value::Num(5.0)),
+                ("depth", Value::Num(3.0)),
+                ("hidden", Value::Num(12.0)),
+                ("merlin_step", Value::Num(4.0)),
+                ("seed", Value::Num(0.0)),
+            ],
+        )
+        .expect("fit");
+    assert!(fit.get("bytes").and_then(Value::as_u64).unwrap() > 0);
+    let listed = ctl.list().expect("list");
+    assert_eq!(
+        listed.get("models").and_then(Value::as_arr).unwrap().len(),
+        1
+    );
+
+    // --- 8 concurrent detects must batch -----------------------------------
+    let n_clients = 8;
+    let barrier = Arc::new(Barrier::new(n_clients));
+    let mut joins = Vec::new();
+    for _ in 0..n_clients {
+        let addr = addr.clone();
+        let test = test.clone();
+        let barrier = Arc::clone(&barrier);
+        joins.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&addr, CLIENT_TIMEOUT).expect("connect");
+            barrier.wait();
+            c.detect("ucr-level-shift", &test).expect("detect")
+        }));
+    }
+    let responses: Vec<Value> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    assert_eq!(responses.len(), n_clients);
+    // Identical requests ⇒ byte-identical responses (deterministic JSON).
+    let first = responses[0].to_string();
+    for r in &responses[1..] {
+        assert_eq!(r.to_string(), first, "concurrent responses diverged");
+    }
+
+    let stats = ctl.stats().expect("stats");
+    let counter = |k: &str| {
+        stats
+            .get(k)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("stats missing {k}: {stats}"))
+    };
+    assert_eq!(counter("detect_total"), n_clients as u64);
+    assert!(
+        counter("batches_multi") >= 1,
+        "no batch grouped ≥2 of the {n_clients} concurrent detects: {stats}"
+    );
+    assert!(
+        counter("batched_requests") >= n_clients as u64,
+        "batching layer missed requests: {stats}"
+    );
+    assert!(
+        counter("batch_dedup_hits") >= 1,
+        "identical payloads not deduped"
+    );
+    assert_eq!(counter("timeouts_total"), 0);
+
+    // --- detection is correct within ±100 points ---------------------------
+    let det = &responses[0];
+    let (sel_start, sel_end) = range_of(det, "selected");
+    let lo = anomaly.start.saturating_sub(100);
+    let hi = anomaly.end + 100;
+    assert!(
+        sel_start < hi && sel_end > lo,
+        "selected window {sel_start}..{sel_end} misses anomaly {anomaly:?} (±100)"
+    );
+    let (reg_start, reg_end) = range_of(det, "region");
+    assert!(
+        reg_start < hi && reg_end > lo,
+        "flagged region {reg_start}..{reg_end} misses anomaly {anomaly:?} (±100)"
+    );
+
+    // --- evict, reload from disk, bit-for-bit identical ---------------------
+    let evicted = ctl.evict("ucr-level-shift").expect("evict");
+    assert_eq!(
+        evicted.get("was_loaded").and_then(Value::as_bool),
+        Some(true)
+    );
+    let misses_before = counter("cache_misses");
+    let reloaded = ctl
+        .detect("ucr-level-shift", &test)
+        .expect("detect after evict");
+    assert_eq!(
+        reloaded.to_string(),
+        first,
+        "detection after evict/reload is not bit-identical"
+    );
+    let stats2 = ctl.stats().expect("stats");
+    let misses_after = stats2.get("cache_misses").and_then(Value::as_u64).unwrap();
+    assert!(
+        misses_after > misses_before,
+        "reload did not go through the disk-load path"
+    );
+
+    // --- graceful shutdown drains an in-flight detect -----------------------
+    let inflight = {
+        let addr = addr.clone();
+        let test = test.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr, CLIENT_TIMEOUT).expect("connect");
+            c.detect("ucr-level-shift", &test)
+        })
+    };
+    // Give the in-flight request time to hit the wire, then ask for shutdown
+    // on a separate connection.
+    std::thread::sleep(Duration::from_millis(30));
+    let bye = ctl.shutdown().expect("shutdown verb");
+    assert_eq!(bye.get("draining").and_then(Value::as_bool), Some(true));
+    let drained = inflight
+        .join()
+        .unwrap()
+        .expect("in-flight detect was dropped");
+    assert_eq!(
+        drained.to_string(),
+        first,
+        "drained in-flight response differs"
+    );
+    // All threads must exit; new connections must be refused afterwards.
+    handle.wait();
+    assert!(
+        Client::connect(&addr, Duration::from_millis(500)).is_err(),
+        "server still accepting after shutdown"
+    );
+    let _ = std::fs::remove_dir_all(&models_dir);
+}

@@ -1,0 +1,342 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of the proptest API this workspace uses — the
+//! [`proptest!`] macro, range / `any::<T>()` / `prop::collection::vec`
+//! strategies, `prop_assert*` / `prop_assume!`, and [`ProptestConfig`] — as a
+//! plain randomized test runner. Differences from upstream, acceptable for
+//! this repository's invariant checks:
+//!
+//! * no shrinking: a failing case reports its case index and message only
+//!   (the runner is deterministic per test name, so failures replay exactly);
+//! * no persistence: `*.proptest-regressions` files are ignored.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`with_cases` is the only knob the workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs — does not count as a failure.
+    Reject,
+    /// `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Per-test driver: deterministic RNG (seeded from the test name) plus
+/// rejection bookkeeping.
+pub struct TestRunner {
+    rng: StdRng,
+    cases: u32,
+    rejects: u32,
+    name: &'static str,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h),
+            cases: config.cases,
+            rejects: 0,
+            name,
+        }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Record one case's outcome; panics (failing the `#[test]`) on `Fail`.
+    pub fn handle(&mut self, case: u32, result: Result<(), TestCaseError>) {
+        match result {
+            Ok(()) => {}
+            Err(TestCaseError::Reject) => {
+                self.rejects += 1;
+                assert!(
+                    self.rejects <= self.cases * 16,
+                    "proptest '{}': too many prop_assume! rejections",
+                    self.name
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{}' failed at case {}: {}", self.name, case, msg)
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(usize, u64, u32, u16, u8, isize, i64, i32, f64, f32);
+
+    /// `any::<T>()` — the full-domain strategy.
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    pub fn any_strategy<T>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.random()
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            // Finite, wide-range values (no NaN/inf: the workspace's numeric
+            // invariants are about real-valued signals).
+            let mag: f64 = rng.random_range(-1e6f64..1e6);
+            mag
+        }
+    }
+
+    impl Strategy for Any<usize> {
+        type Value = usize;
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(0usize..=usize::MAX - 1)
+        }
+    }
+
+    impl Strategy for Any<u64> {
+        type Value = u64;
+        fn sample(&self, rng: &mut StdRng) -> u64 {
+            rng.random()
+        }
+    }
+}
+
+/// `proptest::prelude::*` — everything test files import.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError,
+    };
+
+    /// `any::<T>()` as re-exported by the real prelude.
+    pub fn any<T>() -> crate::strategy::Any<T> {
+        crate::strategy::any_strategy::<T>()
+    }
+
+    pub mod prop {
+        pub mod collection {
+            use crate::strategy::Strategy;
+            use rand::rngs::StdRng;
+            use rand::Rng;
+
+            /// Vec strategy: random length in `len`, elements from `elem`.
+            pub struct VecStrategy<S> {
+                elem: S,
+                len: core::ops::Range<usize>,
+            }
+
+            pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+                assert!(len.start < len.end, "empty vec length range");
+                VecStrategy { elem, len }
+            }
+
+            impl<S: Strategy> Strategy for VecStrategy<S> {
+                type Value = Vec<S::Value>;
+                fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                    let n = rng.random_range(self.len.clone());
+                    (0..n).map(|_| self.elem.sample(rng)).collect()
+                }
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a != b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The `proptest! { ... }` block macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(config, stringify!($name));
+            for case in 0..runner.cases() {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), runner.rng());)+
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                runner.handle(case, outcome);
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0f64..1.0, 3..10)) {
+            prop_assert!(v.len() >= 3 && v.len() < 10, "len {}", v.len());
+            for x in &v {
+                prop_assert!((0.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn ranges_and_assume(a in 0usize..100, b in 0usize..100) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(lo < hi);
+            prop_assert_eq!(lo.min(hi), lo);
+        }
+
+        #[test]
+        fn any_bool_varies(flips in prop::collection::vec(any::<bool>(), 64..65)) {
+            // 64 fair flips virtually never agree unanimously.
+            let heads = flips.iter().filter(|&&b| b).count();
+            prop_assert!(heads > 0 && heads < 64, "{} heads", heads);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
