@@ -19,6 +19,8 @@
 //! split, emit one anomaly score per test point. Thresholding and metrics
 //! live in `evalkit`.
 
+#![forbid(unsafe_code)]
+
 pub mod anomaly_transformer_lite;
 pub mod common;
 pub mod dcdetector_lite;

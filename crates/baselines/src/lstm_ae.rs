@@ -90,6 +90,8 @@ impl Net {
         // Per-step inputs [B,1].
         let steps: Vec<NodeId> = (0..l).map(|t| g.slice_cols(x, t, t + 1)).collect();
         let enc_states = self.encoder.forward_seq(g, &steps);
+        // lint-allow(no-unwrap): batches come from the segmenter, which never
+        // yields a zero-length window, so the encoder always has ≥ 1 step.
         let code = *enc_states.last().expect("non-empty window");
         // Decoder consumes the code at every step (repeat-vector decoding).
         let dec_inputs = vec![code; l];

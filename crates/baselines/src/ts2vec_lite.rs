@@ -91,6 +91,8 @@ impl Encoder {
     fn pooled(&self, g: &mut Graph, x: NodeId) -> NodeId {
         let h = self.forward(g, x);
         let shape = g.value(h).shape().to_vec();
+        // lint-allow(index-stampede): the conv stack's output is [B,C,L] by
+        // construction, so all three subscripts are in range.
         let (bsz, c, l) = (shape[0], shape[1], shape[2]);
         let flat = g.reshape(h, &[bsz * c, l]);
         let sums = g.row_sum(flat);

@@ -11,6 +11,8 @@
 //! `--epochs` to reproduce the full protocol when compute allows. Defaults
 //! and paper-scale flags are recorded per experiment in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 use baselines::Detector;
 use evalkit::pak::PakAuc;
 use evalkit::Prf;
@@ -212,6 +214,9 @@ where
     crossbeam::scope(|s| {
         for _ in 0..n_threads {
             s.spawn(|_| loop {
+                // relaxed-ok: the fetch_add is itself a total order on the
+                // work index; results are published via the per-cell mutexes,
+                // not through this counter.
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
                     break;

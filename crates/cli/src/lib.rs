@@ -17,6 +17,8 @@
 //! The logic lives in this library crate so it is testable without spawning
 //! processes; `main.rs` is a thin wrapper.
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 use triad_core::{persist, TriAd, TriadConfig};

@@ -2,6 +2,7 @@
 //! (Sec. III-D).
 
 use crate::config::TriadConfig;
+use crate::error::DetectError;
 use crate::features::FeatureExtractor;
 use crate::train::Model;
 use crate::Domain;
@@ -109,8 +110,50 @@ fn nearest_normal_distance(train: &[f64], probe: &[f64]) -> f64 {
     best.sqrt()
 }
 
-/// Run the full detection pipeline on a test split.
+/// Run the full detection pipeline on a test split, validating the input
+/// first: an empty test split has nothing to rank, and a single NaN/Inf
+/// sample would silently poison the similarity scores and the discord
+/// search rather than fail loudly.
+pub fn try_detect(
+    cfg: &TriadConfig,
+    model: &Model,
+    fx: &FeatureExtractor,
+    segmenter: &Segmenter,
+    train: &[f64],
+    test: &[f64],
+) -> Result<TriadDetection, DetectError> {
+    if test.is_empty() {
+        return Err(DetectError::EmptyTest);
+    }
+    if let Some(index) = test.iter().position(|v| !v.is_finite()) {
+        return Err(DetectError::NonFiniteTest { index });
+    }
+    if let Some(index) = train.iter().position(|v| !v.is_finite()) {
+        return Err(DetectError::NonFiniteTrain { index });
+    }
+    Ok(run_detect(cfg, model, fx, segmenter, train, test))
+}
+
+/// Panicking convenience wrapper over [`try_detect`] for experiment and
+/// test code that constructs its own (known-finite) inputs. Server-side
+/// code must use [`try_detect`] so a bad request cannot abort a worker.
 pub fn detect(
+    cfg: &TriadConfig,
+    model: &Model,
+    fx: &FeatureExtractor,
+    segmenter: &Segmenter,
+    train: &[f64],
+    test: &[f64],
+) -> TriadDetection {
+    match try_detect(cfg, model, fx, segmenter, train, test) {
+        Ok(det) => det,
+        // lint-allow(no-panic): documented panicking convenience wrapper; the
+        // fallible path is try_detect and serve/cli use it
+        Err(e) => panic!("detect: {e}"),
+    }
+}
+
+fn run_detect(
     cfg: &TriadConfig,
     model: &Model,
     fx: &FeatureExtractor,
@@ -293,6 +336,37 @@ mod tests {
     #[test]
     fn nearest_normal_distance_short_train() {
         assert!(nearest_normal_distance(&[1.0, 2.0], &[1.0, 2.0, 3.0]).is_infinite());
+    }
+
+    #[test]
+    fn try_detect_rejects_degenerate_input_without_a_model() {
+        // Validation happens before the model is touched, so a zero-size
+        // model skeleton is enough to exercise the error paths.
+        let cfg = TriadConfig::default();
+        let model = Model {
+            encoders: Vec::new(),
+            head: crate::encoder::ProjectionHead::new(
+                &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0),
+                4,
+            ),
+        };
+        let fx = FeatureExtractor {
+            period: 10,
+            residual_scale: 1.0,
+        };
+        let seg = Segmenter::new(8, 4);
+        assert_eq!(
+            try_detect(&cfg, &model, &fx, &seg, &[1.0, 2.0], &[]),
+            Err(crate::error::DetectError::EmptyTest)
+        );
+        assert_eq!(
+            try_detect(&cfg, &model, &fx, &seg, &[1.0], &[0.0, f64::NAN, 1.0]),
+            Err(crate::error::DetectError::NonFiniteTest { index: 1 })
+        );
+        assert_eq!(
+            try_detect(&cfg, &model, &fx, &seg, &[f64::INFINITY], &[0.0, 1.0]),
+            Err(crate::error::DetectError::NonFiniteTrain { index: 0 })
+        );
     }
 
     // End-to-end detect() behaviour is covered by the pipeline tests and the

@@ -1,0 +1,117 @@
+//! Typed errors for the library-path fallible operations.
+//!
+//! `persist` and `detect` used to surface failures as stringly-typed
+//! `io::Error`s (or panics, for `detect` on degenerate input). Callers that
+//! embed the pipeline — the serve worker threads above all — need to tell
+//! "the file is corrupt" from "the disk failed" from "the request payload is
+//! nonsense" without parsing message text, and must never abort a worker on
+//! a bad request. These enums are that contract.
+
+use std::fmt;
+use std::io;
+
+/// Failure while saving or loading a model file.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying reader/writer failed (disk, permissions, …).
+    Io(io::Error),
+    /// The stream ended mid-field; `what` names the field being read.
+    Truncated { what: String, source: io::Error },
+    /// Structurally invalid or corrupt content: bad magic, malformed
+    /// header, failed validation, checksum mismatch.
+    Format(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model file I/O error: {e}"),
+            PersistError::Truncated { what, source } => {
+                write!(f, "truncated model file: reading {what} ({source})")
+            }
+            PersistError::Format(msg) => write!(f, "invalid model file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) | PersistError::Truncated { source: e, .. } => Some(e),
+            PersistError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        // `neuro::serialize` reports structural problems as InvalidData;
+        // keep that distinction rather than flattening to Io.
+        if e.kind() == io::ErrorKind::InvalidData {
+            PersistError::Format(e.to_string())
+        } else {
+            PersistError::Io(e)
+        }
+    }
+}
+
+/// Failure while running detection on a test split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectError {
+    /// The test split is empty — there is nothing to rank or vote on.
+    EmptyTest,
+    /// A non-finite sample (NaN/Inf) at this index of the test split; it
+    /// would silently poison similarity scores and the discord search.
+    NonFiniteTest { index: usize },
+    /// A non-finite sample at this index of the training split.
+    NonFiniteTrain { index: usize },
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::EmptyTest => write!(f, "detect: empty test split"),
+            DetectError::NonFiniteTest { index } => {
+                write!(f, "detect: non-finite value in test split at index {index}")
+            }
+            DetectError::NonFiniteTrain { index } => {
+                write!(
+                    f,
+                    "detect: non-finite value in training split at index {index}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persist_error_display_names_the_field() {
+        let e = PersistError::Truncated {
+            what: "header".into(),
+            source: io::Error::new(io::ErrorKind::UnexpectedEof, "eof"),
+        };
+        assert!(e.to_string().contains("header"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn invalid_data_io_errors_become_format() {
+        let e: PersistError = io::Error::new(io::ErrorKind::InvalidData, "bad block").into();
+        assert!(matches!(e, PersistError::Format(_)));
+        let e: PersistError = io::Error::new(io::ErrorKind::PermissionDenied, "nope").into();
+        assert!(matches!(e, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn detect_error_display_carries_the_index() {
+        assert!(DetectError::NonFiniteTest { index: 7 }
+            .to_string()
+            .contains("index 7"));
+    }
+}

@@ -49,9 +49,12 @@
 //! assert_eq!(det.votes.len(), test.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod detect;
 pub mod encoder;
+pub mod error;
 pub mod features;
 pub mod loss;
 pub mod persist;
@@ -60,6 +63,7 @@ pub mod train;
 
 pub use config::TriadConfig;
 pub use detect::TriadDetection;
+pub use error::{DetectError, PersistError};
 pub use pipeline::{FittedTriad, TriAd};
 
 /// The three feature domains.

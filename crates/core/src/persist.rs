@@ -17,11 +17,12 @@
 //!
 //! `load` is hardened against hostile or damaged input: every length field
 //! is bounded, header values are validated before they reach code that
-//! asserts on them (window/stride/period), truncation surfaces as a
-//! descriptive `io::Error` rather than a panic, and the checksum catches
-//! bit-level corruption anywhere in the file.
+//! asserts on them (window/stride/period), truncation surfaces as a typed
+//! [`PersistError`] rather than a panic, and the checksum catches bit-level
+//! corruption anywhere in the file.
 
 use crate::config::TriadConfig;
+use crate::error::PersistError;
 use crate::features::FeatureExtractor;
 use crate::pipeline::FittedTriad;
 use crate::train::{Model, TrainReport};
@@ -122,15 +123,15 @@ impl<R: Read> CrcReader<R> {
         }
     }
 
-    fn verify_trailer(mut self) -> io::Result<()> {
+    fn verify_trailer(mut self) -> Result<(), PersistError> {
         let computed = !self.crc;
         let mut t = [0u8; 4];
-        self.inner.read_exact(&mut t).map_err(|e| {
-            io::Error::new(
-                e.kind(),
-                format!("truncated model file: missing checksum trailer ({e})"),
-            )
-        })?;
+        self.inner
+            .read_exact(&mut t)
+            .map_err(|e| PersistError::Truncated {
+                what: "checksum trailer".into(),
+                source: e,
+            })?;
         let stored = u32::from_le_bytes(t);
         if stored != computed {
             return Err(invalid(format!(
@@ -151,16 +152,14 @@ impl<R: Read> Read for CrcReader<R> {
 
 // ------------------------------------------------------------------ header
 
-fn invalid(msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+fn invalid(msg: impl Into<String>) -> PersistError {
+    PersistError::Format(msg.into())
 }
 
-fn read_exact_ctx<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> io::Result<()> {
-    r.read_exact(buf).map_err(|e| {
-        io::Error::new(
-            e.kind(),
-            format!("truncated model file: reading {what} ({e})"),
-        )
+fn read_exact_ctx<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<(), PersistError> {
+    r.read_exact(buf).map_err(|e| PersistError::Truncated {
+        what: what.into(),
+        source: e,
     })
 }
 
@@ -192,7 +191,7 @@ fn header_string(fitted: &FittedTriad) -> String {
     .join("\n")
 }
 
-fn parse_header(text: &str) -> io::Result<std::collections::HashMap<String, String>> {
+fn parse_header(text: &str) -> Result<std::collections::HashMap<String, String>, PersistError> {
     let mut map = std::collections::HashMap::new();
     for line in text.lines() {
         let (k, v) = line
@@ -206,7 +205,7 @@ fn parse_header(text: &str) -> io::Result<std::collections::HashMap<String, Stri
 fn get<T: std::str::FromStr>(
     map: &std::collections::HashMap<String, String>,
     key: &str,
-) -> io::Result<T> {
+) -> Result<T, PersistError> {
     map.get(key)
         .and_then(|v| v.parse().ok())
         .ok_or_else(|| invalid(format!("missing/bad header field {key}")))
@@ -215,7 +214,7 @@ fn get<T: std::str::FromStr>(
 // --------------------------------------------------------------- save/load
 
 /// Serialize a fitted model.
-pub fn save<W: Write>(w: W, fitted: &FittedTriad) -> io::Result<()> {
+pub fn save<W: Write>(w: W, fitted: &FittedTriad) -> Result<(), PersistError> {
     let mut w = CrcWriter::new(w);
     w.write_all(MAGIC)?;
     let header = header_string(fitted);
@@ -227,20 +226,21 @@ pub fn save<W: Write>(w: W, fitted: &FittedTriad) -> io::Result<()> {
         w.write_all(&v.to_le_bytes())?;
     }
     write_params(&mut w, &fitted.model().params())?;
-    w.finish()
+    w.finish()?;
+    Ok(())
 }
 
 /// Save to a file path.
-pub fn save_file(path: &Path, fitted: &FittedTriad) -> io::Result<()> {
+pub fn save_file(path: &Path, fitted: &FittedTriad) -> Result<(), PersistError> {
     save(
-        std::io::BufWriter::new(std::fs::File::create(path)?),
+        std::io::BufWriter::new(std::fs::File::create(path).map_err(PersistError::Io)?),
         fitted,
     )
 }
 
 /// Deserialize a fitted model, validating every field before it reaches
 /// code that would panic on nonsense (see module docs).
-pub fn load<R: Read>(r: R) -> io::Result<FittedTriad> {
+pub fn load<R: Read>(r: R) -> Result<FittedTriad, PersistError> {
     let mut r = CrcReader::new(r);
     let mut magic = [0u8; 7];
     read_exact_ctx(&mut r, &mut magic, "magic")?;
@@ -364,8 +364,10 @@ pub fn load<R: Read>(r: R) -> io::Result<FittedTriad> {
 }
 
 /// Load from a file path.
-pub fn load_file(path: &Path) -> io::Result<FittedTriad> {
-    load(std::io::BufReader::new(std::fs::File::open(path)?))
+pub fn load_file(path: &Path) -> Result<FittedTriad, PersistError> {
+    load(std::io::BufReader::new(
+        std::fs::File::open(path).map_err(PersistError::Io)?,
+    ))
 }
 
 #[cfg(test)]
@@ -397,7 +399,7 @@ mod tests {
     }
 
     /// `load(...).unwrap_err()` without requiring `FittedTriad: Debug`.
-    fn load_err(bytes: &[u8], what: &str) -> io::Error {
+    fn load_err(bytes: &[u8], what: &str) -> PersistError {
         match load(bytes) {
             Ok(_) => panic!("expected load to fail: {what}"),
             Err(e) => e,

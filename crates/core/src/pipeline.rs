@@ -1,7 +1,8 @@
 //! End-to-end public API: `TriAd::new(cfg).fit(train)?.detect(test)`.
 
 use crate::config::TriadConfig;
-use crate::detect::{detect, TriadDetection};
+use crate::detect::{detect, try_detect, TriadDetection};
+use crate::error::DetectError;
 use crate::features::FeatureExtractor;
 use crate::train::{fit, Model, TrainReport};
 use tsops::window::Segmenter;
@@ -78,8 +79,28 @@ impl FittedTriad {
     }
 
     /// Run the full inference pipeline on a test split.
+    ///
+    /// Panics on degenerate input (empty / non-finite test split) — fine
+    /// for experiment code that built the series itself; long-running
+    /// callers handling untrusted input should use [`try_detect`].
+    ///
+    /// [`try_detect`]: FittedTriad::try_detect
     pub fn detect(&self, test: &[f64]) -> TriadDetection {
         detect(
+            &self.cfg,
+            &self.model,
+            &self.extractor,
+            &self.segmenter,
+            &self.train,
+            test,
+        )
+    }
+
+    /// Fallible variant of [`detect`](FittedTriad::detect): degenerate input
+    /// comes back as a typed [`DetectError`] instead of a panic, so a serve
+    /// worker thread survives a hostile request payload.
+    pub fn try_detect(&self, test: &[f64]) -> Result<TriadDetection, DetectError> {
+        try_detect(
             &self.cfg,
             &self.model,
             &self.extractor,
@@ -235,6 +256,21 @@ mod tests {
         let max_w = weighted.votes.iter().cloned().fold(0.0f64, f64::max);
         // 2.0 window weight + at most 1.0 of normalised discord mass.
         assert!(max_w <= 3.0 + 1e-9, "max vote {max_w}");
+    }
+
+    #[test]
+    fn try_detect_matches_detect_and_rejects_bad_input() {
+        let (train, test, _) = series_with_anomaly();
+        let fitted = TriAd::new(quick_cfg()).fit(&train).unwrap();
+        let ok = fitted.try_detect(&test).expect("finite input");
+        assert_eq!(ok, fitted.detect(&test));
+        assert_eq!(fitted.try_detect(&[]), Err(DetectError::EmptyTest));
+        let mut bad = test.clone();
+        bad[3] = f64::NAN;
+        assert_eq!(
+            fitted.try_detect(&bad),
+            Err(DetectError::NonFiniteTest { index: 3 })
+        );
     }
 
     #[test]

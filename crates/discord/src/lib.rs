@@ -24,6 +24,8 @@
 //! All algorithms share [`tsops::distance::ZnormSeries`] for O(w) distances
 //! and use the standard self-match exclusion zone `|i − j| ≥ w`.
 
+#![forbid(unsafe_code)]
+
 pub mod drag;
 pub mod matrix_profile;
 pub mod merlin;

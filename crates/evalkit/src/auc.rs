@@ -20,6 +20,9 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     let mut i = 0;
     while i < idx.len() {
         let mut j = i;
+        // lint-allow(index-stampede): tie-block scan — `j + 1` is bounds-
+        // checked by the `&&` short-circuit and `idx` is a permutation of
+        // `0..scores.len()`, so every subscript is in range.
         while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
             j += 1;
         }
@@ -55,6 +58,8 @@ pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
     while k < idx.len() {
         // Process tied blocks together so ties don't depend on sort order.
         let mut j = k;
+        // lint-allow(index-stampede): same tie-block scan as `roc_auc` —
+        // bounds-checked by the short-circuit, `idx` is a permutation.
         while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[k]] {
             j += 1;
         }

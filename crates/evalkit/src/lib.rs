@@ -22,6 +22,8 @@
 //! [`range_pr`] (Tatbul et al.'s range-based precision/recall) and [`auc`]
 //! (threshold-free ROC-AUC / average precision over raw scores).
 
+#![forbid(unsafe_code)]
+
 pub mod affiliation;
 pub mod auc;
 pub mod eventwise;

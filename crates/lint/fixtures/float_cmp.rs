@@ -1,0 +1,8 @@
+//@ path: crates/cli/src/main.rs
+//@ expect: float-cmp
+// Seeded violation: force-unwrapped partial_cmp panics the sort on NaN.
+fn main() {
+    let mut v = vec![3.0f64, 1.0, f64::NAN];
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!("{:?}", v);
+}

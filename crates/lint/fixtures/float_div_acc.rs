@@ -1,0 +1,14 @@
+//@ path: crates/discord/src/fixture.rs
+//@ expect: float-div-acc
+// Seeded violations: unchecked float division feeding accumulators.
+pub fn normalized_sum(xs: &[f64], scale: f64) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x / scale;
+    }
+    acc
+}
+
+pub fn shrink(acc: &mut f64, m: f64) {
+    *acc /= m;
+}

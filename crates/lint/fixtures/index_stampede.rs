@@ -1,0 +1,6 @@
+//@ path: crates/neuro/src/fixture.rs
+//@ expect: index-stampede
+// Seeded violation: four panicking subscripts on one line.
+pub fn axpy(a: &mut [f32], b: &[f32], c: &[f32], i: usize) {
+    a[i] = b[i] * c[i] + a[i];
+}

@@ -1,0 +1,12 @@
+//@ path: crates/serve/src/fixture.rs
+//@ expect: lock-across-io
+// Seeded violation: the slot mutex stays locked across a filesystem read.
+use std::sync::Mutex;
+
+pub fn reload(slot: &Mutex<Vec<u8>>, path: &str) -> std::io::Result<()> {
+    let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+    let bytes = std::fs::read_to_string(path)?;
+    guard.clear();
+    guard.extend_from_slice(bytes.as_bytes());
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//@ path: crates/tsops/src/fixture.rs
+//@ expect: lossy-cast
+// Seeded violations: narrowing casts in a kernel crate.
+pub fn quantize(x: f64) -> f32 {
+    x as f32
+}
+
+pub fn bucket(x: f64) -> u32 {
+    (x * 1024.0) as u32
+}

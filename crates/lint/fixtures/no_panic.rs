@@ -1,0 +1,14 @@
+//@ path: crates/serve/src/fixture.rs
+//@ expect: no-panic
+// Seeded violations: aborting macros in library code.
+pub fn admit(kind: u8) -> &'static str {
+    match kind {
+        0 => "fit",
+        1 => "detect",
+        _ => panic!("unknown request kind"),
+    }
+}
+
+pub fn later() {
+    todo!()
+}

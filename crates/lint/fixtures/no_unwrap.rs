@@ -1,0 +1,10 @@
+//@ path: crates/core/src/fixture.rs
+//@ expect: no-unwrap
+// Seeded violations: force-unwraps in library code.
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("not a number")
+}

@@ -1,0 +1,13 @@
+//@ path: crates/serve/src/fixture.rs
+//@ expect: relaxed-ok
+// Seeded violation: an unjustified Relaxed next to a justified one.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn bump_justified(counter: &AtomicU64) {
+    // relaxed-ok: monotonic counter, read only by the metrics reporter
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,8 @@
+//@ path: crates/core/src/fixture.rs
+//@ expect: no-static-mut
+// Seeded violation: mutable global state.
+static mut TICKS: u64 = 0;
+
+pub fn placeholder() -> u64 {
+    0
+}

@@ -1,0 +1,12 @@
+//@ path: crates/core/src/fixture.rs
+//@ expect: suppress-reason
+// lint-allow(no-unwrap)
+pub fn missing_reason() {}
+
+// lint-allow(not-a-rule): the rule name is wrong on purpose
+pub fn unknown_rule() {}
+
+pub fn suppressed_cleanly(o: Option<u32>) -> u32 {
+    // lint-allow(no-unwrap): seeded fixture demonstrating a valid suppression
+    o.unwrap()
+}

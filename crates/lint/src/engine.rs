@@ -1,0 +1,288 @@
+//! Workspace walking, suppression filtering, output formatting and the
+//! fixture self-test.
+
+use crate::context::FileContext;
+use crate::rules::{self, Diagnostic};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into. `vendor` holds offline stand-ins
+/// for external crates (not ours to lint, like any dependency), `fixtures`
+/// holds seeded violations exercised only by `--fixture`.
+const SKIP_DIRS: &[&str] = &["target", ".git", "vendor", "fixtures"];
+
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Also lint `vendor/` (off by default, like any linter and its deps).
+    pub include_vendor: bool,
+}
+
+/// Everything the engine learned about one file, for the fixture checker.
+pub struct FileReport {
+    pub rel_path: String,
+    /// Diagnostics that survived suppression.
+    pub diagnostics: Vec<Diagnostic>,
+    /// `//@ expect: rule` directives found in the file (fixtures only).
+    pub expected: Vec<String>,
+}
+
+/// Lint every `.rs` file under `root`. Returns per-file reports sorted by
+/// path; diagnostics within a file are sorted by line.
+pub fn run(root: &Path, opts: &Options) -> std::io::Result<Vec<FileReport>> {
+    let mut files = Vec::new();
+    walk(root, opts, &mut files)?;
+    files.sort();
+    let mut reports = Vec::new();
+    for path in files {
+        let src = fs::read(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        reports.push(lint_one(&rel, &src));
+    }
+    Ok(reports)
+}
+
+/// Lint one file held in memory. The effective path (and therefore the
+/// crate classification) can be overridden by a `//@ path:` directive —
+/// that is how fixture files pose as kernel/library/binary sources.
+pub fn lint_one(rel_path: &str, src: &[u8]) -> FileReport {
+    let (pretend, expected) = directives(src);
+    let effective = pretend.as_deref().unwrap_or(rel_path);
+    let cx = FileContext::new(effective, src);
+    let mut raw = Vec::new();
+    rules::run_all(&cx, &mut raw);
+    let mut diagnostics: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| !cx.is_suppressed(d.rule, d.line))
+        .collect();
+    diagnostics.sort_by_key(|d| (d.line, d.rule));
+    FileReport {
+        rel_path: rel_path.to_string(),
+        diagnostics,
+        expected,
+    }
+}
+
+fn walk(dir: &Path, opts: &Options, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            let skip =
+                SKIP_DIRS.contains(&name.as_ref()) && !(opts.include_vendor && name == "vendor");
+            if !skip {
+                walk(&path, opts, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Parse `//@ path:` / `//@ expect:` directives from the head of a file.
+fn directives(src: &[u8]) -> (Option<String>, Vec<String>) {
+    let mut pretend = None;
+    let mut expected = Vec::new();
+    let text = String::from_utf8_lossy(src);
+    for line in text.lines().take(16) {
+        let line = line.trim();
+        if let Some(p) = line.strip_prefix("//@ path:") {
+            pretend = Some(p.trim().to_string());
+        } else if let Some(e) = line.strip_prefix("//@ expect:") {
+            for r in e.split(',') {
+                let r = r.trim();
+                if !r.is_empty() {
+                    expected.push(r.to_string());
+                }
+            }
+        }
+    }
+    (pretend, expected)
+}
+
+// ------------------------------------------------------------------ output
+
+pub fn render_human(reports: &[FileReport]) -> String {
+    let mut out = String::new();
+    let mut n = 0usize;
+    for r in reports {
+        for d in &r.diagnostics {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                r.rel_path, d.line, d.rule, d.message
+            ));
+            n += 1;
+        }
+    }
+    out.push_str(&format!(
+        "triad-lint: {} diagnostic{} across {} file{}\n",
+        n,
+        if n == 1 { "" } else { "s" },
+        reports.iter().filter(|r| !r.diagnostics.is_empty()).count(),
+        if reports.iter().filter(|r| !r.diagnostics.is_empty()).count() == 1 {
+            ""
+        } else {
+            "s"
+        },
+    ));
+    out
+}
+
+pub fn render_json(reports: &[FileReport]) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    for r in reports {
+        for d in &r.diagnostics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                json_escape(d.rule),
+                json_escape(&r.rel_path),
+                d.line,
+                json_escape(&d.message)
+            ));
+        }
+    }
+    out.push_str(if first { "]\n" } else { "\n]\n" });
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------- fixture mode
+
+/// Outcome of the `--fixture` self-test.
+pub struct FixtureOutcome {
+    /// Human-readable report (always printed).
+    pub report: String,
+    /// True when every fixture matched its `//@ expect:` set exactly and
+    /// every shipped rule fired at least once somewhere.
+    pub passed: bool,
+    /// Total diagnostics emitted on the fixture set.
+    pub total_diagnostics: usize,
+}
+
+/// Run the engine over the seeded-violation fixtures and check that each
+/// file produced exactly its expected rule set, and that the union covers
+/// the whole catalog.
+pub fn fixture_self_test(fixture_dir: &Path) -> std::io::Result<FixtureOutcome> {
+    let reports = run(fixture_dir, &Options::default())?;
+    let mut report = String::new();
+    let mut passed = true;
+    let mut fired: Vec<&'static str> = Vec::new();
+    let mut total = 0usize;
+    if reports.is_empty() {
+        return Ok(FixtureOutcome {
+            report: format!("no fixtures found under {}\n", fixture_dir.display()),
+            passed: false,
+            total_diagnostics: 0,
+        });
+    }
+    for r in &reports {
+        total += r.diagnostics.len();
+        let mut got: Vec<&str> = r.diagnostics.iter().map(|d| d.rule).collect();
+        got.sort_unstable();
+        got.dedup();
+        for d in &r.diagnostics {
+            if !fired.contains(&d.rule) {
+                fired.push(d.rule);
+            }
+        }
+        let mut want: Vec<&str> = r.expected.iter().map(|s| s.as_str()).collect();
+        want.sort_unstable();
+        want.dedup();
+        if got == want {
+            report.push_str(&format!(
+                "ok   {} ({} diagnostic{}: {})\n",
+                r.rel_path,
+                r.diagnostics.len(),
+                if r.diagnostics.len() == 1 { "" } else { "s" },
+                if got.is_empty() {
+                    "none".to_string()
+                } else {
+                    got.join(", ")
+                },
+            ));
+        } else {
+            passed = false;
+            report.push_str(&format!(
+                "FAIL {}: expected rules [{}], got [{}]\n",
+                r.rel_path,
+                want.join(", "),
+                got.join(", ")
+            ));
+            for d in &r.diagnostics {
+                report.push_str(&format!(
+                    "     {}:{}: [{}] {}\n",
+                    r.rel_path, d.line, d.rule, d.message
+                ));
+            }
+        }
+    }
+    for (id, _) in rules::RULES {
+        if !fired.contains(id) {
+            passed = false;
+            report.push_str(&format!("FAIL rule `{}` never fired on any fixture\n", id));
+        }
+    }
+    report.push_str(&format!(
+        "fixture self-test: {} ({} diagnostics, {}/{} rules fired)\n",
+        if passed { "PASS" } else { "FAIL" },
+        total,
+        fired.len(),
+        rules::RULES.len()
+    ));
+    Ok(FixtureOutcome {
+        report,
+        passed,
+        total_diagnostics: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directives_parse() {
+        let src =
+            b"//@ path: crates/tsops/src/fx.rs\n//@ expect: lossy-cast, float-div-acc\nfn f() {}\n";
+        let (p, e) = directives(src);
+        assert_eq!(p.as_deref(), Some("crates/tsops/src/fx.rs"));
+        assert_eq!(e, vec!["lossy-cast", "float-div-acc"]);
+    }
+
+    #[test]
+    fn lint_one_filters_suppressed() {
+        let src = b"//@ path: crates/core/src/fx.rs\npub fn f(o: Option<u32>) -> u32 {\n    // lint-allow(no-unwrap): demonstration of suppression filtering\n    o.unwrap()\n}\n";
+        let r = lint_one("whatever.rs", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

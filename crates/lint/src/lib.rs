@@ -1,0 +1,22 @@
+//! `triad-lint` — workspace-aware static analysis for the TriAD codebase.
+//!
+//! A self-contained analyzer (no external parser): a hand-rolled byte-level
+//! Rust tokenizer ([`tokenizer`]), per-file analysis context with test-region
+//! detection and `lint-allow` suppressions ([`context`]), a catalog of
+//! numeric-safety / panic-hygiene / concurrency rules ([`rules`]) and a
+//! workspace walker with human/JSON output and a fixture self-test
+//! ([`engine`]).
+//!
+//! The binary (`cargo run -p triad-lint`) is the CI entry point; the library
+//! surface exists so integration tests can drive the same engine.
+
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod engine;
+pub mod rules;
+pub mod tokenizer;
+
+pub use context::{FileClass, FileContext, Suppression};
+pub use engine::{fixture_self_test, lint_one, run, FileReport, FixtureOutcome, Options};
+pub use rules::{Diagnostic, RULES};

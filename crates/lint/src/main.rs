@@ -1,0 +1,144 @@
+//! CLI for `triad-lint`.
+//!
+//! ```text
+//! triad-lint [--root DIR] [--json] [--deny] [--include-vendor]
+//! triad-lint --fixture            # self-test on seeded-violation fixtures
+//! triad-lint --list-rules         # print the rule catalog
+//! ```
+//!
+//! Exit codes: 0 clean (or report-only), 1 diagnostics under `--deny` or a
+//! failed fixture self-test, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    deny: bool,
+    fixture: bool,
+    include_vendor: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: false,
+        deny: false,
+        fixture: false,
+        include_vendor: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory argument")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--json" => args.json = true,
+            "--deny" => args.deny = true,
+            "--fixture" => args.fixture = true,
+            "--include-vendor" => args.include_vendor = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "triad-lint: workspace static analysis for TriAD\n\n\
+                     USAGE: triad-lint [--root DIR] [--json] [--deny] [--include-vendor]\n\
+                            triad-lint --fixture\n\
+                            triad-lint --list-rules\n\n\
+                     --root DIR        lint DIR instead of the workspace root\n\
+                     --json            machine-readable diagnostics on stdout\n\
+                     --deny            exit 1 if any diagnostic is emitted\n\
+                     --fixture         run the seeded-violation self-test\n\
+                     --include-vendor  also lint vendor/ (skipped by default)\n\
+                     --list-rules      print the rule catalog and exit"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{}` (try --help)", other)),
+        }
+    }
+    Ok(args)
+}
+
+/// Workspace root: `--root` wins; otherwise the current directory if it has
+/// a `Cargo.toml` (that is where `cargo run` puts us), otherwise the
+/// compile-time manifest's grandparent (running the binary directly).
+fn resolve_root(args: &Args) -> PathBuf {
+    if let Some(r) = &args.root {
+        return r.clone();
+    }
+    let cwd = PathBuf::from(".");
+    if cwd.join("Cargo.toml").exists() && cwd.join("crates").exists() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(|p| p.to_path_buf())
+        .unwrap_or(cwd)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("triad-lint: {}", e);
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for (id, desc) in triad_lint::RULES {
+            println!("{:<16} {}", id, desc);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.fixture {
+        let root = resolve_root(&args);
+        let dir = args
+            .root
+            .clone()
+            .unwrap_or_else(|| root.join("crates/lint/fixtures"));
+        return match triad_lint::fixture_self_test(&dir) {
+            Ok(outcome) => {
+                print!("{}", outcome.report);
+                if outcome.passed {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(1)
+                }
+            }
+            Err(e) => {
+                eprintln!("triad-lint: fixture self-test failed to run: {}", e);
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let root = resolve_root(&args);
+    let opts = triad_lint::Options {
+        include_vendor: args.include_vendor,
+    };
+    let reports = match triad_lint::run(&root, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("triad-lint: failed to lint {}: {}", root.display(), e);
+            return ExitCode::from(2);
+        }
+    };
+    let n: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+    if args.json {
+        print!("{}", triad_lint::engine::render_json(&reports));
+    } else {
+        print!("{}", triad_lint::engine::render_human(&reports));
+    }
+    if args.deny && n > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,541 @@
+//! A hand-rolled Rust tokenizer.
+//!
+//! `syn` is not available offline, and the lint rules only need a faithful
+//! token stream — not a parse tree. The lexer works directly on bytes so it
+//! is total: *any* input (including invalid UTF-8) tokenizes without
+//! panicking, and the concatenation of all token spans reproduces the input
+//! byte-for-byte (the proptest in this module pins both properties).
+//!
+//! What it gets right, because the rules depend on it:
+//! * line `//` and nested block `/* /* */ */` comments;
+//! * string literals with escapes, byte strings `b"…"`, raw strings
+//!   `r"…"` / `r#"…"#` (any hash count), raw byte strings `br#"…"#`;
+//! * char literals (`'a'`, `'\n'`, `'\''`) vs. lifetimes (`'static`);
+//! * identifiers, numbers (including `1.5e-3` and `0xFF`, without eating
+//!   `..` in `0..10` or the method call in `1.max(2)`).
+//!
+//! Anything unrecognized becomes a one-byte [`TokKind::Other`] token, which
+//! keeps the lexer total without hiding bytes from the round-trip.
+
+/// Token classification. Rules generally work on "significant" tokens
+/// (everything except whitespace and comments); suppression scanning works
+/// on the comment tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Run of whitespace bytes.
+    Ws,
+    /// `// …` up to (not including) the newline.
+    LineComment,
+    /// `/* … */`, nesting honoured; unterminated runs to EOF.
+    BlockComment,
+    /// Any string literal: `"…"`, `b"…"`, `r#"…"#`, `br"…"`; unterminated
+    /// runs to EOF.
+    Str,
+    /// Char literal `'x'` (including escapes).
+    Char,
+    /// Lifetime such as `'a` (no closing quote).
+    Lifetime,
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal.
+    Num,
+    /// Single punctuation byte (`.` `(` `::` arrives as two `:`).
+    Punct,
+    /// Any byte the lexer has no rule for (e.g. raw UTF-8 continuation
+    /// bytes outside literals).
+    Other,
+}
+
+/// One token: classification plus the byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's bytes within `src`.
+    pub fn bytes<'a>(&self, src: &'a [u8]) -> &'a [u8] {
+        &src[self.start..self.end]
+    }
+
+    /// The token's text, lossily decoded (token spans can hold any bytes).
+    pub fn text<'a>(&self, src: &'a [u8]) -> std::borrow::Cow<'a, str> {
+        String::from_utf8_lossy(self.bytes(src))
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenize `src` completely. Total: never panics, and the returned tokens
+/// tile `0..src.len()` contiguously in order.
+pub fn tokenize(src: &[u8]) -> Vec<Tok> {
+    Lexer {
+        src,
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always advance");
+            out.push(Tok {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one byte, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos < self.src.len() {
+                self.bump();
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> TokKind {
+        let b = self.src[self.pos];
+
+        if b.is_ascii_whitespace() {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.bump();
+            }
+            return TokKind::Ws;
+        }
+
+        if b == b'/' {
+            match self.peek(1) {
+                Some(b'/') => return self.line_comment(),
+                Some(b'*') => return self.block_comment(),
+                _ => {
+                    self.bump();
+                    return TokKind::Punct;
+                }
+            }
+        }
+
+        // Raw / byte string prefixes. Checked before plain identifiers so
+        // that `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` and `b'…'` lex as
+        // literals rather than an ident followed by a string.
+        if b == b'r' {
+            if let Some(n) = self.raw_string_lookahead(1) {
+                self.bump_n(n);
+                return TokKind::Str;
+            }
+        }
+        if b == b'b' {
+            match self.peek(1) {
+                Some(b'"') => {
+                    self.bump(); // b
+                    return self.quoted_string();
+                }
+                Some(b'\'') => {
+                    self.bump(); // b
+                    return self.char_or_lifetime();
+                }
+                Some(b'r') => {
+                    if let Some(n) = self.raw_string_lookahead(2) {
+                        self.bump_n(n);
+                        return TokKind::Str;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        if is_ident_start(b) {
+            while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                self.bump();
+            }
+            return TokKind::Ident;
+        }
+
+        if b.is_ascii_digit() {
+            return self.number();
+        }
+
+        if b == b'"' {
+            return self.quoted_string();
+        }
+
+        if b == b'\'' {
+            return self.char_or_lifetime();
+        }
+
+        if b.is_ascii_punctuation() {
+            self.bump();
+            return TokKind::Punct;
+        }
+
+        // Unknown byte (UTF-8 continuation outside a literal, control
+        // characters, …): one-byte token keeps the lexer total.
+        self.bump();
+        TokKind::Other
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.bump();
+        }
+        TokKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.bump_n(2); // consume /*
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// From `self.pos`, does `offset` hashes-then-quote start a raw string
+    /// (`r`/`br` already at positions before `offset`)? Returns the total
+    /// byte length of the raw string token if so.
+    fn raw_string_lookahead(&self, offset: usize) -> Option<usize> {
+        let mut i = offset;
+        let mut hashes = 0usize;
+        while self.peek(i) == Some(b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if self.peek(i) != Some(b'"') {
+            return None;
+        }
+        i += 1;
+        // Scan for the closing quote followed by `hashes` hashes.
+        while let Some(b) = self.peek(i) {
+            if b == b'"' {
+                let mut ok = true;
+                for h in 0..hashes {
+                    if self.peek(i + 1 + h) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    return Some(i + 1 + hashes);
+                }
+            }
+            i += 1;
+        }
+        // Unterminated raw string: the whole tail is the token.
+        Some(self.src.len() - self.pos)
+    }
+
+    /// A `"`-delimited string starting at `self.pos`; handles `\` escapes
+    /// and runs to EOF when unterminated.
+    fn quoted_string(&mut self) -> TokKind {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokKind::Str
+    }
+
+    /// Disambiguate `'a'` / `'\n'` (char) from `'static` (lifetime),
+    /// starting at the `'`.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        self.bump(); // '
+        match self.src.get(self.pos).copied() {
+            Some(b'\\') => {
+                // Escaped char: consume up to the closing quote.
+                self.bump_n(2);
+                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                    self.bump();
+                }
+                if self.pos < self.src.len() {
+                    self.bump();
+                }
+                TokKind::Char
+            }
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                if self.peek(1) == Some(b'\'') {
+                    self.bump_n(2); // char like 'a'
+                    TokKind::Char
+                } else {
+                    // Lifetime: consume the identifier, no closing quote.
+                    while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                        self.bump();
+                    }
+                    TokKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // Punctuation or a multi-byte UTF-8 char: scan a short
+                // window for a closing quote, else treat the `'` alone.
+                for w in 1..=4usize {
+                    if self.peek(w) == Some(b'\'') {
+                        self.bump_n(w + 1);
+                        return TokKind::Char;
+                    }
+                }
+                TokKind::Punct
+            }
+            None => TokKind::Punct,
+        }
+    }
+
+    fn number(&mut self) -> TokKind {
+        self.bump(); // leading digit
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if is_ident_continue(b) {
+                // Exponent sign: `1e-5` / `2.5E+10`.
+                if (b == b'e' || b == b'E')
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.bump_n(2);
+                    continue;
+                }
+                self.bump();
+            } else if b == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // Decimal point, but not the `..` of a range and not the
+                // `.method()` of a call.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokKind::Num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src.as_bytes())
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Ws)
+            .map(|t| (t.kind, t.text(src.as_bytes()).into_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_punct() {
+        let ks = kinds("let x = 42 + y_2;");
+        assert_eq!(
+            ks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Num, "42".into()),
+                (TokKind::Punct, "+".into()),
+                (TokKind::Ident, "y_2".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_method_calls() {
+        let ks = kinds("0..10");
+        assert_eq!(ks[0], (TokKind::Num, "0".into()));
+        assert_eq!(ks[1], (TokKind::Punct, ".".into()));
+        assert_eq!(ks[2], (TokKind::Punct, ".".into()));
+        assert_eq!(ks[3], (TokKind::Num, "10".into()));
+
+        let ks = kinds("1.5e-3 1.max(2) 0xFF_u32");
+        assert_eq!(ks[0], (TokKind::Num, "1.5e-3".into()));
+        assert_eq!(ks[1], (TokKind::Num, "1".into()));
+        assert_eq!(ks[2], (TokKind::Punct, ".".into()));
+        assert_eq!(ks[3], (TokKind::Ident, "max".into()));
+        assert_eq!(ks.last().map(|k| k.1.clone()), Some("0xFF_u32".into()));
+    }
+
+    #[test]
+    fn comments_line_and_nested_block() {
+        let src = "a // trailing\nb /* x /* nested */ y */ c";
+        let ks = kinds(src);
+        assert_eq!(ks[0], (TokKind::Ident, "a".into()));
+        assert_eq!(ks[1], (TokKind::LineComment, "// trailing".into()));
+        assert_eq!(ks[2], (TokKind::Ident, "b".into()));
+        assert_eq!(
+            ks[3],
+            (TokKind::BlockComment, "/* x /* nested */ y */".into())
+        );
+        assert_eq!(ks[4], (TokKind::Ident, "c".into()));
+    }
+
+    #[test]
+    fn strings_plain_raw_byte() {
+        let src = r####"let a = "x \" y"; let b = r#"raw "inner" "#; let c = b"bytes"; let d = br##"rb"##;"####;
+        let strs: Vec<String> = tokenize(src.as_bytes())
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text(src.as_bytes()).into_owned())
+            .collect();
+        assert_eq!(
+            strs,
+            vec![
+                "\"x \\\" y\"".to_string(),
+                "r#\"raw \"inner\" \"#".to_string(),
+                "b\"bytes\"".to_string(),
+                "br##\"rb\"##".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_contents_do_not_leak_tokens() {
+        // `unwrap()` inside a string or comment must not surface as idents.
+        let src = r#"let msg = "call .unwrap() now"; // or .unwrap() here"#;
+        let ids: Vec<String> = tokenize(src.as_bytes())
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src.as_bytes()).into_owned())
+            .collect();
+        assert_eq!(ids, vec!["let", "msg"]);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let ks = kinds(r"'a' '\n' '\'' 'static <'a, 'b>");
+        let pairs: Vec<(TokKind, String)> = ks
+            .into_iter()
+            .filter(|(k, _)| matches!(k, TokKind::Char | TokKind::Lifetime))
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (TokKind::Char, "'a'".into()),
+                (TokKind::Char, "'\\n'".into()),
+                (TokKind::Char, "'\\''".into()),
+                (TokKind::Lifetime, "'static".into()),
+                (TokKind::Lifetime, "'a".into()),
+                (TokKind::Lifetime, "'b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_accurate() {
+        let src = "a\nbb\n\nccc";
+        let toks: Vec<(String, u32)> = tokenize(src.as_bytes())
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text(src.as_bytes()).into_owned(), t.line))
+            .collect();
+        assert_eq!(
+            toks,
+            vec![("a".into(), 1), ("bb".into(), 2), ("ccc".into(), 4)]
+        );
+    }
+
+    #[test]
+    fn multiline_string_advances_line_counter() {
+        let src = "let s = \"one\ntwo\";\nnext";
+        let next = tokenize(src.as_bytes())
+            .into_iter()
+            .find(|t| t.text(src.as_bytes()) == "next")
+            .expect("token");
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof_without_panicking() {
+        for src in [
+            "\"never closed",
+            "r#\"never closed",
+            "/* never closed",
+            "b\"never",
+            "'x",
+        ] {
+            let toks = tokenize(src.as_bytes());
+            assert_eq!(toks.last().expect("tokens").end, src.len(), "{src:?}");
+        }
+    }
+
+    fn round_trips(bytes: &[u8]) {
+        let toks = tokenize(bytes);
+        let mut pos = 0usize;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap or overlap at byte {pos}");
+            assert!(t.end > t.start, "empty token at byte {pos}");
+            pos = t.end;
+        }
+        assert_eq!(pos, bytes.len(), "tokens do not cover the input");
+    }
+
+    #[test]
+    fn round_trip_on_this_source_file() {
+        round_trips(include_bytes!("tokenizer.rs"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        // The tokenizer is total: arbitrary byte input never panics, and
+        // the token spans tile the input exactly.
+        #[test]
+        fn tokenizer_never_panics_and_round_trips(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+            round_trips(&bytes);
+        }
+
+        // Skewing the distribution toward Rust-ish punctuation exercises
+        // the literal/comment state machines far harder than uniform bytes.
+        #[test]
+        fn tokenizer_total_on_quote_heavy_input(raw in prop::collection::vec(0u8..=255, 0..256)) {
+            const ALPHABET: &[u8] = b"\"'#r/b*\\\n a0_!";
+            let bytes: Vec<u8> = raw.iter().map(|&b| ALPHABET[b as usize % ALPHABET.len()]).collect();
+            round_trips(&bytes);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! End-to-end checks: the seeded fixtures trip every rule, and the real
+//! workspace is clean — which makes `cargo test` itself a lint gate.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn fixtures_trip_every_rule() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let outcome = triad_lint::fixture_self_test(&dir).expect("fixtures readable");
+    assert!(outcome.passed, "{}", outcome.report);
+    assert!(outcome.total_diagnostics > 0);
+}
+
+#[test]
+fn fixtures_are_nonzero_under_deny() {
+    // `--deny` over the fixture tree must find unsuppressed diagnostics —
+    // this is the behaviour scripts/ci.sh asserts with a negated run.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let reports =
+        triad_lint::run(&dir, &triad_lint::Options::default()).expect("fixtures readable");
+    let n: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+    assert!(n > 0, "seeded fixtures should produce diagnostics");
+}
+
+#[test]
+fn workspace_is_clean() {
+    let reports = triad_lint::run(&workspace_root(), &triad_lint::Options::default())
+        .expect("workspace readable");
+    let n: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+    assert_eq!(
+        n,
+        0,
+        "workspace must lint clean:\n{}",
+        triad_lint::engine::render_human(&reports)
+    );
+}
+
+#[test]
+fn json_output_is_parseable_shape() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let reports =
+        triad_lint::run(&dir, &triad_lint::Options::default()).expect("fixtures readable");
+    let json = triad_lint::engine::render_json(&reports);
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    assert!(json.contains("\"rule\":"));
+    assert!(json.contains("\"line\":"));
+}

@@ -63,12 +63,25 @@ impl Param {
 type BackFn = Box<dyn Fn(&[Tensor], &Tensor, &mut [Option<Tensor>])>;
 
 /// One-shot autodiff tape. Create per forward pass; drop after `backward`.
-#[derive(Default)]
 pub struct Graph {
     values: Vec<Tensor>,
     backfns: Vec<Option<BackFn>>,
     needs_grad: Vec<bool>,
     bindings: Vec<(NodeId, Param)>,
+    /// Set by `backward`; the sanitizer uses it to catch tape reuse.
+    ran_backward: bool,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new()
+    }
+}
+
+impl Drop for Graph {
+    fn drop(&mut self) {
+        crate::sanitize::note_tape_dropped();
+    }
 }
 
 fn accumulate(grads: &mut [Option<Tensor>], id: NodeId, g: Tensor) {
@@ -154,7 +167,14 @@ fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 
 impl Graph {
     pub fn new() -> Self {
-        Graph::default()
+        crate::sanitize::note_tape_created();
+        Graph {
+            values: Vec::new(),
+            backfns: Vec::new(),
+            needs_grad: Vec::new(),
+            bindings: Vec::new(),
+            ran_backward: false,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -171,6 +191,9 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, needs_grad: bool, backfn: Option<BackFn>) -> NodeId {
+        // Every op funnels through here, so this one check guards every
+        // tensor-op boundary (see `sanitize` module docs).
+        crate::sanitize::check_finite("op output", self.values.len(), value.data());
         self.values.push(value);
         self.needs_grad.push(needs_grad);
         self.backfns.push(backfn);
@@ -225,10 +248,12 @@ impl Graph {
                     let (va, vb) = (&vals[a], &vals[b]);
                     let mut ga = Tensor::zeros(va.shape());
                     let mut gb = Tensor::zeros(vb.shape());
-                    for i in 0..g.numel() {
-                        let (da, db) = back(va.data()[i], vb.data()[i], g.data()[i]);
-                        ga.data_mut()[i] = da;
-                        gb.data_mut()[i] = db;
+                    let ins = va.data().iter().zip(vb.data()).zip(g.data());
+                    let outs = ga.data_mut().iter_mut().zip(gb.data_mut().iter_mut());
+                    for (((&xa, &xb), &gv), (oa, ob)) in ins.zip(outs) {
+                        let (da, db) = back(xa, xb, gv);
+                        *oa = da;
+                        *ob = db;
                     }
                     accumulate(grads, a, ga);
                     accumulate(grads, b, gb);
@@ -281,8 +306,9 @@ impl Graph {
                     let va = &vals[a];
                     let vo = &vals[out_id];
                     let mut ga = Tensor::zeros(va.shape());
-                    for i in 0..g.numel() {
-                        ga.data_mut()[i] = back(va.data()[i], vo.data()[i], g.data()[i]);
+                    let ins = va.data().iter().zip(vo.data()).zip(g.data());
+                    for (o, ((&xv, &yv), &gv)) in ga.data_mut().iter_mut().zip(ins) {
+                        *o = back(xv, yv, gv);
                     }
                     accumulate(grads, a, ga);
                 },
@@ -436,6 +462,8 @@ impl Graph {
 
     /// Mean of all elements → shape `[1]`.
     pub fn mean_all(&mut self, a: NodeId) -> NodeId {
+        // lint-allow(lossy-cast): tensor element counts stay far below 2^24,
+        // exactly representable in f32.
         let n = self.values[a].numel() as f32;
         let s = self.sum_all(a);
         self.scale(s, 1.0 / n)
@@ -514,7 +542,8 @@ impl Graph {
     /// Horizontally concatenate `[B,F_i]` tensors into `[B,ΣF]`.
     pub fn concat_cols(&mut self, ids: &[NodeId]) -> NodeId {
         assert!(!ids.is_empty(), "concat_cols of nothing");
-        let bsz = self.values[ids[0]].shape()[0];
+        let first = ids[0];
+        let bsz = self.values[first].shape()[0];
         let widths: Vec<usize> = ids
             .iter()
             .map(|&i| {
@@ -573,8 +602,9 @@ impl Graph {
         for row in out.data_mut().chunks_mut(f) {
             let n = row.iter().map(|x| x * x).sum::<f32>().sqrt().max(EPS);
             norms.push(n);
+            let inv = 1.0 / n; // n is clamped to EPS above, never zero
             for x in row {
-                *x /= n;
+                *x *= inv;
             }
         }
         let ng = self.needs_grad[a];
@@ -590,8 +620,8 @@ impl Graph {
                         let yrow = &y.data()[r * f..(r + 1) * f];
                         let dot: f32 = grow.iter().zip(yrow).map(|(a, b)| a * b).sum();
                         let garow = &mut ga.data_mut()[r * f..(r + 1) * f];
-                        for i in 0..f {
-                            garow[i] = (grow[i] - yrow[i] * dot) / norm;
+                        for (o, (&gv, &yv)) in garow.iter_mut().zip(grow.iter().zip(yrow)) {
+                            *o = (gv - yv * dot) / norm;
                         }
                     }
                     accumulate(grads, a, ga);
@@ -614,8 +644,10 @@ impl Graph {
                 *x = (*x - mx).exp();
                 sum += *x;
             }
+            // The max element contributes exp(0) = 1, so sum ≥ 1.
+            let inv = 1.0 / sum;
             for x in row {
-                *x /= sum;
+                *x *= inv;
             }
         }
         let ng = self.needs_grad[a];
@@ -631,8 +663,8 @@ impl Graph {
                         let yrow = &y.data()[r * f..(r + 1) * f];
                         let dot: f32 = grow.iter().zip(yrow).map(|(a, b)| a * b).sum();
                         let garow = &mut ga.data_mut()[r * f..(r + 1) * f];
-                        for i in 0..f {
-                            garow[i] = yrow[i] * (grow[i] - dot);
+                        for (o, (&gv, &yv)) in garow.iter_mut().zip(grow.iter().zip(yrow)) {
+                            *o = yv * (gv - dot);
                         }
                     }
                     accumulate(grads, a, ga);
@@ -659,7 +691,9 @@ impl Graph {
         );
         assert_eq!(xs.len(), 3, "conv1d input must be [B,C,L]");
         assert_eq!(ws.len(), 3, "conv1d weight must be [Cout,Cin,K]");
+        // lint-allow(index-stampede): length asserted to be 3 just above.
         let (bsz, cin, l) = (xs[0], xs[1], xs[2]);
+        // lint-allow(index-stampede): length asserted to be 3 just above.
         let (cout, cin2, k) = (ws[0], ws[1], ws[2]);
         assert_eq!(cin, cin2, "conv1d channel mismatch");
         assert_eq!(k % 2, 1, "conv1d kernel must be odd for same padding");
@@ -752,6 +786,7 @@ impl Graph {
     pub fn add_channel_bias(&mut self, x: NodeId, b: NodeId) -> NodeId {
         let xs = self.values[x].shape().to_vec();
         assert_eq!(xs.len(), 3);
+        // lint-allow(index-stampede): length asserted to be 3 just above.
         let (bsz, c, l) = (xs[0], xs[1], xs[2]);
         assert_eq!(self.values[b].shape(), &[c]);
         let mut out = self.values[x].clone();
@@ -794,6 +829,8 @@ impl Graph {
     /// `Param::zero_grad` (or `Optimizer::step`, which does it) between
     /// batches.
     pub fn backward(&mut self, loss: NodeId) {
+        crate::sanitize::check_backward_once(self.ran_backward);
+        self.ran_backward = true;
         assert_eq!(
             self.values[loss].numel(),
             1,
@@ -816,6 +853,9 @@ impl Graph {
         }
         for (id, p) in &self.bindings {
             if let Some(g) = &grads[*id] {
+                // A non-finite gradient would corrupt the persistent param
+                // state; catch it at the flush boundary.
+                crate::sanitize::check_finite("gradient flush", *id, g.data());
                 p.borrow_mut().grad.add_assign(g);
             }
         }
@@ -1167,5 +1207,85 @@ mod tests {
         let a = g.input(Tensor::scalar(1.0));
         let b = g.square(a);
         assert!(!g.needs_grad[b]);
+    }
+
+    // ------------------------------------------------------- sanitizer
+
+    /// Panic payloads are `String` for formatted messages, `&'static str`
+    /// otherwise; normalise for assertions.
+    fn panic_msg(err: Box<dyn std::any::Any + Send>) -> String {
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&'static str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn sanitizer_catches_nan_at_the_op_boundary() {
+        let _guard = crate::sanitize::test_guard();
+        crate::sanitize::set_enabled(true);
+        let trip = std::panic::catch_unwind(|| {
+            let mut g = Graph::new();
+            g.input(Tensor::from_vec(&[2], vec![1.0, f32::NAN]));
+        });
+        let msg = panic_msg(trip.expect_err("NaN input should trip the sanitizer"));
+        assert!(msg.contains("non-finite"), "unexpected panic: {msg}");
+    }
+
+    #[test]
+    fn sanitizer_off_lets_nan_through() {
+        let _guard = crate::sanitize::test_guard();
+        crate::sanitize::set_enabled(false);
+        let mut g = Graph::new();
+        let id = g.input(Tensor::from_vec(&[1], vec![f32::INFINITY]));
+        assert!(g.value(id).data()[0].is_infinite());
+        crate::sanitize::set_enabled(true);
+    }
+
+    #[test]
+    fn sanitizer_catches_backward_reuse() {
+        let _guard = crate::sanitize::test_guard();
+        crate::sanitize::set_enabled(true);
+        let trip = std::panic::catch_unwind(|| {
+            let p = Param::new(Tensor::scalar(2.0));
+            let mut g = Graph::new();
+            let pid = g.param(&p);
+            let loss = g.square(pid);
+            g.backward(loss);
+            g.backward(loss);
+        });
+        let msg = panic_msg(trip.expect_err("second backward should trip the sanitizer"));
+        assert!(msg.contains("one-shot"), "unexpected panic: {msg}");
+    }
+
+    #[test]
+    fn sanitizer_counts_live_tapes_per_thread() {
+        let _guard = crate::sanitize::test_guard();
+        let before = crate::sanitize::live_tapes();
+        {
+            let _g1 = Graph::new();
+            let _g2 = Graph::new();
+            assert_eq!(crate::sanitize::live_tapes(), before + 2);
+        }
+        assert_eq!(crate::sanitize::live_tapes(), before);
+    }
+
+    #[test]
+    fn sanitizer_trips_on_tape_leak() {
+        let _guard = crate::sanitize::test_guard();
+        crate::sanitize::set_enabled(true);
+        let cap = crate::sanitize::max_live_tapes();
+        let trip = std::panic::catch_unwind(|| {
+            let mut hoard = Vec::new();
+            for _ in 0..=cap {
+                hoard.push(Graph::new());
+            }
+            hoard.len()
+        });
+        let msg = panic_msg(trip.expect_err("exceeding the tape cap should trip the sanitizer"));
+        assert!(
+            msg.contains("live autodiff tapes"),
+            "unexpected panic: {msg}"
+        );
     }
 }

@@ -3,6 +3,9 @@
 //! All experiments in the paper are run under five fixed seeds (Sec. IV-A3);
 //! every initialiser here consumes an explicit RNG so a `u64` seed fully
 //! determines a model.
+//!
+//! lint-allow-file(lossy-cast): initialisers sample in f64 and narrow to the
+//! crate's f32 tensors by design; fan counts are small integers, exact in f32.
 
 use crate::tensor::Tensor;
 use rand::Rng;

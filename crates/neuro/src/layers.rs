@@ -222,6 +222,8 @@ impl SelfAttention {
         let v = self.wv.forward(g, x);
         let kt = g.transpose(k);
         let scores = g.matmul(q, kt);
+        // lint-allow(lossy-cast): head dimension is a small integer (≤ a few
+        // hundred), exactly representable in f32.
         let scores = g.scale(scores, 1.0 / (self.dim_k as f32).sqrt());
         let attn = g.softmax_rows(scores);
         let out = g.matmul(attn, v);

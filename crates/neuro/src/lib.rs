@@ -21,10 +21,13 @@
 //! (≤ 6 residual blocks, hidden dim ≤ 128, windows ≤ ~1000 samples) train in
 //! seconds per dataset on one core.
 
+#![forbid(unsafe_code)]
+
 pub mod graph;
 pub mod init;
 pub mod layers;
 pub mod optim;
+pub mod sanitize;
 pub mod serialize;
 pub mod tensor;
 

@@ -49,6 +49,8 @@ impl CosineSchedule {
         if t >= self.total_steps {
             return self.lr_min;
         }
+        // lint-allow(lossy-cast): step counts stay far below 2^24 in any
+        // training run here, so both casts are exact in f32.
         let progress = t as f32 / self.total_steps as f32;
         self.lr_min
             + 0.5 * (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * progress).cos())
@@ -92,8 +94,11 @@ impl Adam {
     /// then zero them.
     pub fn step(&mut self) {
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        // lint-allow(lossy-cast): the step counter stays far below i32::MAX
+        // over any training run, and `powi` takes i32.
+        let t = self.t as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
         for (i, p) in self.params.iter().enumerate() {
             let mut pd = p.borrow_mut();
             let m = self.m[i].data_mut();

@@ -1,0 +1,188 @@
+//! Debug-assertions runtime sanitizer for the autodiff substrate.
+//!
+//! Three classes of bugs are cheap to catch at runtime and miserable to
+//! debug after the fact:
+//!
+//! * **numeric poisoning** — a NaN/Inf produced by one op silently spreads
+//!   through every downstream tensor and surfaces hundreds of steps later
+//!   as a useless loss curve. The sanitizer checks every tensor at the
+//!   single op boundary ([`Graph::push`]) and every gradient at the
+//!   `backward` flush, so the failure names the first bad node.
+//! * **tape leaks** — `Graph` is a per-forward-pass tape; holding tapes
+//!   alive across batches is a memory leak. A live-tape counter trips when
+//!   more than [`max_live_tapes`] coexist **on one thread** (tapes are
+//!   thread-confined, and per-thread counting keeps concurrent serve
+//!   workers or parallel tests from tripping each other).
+//! * **tape reuse** — running `backward` twice on one tape double-flushes
+//!   gradients into the bound params.
+//!
+//! Enablement (resolved once, overridable for tests via [`set_enabled`]):
+//!
+//! | build              | default | override                 |
+//! |--------------------|---------|--------------------------|
+//! | `debug_assertions` | **on**  | `TRIAD_SANITIZE=0` → off |
+//! | release            | off     | `TRIAD_SANITIZE=1` → on  |
+//!
+//! `TRIAD_SANITIZE_MAX_TAPES` (default 8) bounds the live-tape count.
+//! Checks are panics by design: a sanitizer's job is to stop the process at
+//! the first sign of corruption, exactly like `debug_assert!`.
+//!
+//! [`Graph::push`]: crate::graph::Graph
+//! [`max_live_tapes`]: max_live_tapes
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// 0 = unresolved, 1 = off, 2 = on.
+static STATE: AtomicU8 = AtomicU8::new(0);
+/// 0 = unresolved; otherwise the resolved cap + 1 (so a cap of 0 is valid).
+static MAX_TAPES: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Tapes alive on this thread. Thread-local because a `Graph` never
+    /// crosses threads; a global count would let unrelated worker threads
+    /// trip each other's leak check.
+    static LIVE_TAPES: Cell<usize> = const { Cell::new(0) };
+}
+
+fn resolve_enabled() -> bool {
+    let default_on = cfg!(debug_assertions);
+    match std::env::var("TRIAD_SANITIZE") {
+        Ok(v) if v == "0" => false,
+        Ok(v) if v == "1" => true,
+        _ => default_on,
+    }
+}
+
+/// Is the sanitizer active? First call resolves `TRIAD_SANITIZE`; later
+/// calls are a single atomic load.
+pub fn enabled() -> bool {
+    // relaxed-ok: STATE is a write-once latch; every resolved value is
+    // identical, so racing resolvers store the same byte.
+    match STATE.load(Ordering::Relaxed) {
+        0 => {
+            let on = resolve_enabled();
+            // relaxed-ok: same latch as above.
+            STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+        s => s == 2,
+    }
+}
+
+/// Force the sanitizer on/off, overriding the environment (test hook).
+pub fn set_enabled(on: bool) {
+    // relaxed-ok: single-byte latch, no data published under it.
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// How many tapes may be alive at once before the leak check trips.
+pub fn max_live_tapes() -> usize {
+    // relaxed-ok: write-once latch; racing resolvers store the same value.
+    match MAX_TAPES.load(Ordering::Relaxed) {
+        0 => {
+            let cap = std::env::var("TRIAD_SANITIZE_MAX_TAPES")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(8);
+            // relaxed-ok: same latch as above.
+            MAX_TAPES.store(cap + 1, Ordering::Relaxed);
+            cap
+        }
+        stored => stored - 1,
+    }
+}
+
+/// `Graph` tapes currently alive on this thread.
+pub fn live_tapes() -> usize {
+    LIVE_TAPES.with(|c| c.get())
+}
+
+/// Called from `Graph`'s constructor. Trips the leak check when enabled.
+/// The check runs *before* the increment so a tripped constructor (which
+/// never produces a `Graph`, hence never runs `Drop`) leaves the counter
+/// consistent.
+pub(crate) fn note_tape_created() {
+    let live = LIVE_TAPES.with(|c| c.get()) + 1;
+    if enabled() && live > max_live_tapes() {
+        // lint-allow(no-panic): sanitizer trip — aborting at the leak site is
+        // the feature, exactly like debug_assert!
+        panic!(
+            "neuro sanitizer: {live} live autodiff tapes (cap {}); tapes are \
+             per-forward-pass and should be dropped after backward() — \
+             raise TRIAD_SANITIZE_MAX_TAPES if this is intentional",
+            max_live_tapes()
+        );
+    }
+    LIVE_TAPES.with(|c| c.set(live));
+}
+
+/// Called from `Graph::drop`.
+pub(crate) fn note_tape_dropped() {
+    LIVE_TAPES.with(|c| c.set(c.get().saturating_sub(1)));
+}
+
+/// Panic if `data` contains a non-finite value. `what` names the boundary
+/// (op push, gradient flush) and `node` the offending tape node.
+pub(crate) fn check_finite(what: &str, node: usize, data: &[f32]) {
+    if !enabled() {
+        return;
+    }
+    if let Some(i) = data.iter().position(|v| !v.is_finite()) {
+        // lint-allow(no-panic): sanitizer trip — stopping at the first
+        // non-finite value is the feature, exactly like debug_assert!
+        panic!(
+            "neuro sanitizer: non-finite value {} at {what} (tape node {node}, element {i}) — \
+             set TRIAD_SANITIZE=0 to disable",
+            data[i]
+        );
+    }
+}
+
+/// Panic on `backward` reuse of a one-shot tape.
+pub(crate) fn check_backward_once(already_ran: bool) {
+    if enabled() && already_ran {
+        // lint-allow(no-panic): sanitizer trip; double backward silently
+        // double-accumulates gradients, which is strictly worse than a panic
+        panic!(
+            "neuro sanitizer: backward() called twice on one tape; tapes are \
+             one-shot — build a fresh Graph per forward pass"
+        );
+    }
+}
+
+/// Serialises tests that mutate the global sanitizer state (used by the
+/// graph sanitizer tests too).
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enablement_latch_and_override() {
+        let _g = test_guard();
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+    }
+
+    #[test]
+    fn max_tapes_has_a_default() {
+        assert!(max_live_tapes() >= 1);
+    }
+
+    #[test]
+    fn check_finite_passes_finite_data() {
+        let _g = test_guard();
+        set_enabled(true);
+        check_finite("test", 0, &[0.0, -1.5, 3.0e30]);
+    }
+}

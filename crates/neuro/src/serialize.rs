@@ -20,16 +20,27 @@ use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 7] = b"NEURO1\n";
 
+/// Checked narrowing into the format's u32 fields; the write side enforces
+/// the same bound the read side validates.
+fn format_u32(n: usize, what: &str) -> io::Result<u32> {
+    u32::try_from(n).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{what} {n} exceeds the NEURO1 u32 field limit"),
+        )
+    })
+}
+
 /// Serialize parameter values (gradients are not persisted).
 pub fn write_params<W: Write>(mut w: W, params: &[Param]) -> io::Result<()> {
     w.write_all(MAGIC)?;
-    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    w.write_all(&format_u32(params.len(), "parameter count")?.to_le_bytes())?;
     for p in params {
         let pd = p.value();
         let shape = pd.value.shape();
-        w.write_all(&(shape.len() as u32).to_le_bytes())?;
+        w.write_all(&format_u32(shape.len(), "ndim")?.to_le_bytes())?;
         for &d in shape {
-            w.write_all(&(d as u32).to_le_bytes())?;
+            w.write_all(&format_u32(d, "dimension")?.to_le_bytes())?;
         }
         for &v in pd.value.data() {
             w.write_all(&v.to_le_bytes())?;

@@ -51,6 +51,8 @@ impl Tensor {
     pub fn from_f64(values: &[f64]) -> Self {
         Tensor {
             shape: vec![values.len()],
+            // lint-allow(lossy-cast): the f64→f32 narrowing is this
+            // constructor's documented purpose — the network is f32.
             data: values.iter().map(|&v| v as f32).collect(),
         }
     }
@@ -118,7 +120,8 @@ impl Tensor {
     #[inline]
     pub fn at3(&self, i: usize, j: usize, k: usize) -> f32 {
         debug_assert_eq!(self.ndim(), 3);
-        self.data[(i * self.shape[1] + j) * self.shape[2] + k]
+        let (d1, d2) = (self.shape[1], self.shape[2]);
+        self.data[(i * d1 + j) * d2 + k]
     }
 
     /// In-place element-wise accumulation; shapes must match exactly.

@@ -83,6 +83,14 @@ impl Batcher {
         self.policy
     }
 
+    /// Lock the queue state, recovering from poisoning: the queues are plain
+    /// bookkeeping (pending jobs, busy set), consistent after any panic, and
+    /// refusing to serve because one executor died would turn a single bad
+    /// request into a total outage.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, Queues> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Enqueue a detect request; the result arrives on the returned channel.
     pub fn submit(&self, model: &str, series: Vec<f64>) -> mpsc::Receiver<Result<Value, String>> {
         let (tx, rx) = mpsc::channel();
@@ -91,7 +99,7 @@ impl Batcher {
             enqueued: Instant::now(),
             reply: tx,
         };
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         st.pending.entry(model.to_string()).or_default().push(job);
         drop(st);
         self.work.notify_all();
@@ -113,7 +121,7 @@ impl Batcher {
     /// Block until a batch is due (returns it) or the batcher has drained
     /// (returns `None`).
     fn next_batch(&self) -> Option<(String, Vec<DetectJob>)> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         loop {
             let now = Instant::now();
             let mut due: Option<String> = None;
@@ -122,7 +130,9 @@ impl Batcher {
                 if jobs.is_empty() || st.busy.contains(name) {
                     continue;
                 }
-                let oldest = jobs.iter().map(|j| j.enqueued).min().unwrap();
+                let Some(oldest) = jobs.iter().map(|j| j.enqueued).min() else {
+                    continue; // unreachable: emptiness checked above
+                };
                 if jobs.len() >= self.policy.max_batch
                     || self.draining()
                     || now >= oldest + self.policy.max_delay
@@ -135,7 +145,9 @@ impl Batcher {
             }
 
             if let Some(name) = due {
-                let jobs = st.pending.get_mut(&name).unwrap();
+                let Some(jobs) = st.pending.get_mut(&name) else {
+                    continue; // unreachable: `due` was picked from `pending`
+                };
                 let take = jobs.len().min(self.policy.max_batch);
                 let batch: Vec<DetectJob> = jobs.drain(..take).collect();
                 if jobs.is_empty() {
@@ -161,12 +173,17 @@ impl Batcher {
                 // the timeout is a safety net for missed wakeups.
                 None => Duration::from_millis(50),
             };
-            st = self.work.wait_timeout(st, wait).unwrap().0;
+            // Poison recovery mirrors `lock_state`.
+            st = self
+                .work
+                .wait_timeout(st, wait)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
         }
     }
 
     fn finish(&self, model: &str) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         st.busy.remove(model);
         drop(st);
         self.work.notify_all();
@@ -191,6 +208,7 @@ impl Batcher {
         metrics.batch_size.observe(batch.len() as u64);
         metrics
             .batched_requests
+            // relaxed-ok: monotone tally, no ordering with other counters.
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
         if batch.len() >= 2 {
             inc(&metrics.batches_multi);
@@ -252,7 +270,12 @@ impl Batcher {
                 }
             }
         };
-        let fitted = guard.as_ref().expect("lock_loaded guarantees Some");
+        let Some(fitted) = guard.as_ref() else {
+            for job in live {
+                let _ = job.reply.send(Err("model slot empty after load".into()));
+            }
+            return;
+        };
 
         // Group identical payloads: one pipeline run per distinct series.
         let mut groups: Vec<(u64, Vec<DetectJob>)> = Vec::new();
@@ -271,13 +294,17 @@ impl Batcher {
         }
 
         for (_, gjobs) in groups {
-            let det = fitted.detect(&gjobs[0].series);
-            let fields = detection_fields(model, &det);
+            // try_detect: a hostile payload (empty / NaN series) must come
+            // back as an error envelope, not kill the executor thread.
+            let result = fitted
+                .try_detect(&gjobs[0].series)
+                .map(|det| detection_fields(model, &det))
+                .map_err(|e| e.to_string());
             for job in gjobs {
                 metrics
                     .detect_latency_us
                     .observe(job.enqueued.elapsed().as_micros() as u64);
-                let _ = job.reply.send(Ok(fields.clone()));
+                let _ = job.reply.send(result.clone());
             }
         }
     }

@@ -223,7 +223,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -269,7 +269,8 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
         let n: f64 = text
             .parse()
             .map_err(|_| format!("bad number {text:?} at byte {start}"))?;
@@ -280,7 +281,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -320,7 +321,9 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| "invalid UTF-8".to_string())?;
-                    let c = rest.chars().next().unwrap();
+                    let Some(c) = rest.chars().next() else {
+                        return Err("unterminated string".into());
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -329,7 +332,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Value, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -354,7 +357,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Value, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -365,7 +368,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value(depth + 1)?;
             fields.push((key, val));

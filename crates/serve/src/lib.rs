@@ -19,6 +19,11 @@
 //! integration tests; [`json`] is the dependency-free JSON layer whose
 //! deterministic output makes bit-for-bit response comparison valid.
 
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// `unsafe impl Send for SendModel` in `registry` (see its safety comment),
+// which opts back in with a scoped `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
+
 pub mod batch;
 pub mod client;
 pub mod json;

@@ -37,11 +37,14 @@ impl Histogram {
             .position(|&b| value <= b)
             .unwrap_or(self.bounds.len());
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        // relaxed-ok: independent monotone counters; no cross-counter ordering
+        // is observable and snapshot readers tolerate torn totals.
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn count(&self) -> u64 {
+        // relaxed-ok: monitoring read of one counter; staleness is fine.
         self.total.load(Ordering::Relaxed)
     }
 
@@ -50,6 +53,8 @@ impl Histogram {
         if n == 0 {
             0.0
         } else {
+            // relaxed-ok: approximate snapshot; sum/count may be torn by a
+            // concurrent observe, which only perturbs the reported mean.
             self.sum.load(Ordering::Relaxed) as f64 / n as f64
         }
     }
@@ -62,11 +67,13 @@ impl Histogram {
             } else {
                 "inf".to_string()
             };
+            // relaxed-ok: snapshot read; buckets may be torn vs. the totals.
             fields.push((label, Value::Num(c.load(Ordering::Relaxed) as f64)));
         }
         fields.push(("count".into(), Value::Num(self.count() as f64)));
         fields.push((
             "sum".into(),
+            // relaxed-ok: snapshot read, same as the buckets above.
             Value::Num(self.sum.load(Ordering::Relaxed) as f64),
         ));
         Value::Obj(fields)
@@ -78,6 +85,7 @@ impl Histogram {
             out,
             "{name}_count {count}\n{name}_sum{unit} {sum}",
             count = self.count(),
+            // relaxed-ok: exposition snapshot; torn vs. count is acceptable.
             sum = self.sum.load(Ordering::Relaxed),
         );
         for (i, c) in self.counts.iter().enumerate() {
@@ -89,6 +97,7 @@ impl Histogram {
             let _ = writeln!(
                 out,
                 "{name}_bucket{{le=\"{bound}\"}} {}",
+                // relaxed-ok: exposition snapshot of one bucket counter.
                 c.load(Ordering::Relaxed)
             );
         }
@@ -127,6 +136,7 @@ macro_rules! metrics_struct {
             pub fn to_json(&self) -> Value {
                 let mut fields: Vec<(String, Value)> = vec![
                     $( (stringify!($name).to_string(),
+                        // relaxed-ok: stats snapshot of independent counters.
                         Value::Num(self.$name.load(Ordering::Relaxed) as f64)), )*
                 ];
                 fields.push(("uptime_ms".into(),
@@ -151,6 +161,7 @@ macro_rules! metrics_struct {
                         out,
                         "triad_{} {}",
                         stringify!($name),
+                        // relaxed-ok: exposition snapshot of one counter.
                         self.$name.load(Ordering::Relaxed)
                     );
                 )*
@@ -214,11 +225,14 @@ impl Default for Metrics {
 
 /// Convenience: relaxed increment.
 pub fn inc(counter: &AtomicU64) {
+    // relaxed-ok: counters are independent monotone tallies; nothing is
+    // published through them, so no ordering is needed.
     counter.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Convenience: relaxed read.
 pub fn get(counter: &AtomicU64) -> u64 {
+    // relaxed-ok: monitoring read; a stale value is acceptable.
     counter.load(Ordering::Relaxed)
 }
 

@@ -38,6 +38,7 @@ pub struct SendModel(pub FittedTriad);
 // wrapper is deliberately NOT `Sync`: concurrent `&SendModel` access from two
 // threads could still race `RefCell` borrow flags, so every `SendModel` in
 // this module lives behind a `Mutex` and is only touched by its lock holder.
+#[allow(unsafe_code)] // the crate-level deny's one sanctioned exception
 unsafe impl Send for SendModel {}
 
 impl std::ops::Deref for SendModel {
@@ -68,6 +69,8 @@ impl ModelSlot {
     }
 
     pub fn file_bytes(&self) -> u64 {
+        // relaxed-ok: size is display-only bookkeeping for the `list` verb;
+        // a stale read is harmless.
         self.file_bytes.load(Ordering::Relaxed)
     }
 }
@@ -154,6 +157,9 @@ impl ModelRegistry {
     }
 
     fn touch(&self, slot: &ModelSlot) {
+        // relaxed-ok: LRU stamps are advisory; the fetch_add is already a
+        // total order on the clock itself, and an approximately-ordered
+        // last_used only perturbs which victim eviction picks.
         let t = self.clock.fetch_add(1, Ordering::Relaxed);
         slot.last_used.store(t, Ordering::Relaxed);
     }
@@ -184,6 +190,7 @@ impl ModelRegistry {
                 })
             })
             .clone();
+        // relaxed-ok: display-only size bookkeeping; see `file_bytes`.
         slot.file_bytes.store(bytes, Ordering::Relaxed);
         *slot.model.lock().map_err(|_| "slot poisoned")? = Some(SendModel(fitted));
         self.touch(&slot);
@@ -203,6 +210,10 @@ impl ModelRegistry {
         &self,
         slot: &'s ModelSlot,
     ) -> Result<MutexGuard<'s, Option<SendModel>>, String> {
+        // lint-allow(lock-across-io): deserializing under the slot lock is the
+        // cache-miss protocol — it serializes concurrent loads of one model so
+        // the file is read once, and the guard is exactly what callers came
+        // for; other models' slots are untouched and proceed in parallel.
         let mut guard = slot.model.lock().map_err(|_| "slot poisoned")?;
         if guard.is_some() {
             inc(&self.metrics.cache_hits);
@@ -241,6 +252,7 @@ impl ModelRegistry {
             for slot in self.slots.values() {
                 if let Ok(g) = slot.model.try_lock() {
                     if g.is_some() {
+                        // relaxed-ok: advisory LRU stamp; see `touch`.
                         loaded.push((slot, slot.last_used.load(Ordering::Relaxed)));
                     }
                 }

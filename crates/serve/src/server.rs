@@ -506,10 +506,10 @@ pub fn detect_once(
         .read()
         .map_err(|_| "registry poisoned".to_string())?;
     let guard = reg.lock_loaded(&slot)?;
-    let det = guard
+    let fitted = guard
         .as_ref()
-        .expect("lock_loaded guarantees Some")
-        .detect(series);
+        .ok_or_else(|| "model slot empty after load".to_string())?;
+    let det = fitted.try_detect(series).map_err(|e| e.to_string())?;
     Ok(detection_fields(model, &det))
 }
 

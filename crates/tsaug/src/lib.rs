@@ -15,6 +15,8 @@
 //! make normal data look anomalous) — used by the Fig. 1 binary and by the
 //! TS2Vec-lite baseline.
 
+#![forbid(unsafe_code)]
+
 pub mod classic;
 pub mod rng;
 pub mod segment;

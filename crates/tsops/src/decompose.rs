@@ -182,7 +182,12 @@ pub fn decompose(series: &[f64], period: usize) -> Decomposition {
     }
 
     let seasonal: Vec<f64> = (0..n).map(|i| profile[i % period]).collect();
-    let residual: Vec<f64> = (0..n).map(|i| series[i] - trend[i] - seasonal[i]).collect();
+    let residual: Vec<f64> = series
+        .iter()
+        .zip(&trend)
+        .zip(&seasonal)
+        .map(|((x, t), s)| x - t - s)
+        .collect();
     Decomposition {
         trend,
         seasonal,

@@ -175,9 +175,9 @@ fn fft_bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
     let m = (2 * n - 1).next_power_of_two();
     let mut a = vec![Complex::ZERO; m];
     let mut b = vec![Complex::ZERO; m];
-    for k in 0..n {
-        a[k] = input[k] * chirp[k];
-        b[k] = chirp[k].conj();
+    for (k, (&x, &c)) in input.iter().zip(chirp.iter()).enumerate() {
+        a[k] = x * c;
+        b[k] = c.conj();
     }
     // b must be symmetric: b[m-k] = b[k] for the circular convolution to align.
     for k in 1..n {
@@ -186,8 +186,8 @@ fn fft_bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
 
     fft_pow2(&mut a, false);
     fft_pow2(&mut b, false);
-    for k in 0..m {
-        a[k] = a[k] * b[k];
+    for (av, &bv) in a.iter_mut().zip(&b) {
+        *av = *av * bv;
     }
     fft_pow2(&mut a, true);
     let inv_m = 1.0 / m as f64;

@@ -22,6 +22,8 @@
 //!
 //! Everything operates on `f64` slices; no external numeric dependencies.
 
+#![forbid(unsafe_code)]
+
 pub mod decompose;
 pub mod distance;
 pub mod fft;

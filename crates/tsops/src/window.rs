@@ -81,7 +81,7 @@ impl Segmenter {
         }
         let last = series_len - l;
         let mut starts: Vec<usize> = (0..=last).step_by(self.stride).collect();
-        if *starts.last().expect("at least one window") != last {
+        if starts.last() != Some(&last) {
             starts.push(last);
         }
         Windows { starts, len: l }

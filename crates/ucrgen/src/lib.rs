@@ -19,6 +19,8 @@
 //! trained one under PA%K" result. [`loader`] reads the real archive's file
 //! format for users who have it.
 
+#![forbid(unsafe_code)]
+
 pub mod anomaly;
 pub mod archive;
 pub mod loader;

@@ -13,4 +13,16 @@ cargo build --workspace --release
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== triad-lint --deny (workspace must be clean)"
+cargo run -q -p triad-lint -- --deny
+
+echo "== triad-lint --fixture (every rule must fire on the seeded fixtures)"
+cargo run -q -p triad-lint -- --fixture
+
+echo "== triad-lint --deny on fixtures (must be NONZERO: the rules still bite)"
+if cargo run -q -p triad-lint -- --deny --root crates/lint/fixtures >/dev/null; then
+    echo "ERROR: lint found nothing on the seeded fixtures" >&2
+    exit 1
+fi
+
 echo "CI green."
