@@ -18,14 +18,9 @@ pub fn make_segmenter(train: &[f64]) -> Segmenter {
 /// Slice a series into z-normalised windows (most baselines operate on
 /// normalised inputs).
 pub fn znorm_windows(series: &[f64], seg: &Segmenter) -> (Windows, Vec<Vec<f64>>) {
-    let windows = if series.len() >= seg.window {
-        seg.segment(series.len())
-    } else {
-        Windows {
-            starts: vec![0],
-            len: series.len(),
-        }
-    };
+    // Same clamping policy as `core::detect`: a series shorter than one
+    // window is a single window, never zero windows.
+    let windows = seg.segment_clamped(series.len());
     let slices = (0..windows.count())
         .map(|i| tsops::stats::znormalize(windows.slice(series, i)))
         .collect();

@@ -9,7 +9,9 @@
 //! * `eval`   — score a prediction file against a label file with the full
 //!   metric ladder;
 //! * `serve`  — run the line-delimited-JSON model server (`triad-serve`);
-//! * `client` — one-shot client for a running server.
+//! * `client` — one-shot client for a running server;
+//! * `stream` — replay a series file as a live feed through the online
+//!   engine (`triad-stream`), locally or against a running server.
 //!
 //! Series files are plain text, one sample per line (whitespace-separated
 //! values are also accepted — the UCR archive format).
@@ -21,8 +23,9 @@
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
-use triad_core::{persist, TriAd, TriadConfig};
+use triad_core::{persist, FittedTriad, TriAd, TriadConfig};
 use triad_serve::{Client, ServeConfig, Value};
+use triad_stream::{checkpoint, StreamConfig, StreamEngine};
 
 /// Parsed command line: `triad <command> [--key value]...`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,15 +86,26 @@ USAGE:
   triad eval   --pred FILE --labels FILE
   triad serve  [--addr HOST:PORT] [--models DIR] [--workers N] [--executors N]
                [--max-batch N] [--max-delay-ms N] [--cache N]
+               [--stream-shards N] [--stream-queue N] [--stream-checkpoints DIR]
   triad client --verb VERB [--addr HOST:PORT] [--model NAME]
                [--series FILE] [--train FILE] [--epochs N] [--seed N]
+  triad stream --test FILE (--model FILE | --train FILE [--epochs N])
+               [--chunk N] [--enter X] [--exit X] [--checkpoint-at N]
+  triad stream --addr HOST:PORT --model NAME --test FILE
+               [--stream NAME] [--chunk N]
 
 Series files hold one sample per line (UCR archive format accepted).
 `detect` prints the flagged region; with --labels it also prints metrics.
 `gen` writes a synthetic dataset named with the UCR convention next to --out.
 `serve` blocks until a client sends the shutdown verb; `client` verbs are
 health, list, stats (add --format text for the plain-text dump), fit,
-detect, evict, and shutdown — responses print as one JSON line.
+detect, evict, shutdown, and the stream.* family — responses print as one
+JSON line.
+`stream` replays --test as a live feed through the incremental engine in
+--chunk-sized pushes (default 64) and prints hysteresis events plus the
+final offline-equivalent detection. Without --addr it runs in-process
+(--checkpoint-at N saves and restores mid-replay to exercise resume); with
+--addr it drives the stream.* verbs of a running server.
 "
     .to_string()
 }
@@ -125,6 +139,7 @@ pub fn run(cli: &Cli) -> Result<Vec<String>, String> {
         "eval" => cmd_eval(cli),
         "serve" => cmd_serve(cli),
         "client" => cmd_client(cli),
+        "stream" => cmd_stream(cli),
         "help" | "--help" | "-h" => Ok(vec![usage()]),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -253,6 +268,9 @@ fn cmd_serve(cli: &Cli) -> Result<Vec<String>, String> {
         request_timeout_ms: cli.get_num("request-timeout-ms", 30_000u64)?,
         idle_timeout_ms: cli.get_num("idle-timeout-ms", 10_000u64)?,
         cache_capacity: cli.get_num("cache", 8usize)?,
+        stream_shards: cli.get_num("stream-shards", 2usize)?,
+        stream_queue: cli.get_num("stream-queue", 1024usize)?,
+        stream_checkpoint_dir: cli.get("stream-checkpoints").map(PathBuf::from),
     };
     let models_dir = cfg.models_dir.clone();
     let handle = triad_serve::start(cfg).map_err(|e| format!("serve: {e}"))?;
@@ -301,14 +319,191 @@ fn cmd_client(cli: &Cli) -> Result<Vec<String>, String> {
             let series = read_series(Path::new(cli.require("series")?))?;
             client.detect(cli.require("model")?, &series)
         }
+        "stream.open" => client.stream_open(cli.require("stream")?, cli.require("model")?),
+        "stream.push" => {
+            let points = read_series(Path::new(cli.require("series")?))?;
+            client.stream_push(cli.require("stream")?, &points)
+        }
+        "stream.poll" => client.stream_poll(cli.require("stream")?),
+        "stream.close" => client.stream_close(cli.require("stream")?),
+        "stream.checkpoint" => client.stream_checkpoint(cli.get("stream")),
+        "stream.list" => client.stream_list(),
         other => {
             return Err(format!(
-                "unknown client verb {other:?} (health, list, stats, fit, detect, evict, shutdown)"
+                "unknown client verb {other:?} (health, list, stats, fit, detect, evict, \
+                 shutdown, stream.open, stream.push, stream.poll, stream.close, \
+                 stream.checkpoint, stream.list)"
             ))
         }
     };
     let resp = resp.map_err(|e| format!("{verb}: {e}"))?;
     Ok(vec![resp.to_string()])
+}
+
+/// Replay a series file as a live feed. Without `--addr` the feed runs
+/// through an in-process [`StreamEngine`]; with `--addr` it drives the
+/// `stream.*` verbs of a running server.
+fn cmd_stream(cli: &Cli) -> Result<Vec<String>, String> {
+    if cli.get("addr").is_some() {
+        return cmd_stream_remote(cli);
+    }
+    let test = read_series(Path::new(cli.require("test")?))?;
+    let fitted: FittedTriad = match (cli.get("model"), cli.get("train")) {
+        (Some(m), _) => persist::load_file(Path::new(m)).map_err(|e| e.to_string())?,
+        (None, Some(t)) => {
+            let train = read_series(Path::new(t))?;
+            TriAd::new(config_from(cli)?).fit(&train)?
+        }
+        (None, None) => {
+            return Err("stream needs --model or --train (or --addr for server mode)".into())
+        }
+    };
+    let chunk = cli.get_num("chunk", 64usize)?.max(1);
+    let defaults = StreamConfig::default();
+    let cfg = StreamConfig {
+        enter: cli.get_num("enter", defaults.enter)?,
+        exit: cli.get_num("exit", defaults.exit)?,
+        ..defaults
+    };
+    let checkpoint_at: Option<usize> = match cli.get("checkpoint-at") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--checkpoint-at: bad value {v:?}"))?,
+        ),
+    };
+
+    let mut engine = StreamEngine::new(&fitted, cfg);
+    let mut out = Vec::new();
+    let mut fed = 0usize;
+    let mut ckpt_done = false;
+    for piece in test.chunks(chunk) {
+        for &x in piece {
+            // Non-finite samples are rejected by the engine and tallied in
+            // its status; the replay just keeps going.
+            let _ = engine.push(&fitted, x);
+        }
+        fed += piece.len();
+        if let Some(at) = checkpoint_at {
+            if !ckpt_done && fed >= at {
+                ckpt_done = true;
+                // Save, throw the live engine away, resume from the file —
+                // the rest of the replay runs on the restored state.
+                let path = std::env::temp_dir()
+                    .join(format!("triad_cli_stream_{}.ckpt", std::process::id()));
+                checkpoint::save_file(&path, "cli", "cli-model", &engine)
+                    .map_err(|e| e.to_string())?;
+                engine = checkpoint::load_file(&path)
+                    .map_err(|e| e.to_string())?
+                    .into_engine(&fitted)
+                    .map_err(|e| e.to_string())?;
+                let _ = std::fs::remove_file(&path);
+                out.push(format!("checkpoint saved + restored at sample {fed}"));
+            }
+        }
+    }
+
+    let status = engine.status();
+    out.push(format!(
+        "replayed {} samples in chunks of {chunk}: {} windows scored, {} rejected non-finite",
+        status.seq, status.windows_scored, status.rejected_nonfinite
+    ));
+    for ev in &status.events {
+        out.push(match ev.end {
+            Some(end) => format!(
+                "event: [{}, {end}) peak deviance {:.3}",
+                ev.start, ev.peak_deviance
+            ),
+            None => format!(
+                "event: [{}, …) still open, peak deviance {:.3}",
+                ev.start, ev.peak_deviance
+            ),
+        });
+    }
+    if status.events.is_empty() {
+        out.push("no hysteresis events".into());
+    }
+    match engine.finalize(&fitted) {
+        Ok(det) => {
+            out.push(format!("selected window : {:?}", det.selected_window));
+            out.push(format!(
+                "flagged region  : {:?} ({} points, fallback={})",
+                det.predicted_region(),
+                det.prediction.iter().filter(|&&b| b).count(),
+                det.used_fallback
+            ));
+        }
+        Err(e) => out.push(format!("finalize unavailable: {e}")),
+    }
+    Ok(out)
+}
+
+/// Server-mode replay: drive `stream.open`/`push`/`poll`/`close` against a
+/// running `triad serve`.
+fn cmd_stream_remote(cli: &Cli) -> Result<Vec<String>, String> {
+    let addr = cli.require("addr")?;
+    let model = cli.require("model")?;
+    let test = read_series(Path::new(cli.require("test")?))?;
+    let name = cli.get("stream").unwrap_or("cli-stream");
+    let chunk = cli.get_num("chunk", 64usize)?.max(1);
+    let timeout = Duration::from_millis(cli.get_num("timeout-ms", 180_000u64)?);
+    let mut client = Client::connect(addr, timeout).map_err(|e| format!("connect {addr}: {e}"))?;
+
+    client
+        .stream_open(name, model)
+        .map_err(|e| format!("stream.open: {e}"))?;
+    let mut resent = 0u64;
+    for piece in test.chunks(chunk) {
+        // A full shard queue sheds the chunk (explicit backpressure); a
+        // replay wants every point, so back off and resend.
+        let mut tries = 0;
+        loop {
+            let ticket = client
+                .stream_push(name, piece)
+                .map_err(|e| format!("stream.push: {e}"))?;
+            if ticket.get("queued").and_then(Value::as_bool) == Some(true) {
+                break;
+            }
+            resent += 1;
+            tries += 1;
+            if tries > 600 {
+                return Err("stream.push: shard queue stayed full".into());
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    // Wait for the shard to drain the replay before closing.
+    let want = test.len() as u64;
+    let mut drained = false;
+    for _ in 0..6000 {
+        let polled = client
+            .stream_poll(name)
+            .map_err(|e| format!("stream.poll: {e}"))?;
+        if polled.get("seq").and_then(Value::as_u64).unwrap_or(0)
+            + polled
+                .get("rejected_nonfinite")
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+            >= want
+        {
+            drained = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    if !drained {
+        return Err(format!("stream {name:?} never drained {want} samples"));
+    }
+    let closed = client
+        .stream_close(name)
+        .map_err(|e| format!("stream.close: {e}"))?;
+    let mut out = vec![format!(
+        "replayed {} samples to {addr} as stream {name:?} ({} chunks resent under backpressure)",
+        test.len(),
+        resent
+    )];
+    out.push(closed.to_string());
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -418,6 +613,37 @@ mod tests {
         let out = run(&cli).unwrap();
         assert!(out.iter().any(|l| l.contains("flagged region")), "{out:?}");
         assert!(out.iter().any(|l| l.contains("F1(PW)")), "{out:?}");
+        let offline_region = out
+            .iter()
+            .find(|l| l.contains("flagged region"))
+            .unwrap()
+            .clone();
+
+        // stream replay of the same test file from the same saved model,
+        // with a mid-run checkpoint/restore: the final detection must match
+        // the offline `detect` line exactly.
+        let cli = Cli::parse(&argv(&[
+            "stream",
+            "--test",
+            test_p.to_str().unwrap(),
+            "--model",
+            model_p.to_str().unwrap(),
+            "--chunk",
+            "50",
+            "--checkpoint-at",
+            "150",
+        ]))
+        .unwrap();
+        let out = run(&cli).unwrap();
+        assert!(
+            out.iter()
+                .any(|l| l.contains("checkpoint saved + restored at sample 150")),
+            "{out:?}"
+        );
+        assert!(
+            out.iter().any(|l| l == &offline_region),
+            "streamed region differs from offline detect: {out:?} vs {offline_region}"
+        );
 
         // eval: perfect prediction scores 1.0 everywhere.
         let cli = Cli::parse(&argv(&[

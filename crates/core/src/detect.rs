@@ -83,6 +83,150 @@ fn similarity_scores(rows: &[Vec<f32>]) -> Vec<f64> {
     scores
 }
 
+/// Rank windows by ascending similarity score: build the [`DomainRanking`]
+/// shared by the offline and streaming paths.
+fn ranking_from_scores(domain: Domain, scores: Vec<f64>, z: usize) -> DomainRanking {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let tops: Vec<usize> = order.into_iter().take(z).collect();
+    DomainRanking {
+        domain,
+        top: tops.first().copied().unwrap_or(0),
+        tops,
+        scores,
+    }
+}
+
+/// Incremental stage-1 ranker: windows arrive one at a time (a live stream)
+/// instead of all at once.
+///
+/// Embeds each pushed window with the trained encoders (batch of one — every
+/// op in the embed path is batch-row independent, so the rows are
+/// bit-identical to the offline chunked path) and folds it into running
+/// pairwise-dot sums in the exact accumulation order of the offline
+/// [`similarity_scores`]: the scores from [`rankings`](OnlineRanker::rankings)
+/// are therefore *bit-equal* to an offline ranking over the same windows, not
+/// merely close. That equality is what lets a streaming server finish with
+/// [`detect_from_rankings`] and reproduce `detect` exactly.
+#[derive(Debug, Clone)]
+pub struct OnlineRanker {
+    domains: Vec<Domain>,
+    /// Per domain: one unit-norm embedding row per pushed window.
+    rows: Vec<Vec<Vec<f32>>>,
+    /// Per domain: running pairwise-dot sum per window (divided by `m−1`
+    /// only when rankings are materialised).
+    sums: Vec<Vec<f64>>,
+}
+
+impl OnlineRanker {
+    /// An empty ranker over the model's active domains (in encoder order,
+    /// matching the offline ranking order).
+    pub fn new(model: &Model) -> Self {
+        let domains: Vec<Domain> = model.encoders.iter().map(|(d, _)| *d).collect();
+        let k = domains.len();
+        OnlineRanker {
+            domains,
+            rows: vec![Vec::new(); k],
+            sums: vec![Vec::new(); k],
+        }
+    }
+
+    /// Number of windows pushed so far.
+    pub fn window_count(&self) -> usize {
+        self.rows.first().map_or(0, |r| r.len())
+    }
+
+    /// The active domains, in ranking order.
+    pub fn domains(&self) -> &[Domain] {
+        &self.domains
+    }
+
+    /// Embed one completed window in every active domain and fold it into
+    /// the running similarity sums. Returns the new window's mean similarity
+    /// to all previous windows, per domain (0.0 for the very first window) —
+    /// the instantaneous normality signal a streaming caller thresholds.
+    pub fn push_window(
+        &mut self,
+        model: &Model,
+        fx: &FeatureExtractor,
+        window: &[f64],
+    ) -> Vec<(Domain, f64)> {
+        let mut out = Vec::with_capacity(self.domains.len());
+        for (di, d) in self.domains.iter().enumerate() {
+            let row = model
+                .embed_windows(fx, &[window], *d)
+                .pop()
+                .unwrap_or_default();
+            let prior = &mut self.rows[di];
+            let m = prior.len();
+            let mut own = 0.0f64;
+            for (i, other) in prior.iter().enumerate() {
+                let dot: f64 = other
+                    .iter()
+                    .zip(&row)
+                    .map(|(a, b)| (*a as f64) * (*b as f64))
+                    .sum();
+                self.sums[di][i] += dot;
+                own += dot;
+            }
+            self.sums[di].push(own);
+            prior.push(row);
+            let mean = if m == 0 { 0.0 } else { own / m as f64 };
+            out.push((*d, mean));
+        }
+        out
+    }
+
+    /// Materialise the per-domain rankings over every window pushed so far;
+    /// bit-identical to the offline stage-1 rankings of the same windows.
+    pub fn rankings(&self, top_z: usize) -> Vec<DomainRanking> {
+        let z = top_z.max(1);
+        let m = self.window_count();
+        self.domains
+            .iter()
+            .enumerate()
+            .map(|(di, d)| {
+                let scores: Vec<f64> = if m <= 1 {
+                    vec![0.0; m]
+                } else {
+                    self.sums[di].iter().map(|s| s / (m - 1) as f64).collect()
+                };
+                ranking_from_scores(*d, scores, z)
+            })
+            .collect()
+    }
+
+    /// Raw state access for checkpointing: `(embedding rows, dot sums)` per
+    /// domain, aligned with [`domains`](OnlineRanker::domains).
+    pub fn state(&self) -> (&[Vec<Vec<f32>>], &[Vec<f64>]) {
+        (&self.rows, &self.sums)
+    }
+
+    /// Rebuild from checkpointed state; lengths must be consistent with the
+    /// model's domain list and with each other.
+    pub fn from_state(model: &Model, rows: Vec<Vec<Vec<f32>>>, sums: Vec<Vec<f64>>) -> Self {
+        let fresh = OnlineRanker::new(model);
+        assert_eq!(
+            rows.len(),
+            fresh.domains.len(),
+            "ranker state: domain count"
+        );
+        assert_eq!(
+            sums.len(),
+            fresh.domains.len(),
+            "ranker state: domain count"
+        );
+        for (r, s) in rows.iter().zip(&sums) {
+            assert_eq!(r.len(), s.len(), "ranker state: rows vs sums length");
+        }
+        OnlineRanker {
+            domains: fresh.domains,
+            rows,
+            sums,
+        }
+    }
+}
+
 /// Distance from a z-normalised probe window to its nearest training
 /// subsequence (stride-1 traversal, Sec. III-D1).
 fn nearest_normal_distance(train: &[f64], probe: &[f64]) -> f64 {
@@ -162,16 +306,9 @@ fn run_detect(
     test: &[f64],
 ) -> TriadDetection {
     let n = test.len();
-    // Segment the test split; if it is shorter than one window, treat it as
-    // a single window.
-    let windows: Windows = if n >= segmenter.window {
-        segmenter.segment(n)
-    } else {
-        Windows {
-            starts: vec![0],
-            len: n,
-        }
-    };
+    // Segment the test split; a split shorter than one window becomes a
+    // single clamped window.
+    let windows: Windows = segmenter.segment_clamped(n);
     let slices: Vec<&[f64]> = (0..windows.count())
         .map(|i| windows.slice(test, i))
         .collect();
@@ -183,17 +320,28 @@ fn run_detect(
     for (d, _) in &model.encoders {
         let rows = model.embed_windows(fx, &slices, *d);
         let scores = similarity_scores(&rows);
-        let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
-        let tops: Vec<usize> = order.into_iter().take(z).collect();
-        rankings.push(DomainRanking {
-            domain: *d,
-            scores,
-            top: tops.first().copied().unwrap_or(0),
-            tops,
-        });
+        rankings.push(ranking_from_scores(*d, scores, z));
     }
 
+    detect_from_rankings(cfg, train, test, &windows, rankings)
+}
+
+/// Stages 2–4 of the pipeline, starting from already-computed stage-1
+/// rankings: single-window selection against the training split, MERLIN
+/// discord search, and voting.
+///
+/// This is the batch pipeline's back half exposed for callers that produced
+/// the rankings some other way — above all the streaming engine, which ranks
+/// windows incrementally with [`OnlineRanker`] and then calls this to close a
+/// stream with a detection identical to the offline [`detect`].
+pub fn detect_from_rankings(
+    cfg: &TriadConfig,
+    train: &[f64],
+    test: &[f64],
+    windows: &Windows,
+    rankings: Vec<DomainRanking>,
+) -> TriadDetection {
+    let n = test.len();
     let mut cand_idx: Vec<usize> = rankings
         .iter()
         .flat_map(|r| r.tops.iter().copied())

@@ -62,7 +62,7 @@ pub mod pipeline;
 pub mod train;
 
 pub use config::TriadConfig;
-pub use detect::TriadDetection;
+pub use detect::{detect_from_rankings, DomainRanking, OnlineRanker, TriadDetection};
 pub use error::{DetectError, PersistError};
 pub use pipeline::{FittedTriad, TriAd};
 

@@ -73,21 +73,24 @@ fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
 /// Writer shim that checksums everything passing through it; [`finish`]
 /// appends the trailer.
 ///
+/// Public so sibling persisted formats (the stream checkpoints of
+/// `triad-stream`) share the exact CRC-32 framing instead of re-deriving it.
+///
 /// [`finish`]: CrcWriter::finish
-struct CrcWriter<W: Write> {
+pub struct CrcWriter<W: Write> {
     inner: W,
     crc: u32,
 }
 
 impl<W: Write> CrcWriter<W> {
-    fn new(inner: W) -> Self {
+    pub fn new(inner: W) -> Self {
         CrcWriter {
             inner,
             crc: 0xFFFF_FFFF,
         }
     }
 
-    fn finish(mut self) -> io::Result<()> {
+    pub fn finish(mut self) -> io::Result<()> {
         let digest = !self.crc;
         self.inner.write_all(&digest.to_le_bytes())?;
         self.inner.flush()
@@ -110,20 +113,20 @@ impl<W: Write> Write for CrcWriter<W> {
 /// digest after the payload has been consumed.
 ///
 /// [`verify_trailer`]: CrcReader::verify_trailer
-struct CrcReader<R: Read> {
+pub struct CrcReader<R: Read> {
     inner: R,
     crc: u32,
 }
 
 impl<R: Read> CrcReader<R> {
-    fn new(inner: R) -> Self {
+    pub fn new(inner: R) -> Self {
         CrcReader {
             inner,
             crc: 0xFFFF_FFFF,
         }
     }
 
-    fn verify_trailer(mut self) -> Result<(), PersistError> {
+    pub fn verify_trailer(mut self) -> Result<(), PersistError> {
         let computed = !self.crc;
         let mut t = [0u8; 4];
         self.inner
@@ -156,7 +159,10 @@ fn invalid(msg: impl Into<String>) -> PersistError {
     PersistError::Format(msg.into())
 }
 
-fn read_exact_ctx<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<(), PersistError> {
+/// `read_exact` that reports *which* field was being read when the stream
+/// ended, as a typed [`PersistError::Truncated`]. Shared with the stream
+/// checkpoint reader.
+pub fn read_exact_ctx<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<(), PersistError> {
     r.read_exact(buf).map_err(|e| PersistError::Truncated {
         what: what.into(),
         source: e,

@@ -1,7 +1,8 @@
 //! End-to-end public API: `TriAd::new(cfg).fit(train)?.detect(test)`.
 
 use crate::config::TriadConfig;
-use crate::detect::{detect, try_detect, TriadDetection};
+use crate::detect::OnlineRanker;
+use crate::detect::{detect, detect_from_rankings, try_detect, DomainRanking, TriadDetection};
 use crate::error::DetectError;
 use crate::features::FeatureExtractor;
 use crate::train::{fit, Model, TrainReport};
@@ -108,6 +109,36 @@ impl FittedTriad {
             &self.train,
             test,
         )
+    }
+
+    /// An empty incremental stage-1 ranker over this model's domains: the
+    /// window-scoring entry point that does *not* require the full series.
+    /// Push completed windows as they stream in, then close with
+    /// [`detect_from_rankings`](FittedTriad::detect_from_rankings).
+    pub fn online_ranker(&self) -> OnlineRanker {
+        OnlineRanker::new(&self.model)
+    }
+
+    /// Embed one window and fold it into `ranker`; returns the window's mean
+    /// similarity to everything seen before, per domain.
+    pub fn push_window(
+        &self,
+        ranker: &mut OnlineRanker,
+        window: &[f64],
+    ) -> Vec<(crate::Domain, f64)> {
+        ranker.push_window(&self.model, &self.extractor, window)
+    }
+
+    /// Run stages 2–4 (selection, MERLIN, voting) from externally produced
+    /// stage-1 rankings. With rankings from an [`OnlineRanker`] fed the same
+    /// windows, the result equals [`detect`](FittedTriad::detect) exactly.
+    pub fn detect_from_rankings(
+        &self,
+        test: &[f64],
+        windows: &tsops::window::Windows,
+        rankings: Vec<DomainRanking>,
+    ) -> TriadDetection {
+        detect_from_rankings(&self.cfg, &self.train, test, windows, rankings)
     }
 
     pub fn report(&self) -> &TrainReport {
@@ -271,6 +302,27 @@ mod tests {
             fitted.try_detect(&bad),
             Err(DetectError::NonFiniteTest { index: 3 })
         );
+    }
+
+    #[test]
+    fn online_ranker_reproduces_offline_detection_exactly() {
+        let (train, test, _) = series_with_anomaly();
+        let fitted = TriAd::new(quick_cfg()).fit(&train).unwrap();
+        let offline = fitted.detect(&test);
+
+        // Feed the same windows one at a time through the incremental path.
+        let windows = fitted.segmenter().segment_clamped(test.len());
+        let mut ranker = fitted.online_ranker();
+        for i in 0..windows.count() {
+            fitted.push_window(&mut ranker, windows.slice(&test, i));
+        }
+        assert_eq!(ranker.window_count(), windows.count());
+        let rankings = ranker.rankings(fitted.config().top_z);
+        let online = fitted.detect_from_rankings(&test, &windows, rankings);
+
+        // Bit-equal, not merely close: every op in the incremental path
+        // replays the offline accumulation order.
+        assert_eq!(online, offline);
     }
 
     #[test]

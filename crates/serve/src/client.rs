@@ -127,4 +127,42 @@ impl Client {
     pub fn shutdown(&mut self) -> io::Result<Value> {
         self.call_ok(&Self::verb("shutdown", vec![]))
     }
+
+    pub fn stream_open(&mut self, stream: &str, model: &str) -> io::Result<Value> {
+        self.call_ok(&Self::verb(
+            "stream.open",
+            vec![("stream", stream.into()), ("model", model.into())],
+        ))
+    }
+
+    pub fn stream_push(&mut self, stream: &str, points: &[f64]) -> io::Result<Value> {
+        self.call_ok(&Self::verb(
+            "stream.push",
+            vec![
+                ("stream", stream.into()),
+                ("points", Value::num_arr(points)),
+            ],
+        ))
+    }
+
+    pub fn stream_poll(&mut self, stream: &str) -> io::Result<Value> {
+        self.call_ok(&Self::verb("stream.poll", vec![("stream", stream.into())]))
+    }
+
+    pub fn stream_close(&mut self, stream: &str) -> io::Result<Value> {
+        self.call_ok(&Self::verb("stream.close", vec![("stream", stream.into())]))
+    }
+
+    /// Checkpoint one stream, or every open stream when `stream` is `None`.
+    pub fn stream_checkpoint(&mut self, stream: Option<&str>) -> io::Result<Value> {
+        let fields = match stream {
+            Some(s) => vec![("stream", Value::from(s))],
+            None => vec![],
+        };
+        self.call_ok(&Self::verb("stream.checkpoint", fields))
+    }
+
+    pub fn stream_list(&mut self) -> io::Result<Value> {
+        self.call_ok(&Self::verb("stream.list", vec![]))
+    }
 }

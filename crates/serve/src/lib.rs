@@ -13,7 +13,15 @@
 //!   bounded channel; workers speak the [`proto`] line-delimited JSON
 //!   protocol (`fit`, `detect`, `list`, `evict`, `stats`, `health`,
 //!   `shutdown`) and graceful shutdown drains every in-flight request.
-//! - [`metrics`] — lock-free counters/histograms behind the `stats` verb.
+//! - [`metrics`] — lock-free counters/histograms behind the `stats` verb;
+//!   the histogram type is shared with `triad-stream` and reports
+//!   bucket-derived p50/p95/p99 quantiles.
+//!
+//! The server also hosts the online streaming layer: `stream.open`,
+//! `stream.push`, `stream.poll`, `stream.close`, `stream.checkpoint`, and
+//! `stream.list` route to a [`triad_stream::StreamManager`] whose shard
+//! workers load models from the same directory as the registry; per-shard
+//! streaming counters ride along in the `stats` verb.
 //!
 //! [`client`] is the matching blocking client used by `triad client` and the
 //! integration tests; [`json`] is the dependency-free JSON layer whose
@@ -35,6 +43,6 @@ pub mod server;
 pub use batch::{BatchPolicy, Batcher};
 pub use client::Client;
 pub use json::Value;
-pub use metrics::Metrics;
+pub use metrics::{Histogram, HistogramSnapshot, Metrics};
 pub use registry::{ModelInfo, ModelRegistry, SendModel};
 pub use server::{start, ServeConfig, ServerHandle};

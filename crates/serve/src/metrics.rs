@@ -4,103 +4,61 @@
 //! allocation — so instrumentation never serializes the worker pool. The
 //! `stats` verb snapshots everything into JSON; [`Metrics::render_text`]
 //! produces the plain-text dump.
+//!
+//! The histogram type is [`triad_stream::Histogram`] (shared with the
+//! streaming layer's per-shard metrics), which derives p50/p95/p99
+//! estimates from its bucket counts; both the JSON snapshot and the text
+//! exposition include those quantiles alongside the raw buckets.
 
 use crate::json::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Fixed-bucket histogram (cumulative counts are derived at render time).
-pub struct Histogram {
-    /// Upper bounds, ascending; values beyond the last bound land in a final
-    /// overflow bucket.
-    bounds: &'static [u64],
-    counts: Vec<AtomicU64>,
-    sum: AtomicU64,
-    total: AtomicU64,
+pub use triad_stream::{Histogram, HistogramSnapshot};
+
+/// JSON snapshot of one histogram: raw buckets (`le_*` / `inf`), count,
+/// sum, mean, and bucket-derived p50/p95/p99.
+pub fn histogram_json(h: &Histogram) -> Value {
+    let s = h.snapshot();
+    let mut fields: Vec<(String, Value)> = Vec::with_capacity(s.counts.len() + 6);
+    for (i, &c) in s.counts.iter().enumerate() {
+        let label = if i < s.bounds.len() {
+            format!("le_{}", s.bounds[i])
+        } else {
+            "inf".to_string()
+        };
+        fields.push((label, Value::Num(c as f64)));
+    }
+    fields.push(("count".into(), Value::Num(s.total as f64)));
+    fields.push(("sum".into(), Value::Num(s.sum as f64)));
+    fields.push(("mean".into(), Value::Num(s.mean())));
+    fields.push(("p50".into(), Value::Num(s.quantile(0.50))));
+    fields.push(("p95".into(), Value::Num(s.quantile(0.95))));
+    fields.push(("p99".into(), Value::Num(s.quantile(0.99))));
+    Value::Obj(fields)
 }
 
-impl Histogram {
-    pub fn new(bounds: &'static [u64]) -> Self {
-        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
-        Histogram {
-            bounds,
-            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
-            sum: AtomicU64::new(0),
-            total: AtomicU64::new(0),
-        }
-    }
-
-    pub fn observe(&self, value: u64) {
-        let idx = self
-            .bounds
-            .iter()
-            .position(|&b| value <= b)
-            .unwrap_or(self.bounds.len());
-        self.counts[idx].fetch_add(1, Ordering::Relaxed);
-        // relaxed-ok: independent monotone counters; no cross-counter ordering
-        // is observable and snapshot readers tolerate torn totals.
-        self.sum.fetch_add(value, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub fn count(&self) -> u64 {
-        // relaxed-ok: monitoring read of one counter; staleness is fine.
-        self.total.load(Ordering::Relaxed)
-    }
-
-    pub fn mean(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
+/// Text exposition of one histogram: `_count`/`_sum`, cumulative-style
+/// buckets, and `_p50`/`_p95`/`_p99` gauges.
+pub fn render_histogram(h: &Histogram, name: &str, unit: &str, out: &mut String) {
+    use std::fmt::Write;
+    let s = h.snapshot();
+    let _ = writeln!(
+        out,
+        "{name}_count {count}\n{name}_sum{unit} {sum}",
+        count = s.total,
+        sum = s.sum,
+    );
+    for (i, &c) in s.counts.iter().enumerate() {
+        let bound = if i < s.bounds.len() {
+            format!("{}", s.bounds[i])
         } else {
-            // relaxed-ok: approximate snapshot; sum/count may be torn by a
-            // concurrent observe, which only perturbs the reported mean.
-            self.sum.load(Ordering::Relaxed) as f64 / n as f64
-        }
+            "+inf".to_string()
+        };
+        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {c}");
     }
-
-    fn to_json(&self) -> Value {
-        let mut fields: Vec<(String, Value)> = Vec::with_capacity(self.counts.len() + 2);
-        for (i, c) in self.counts.iter().enumerate() {
-            let label = if i < self.bounds.len() {
-                format!("le_{}", self.bounds[i])
-            } else {
-                "inf".to_string()
-            };
-            // relaxed-ok: snapshot read; buckets may be torn vs. the totals.
-            fields.push((label, Value::Num(c.load(Ordering::Relaxed) as f64)));
-        }
-        fields.push(("count".into(), Value::Num(self.count() as f64)));
-        fields.push((
-            "sum".into(),
-            // relaxed-ok: snapshot read, same as the buckets above.
-            Value::Num(self.sum.load(Ordering::Relaxed) as f64),
-        ));
-        Value::Obj(fields)
-    }
-
-    fn render(&self, name: &str, unit: &str, out: &mut String) {
-        use std::fmt::Write;
-        let _ = writeln!(
-            out,
-            "{name}_count {count}\n{name}_sum{unit} {sum}",
-            count = self.count(),
-            // relaxed-ok: exposition snapshot; torn vs. count is acceptable.
-            sum = self.sum.load(Ordering::Relaxed),
-        );
-        for (i, c) in self.counts.iter().enumerate() {
-            let bound = if i < self.bounds.len() {
-                format!("{}", self.bounds[i])
-            } else {
-                "+inf".to_string()
-            };
-            let _ = writeln!(
-                out,
-                "{name}_bucket{{le=\"{bound}\"}} {}",
-                // relaxed-ok: exposition snapshot of one bucket counter.
-                c.load(Ordering::Relaxed)
-            );
-        }
+    for (q, label) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+        let _ = writeln!(out, "{name}_{label}{unit} {}", s.quantile(q));
     }
 }
 
@@ -147,7 +105,7 @@ macro_rules! metrics_struct {
                     ("fit_latency_ms", &self.fit_latency_ms),
                     ("batch_size", &self.batch_size),
                 ] {
-                    fields.push((name.to_string(), h.to_json()));
+                    fields.push((name.to_string(), histogram_json(h)));
                 }
                 Value::Obj(fields)
             }
@@ -166,10 +124,10 @@ macro_rules! metrics_struct {
                     );
                 )*
                 let _ = writeln!(out, "triad_uptime_ms {}", self.started.elapsed().as_millis());
-                self.detect_latency_us.render("triad_detect_latency_us", "_us", &mut out);
-                self.queue_wait_us.render("triad_queue_wait_us", "_us", &mut out);
-                self.fit_latency_ms.render("triad_fit_latency_ms", "_ms", &mut out);
-                self.batch_size.render("triad_batch_size", "", &mut out);
+                render_histogram(&self.detect_latency_us, "triad_detect_latency_us", "_us", &mut out);
+                render_histogram(&self.queue_wait_us, "triad_queue_wait_us", "_us", &mut out);
+                render_histogram(&self.fit_latency_ms, "triad_fit_latency_ms", "_ms", &mut out);
+                render_histogram(&self.batch_size, "triad_batch_size", "", &mut out);
                 out
             }
         }
@@ -199,6 +157,8 @@ metrics_struct! {
     health_total,
     /// `shutdown` requests served.
     shutdown_total,
+    /// `stream.*` requests served (all stream verbs combined).
+    stream_total,
     /// Detect answered from an already-deserialized model slot.
     cache_hits,
     /// Detect that had to deserialize the model from disk first.
@@ -248,11 +208,16 @@ mod tests {
         }
         assert_eq!(h.count(), 5);
         assert!((h.mean() - (5 + 10 + 11 + 99 + 5000) as f64 / 5.0).abs() < 1e-9);
-        let j = h.to_json();
+        let j = histogram_json(&h);
         assert_eq!(j.get("le_10").unwrap().as_u64(), Some(2));
         assert_eq!(j.get("le_100").unwrap().as_u64(), Some(2));
         assert_eq!(j.get("le_1000").unwrap().as_u64(), Some(0));
         assert_eq!(j.get("inf").unwrap().as_u64(), Some(1));
+        // Quantiles ride along: p50 falls in the (10, 100] bucket.
+        let p50 = j.get("p50").unwrap().as_f64().unwrap();
+        assert!(p50 > 10.0 && p50 <= 100.0, "p50 {p50}");
+        // Overflow bucket reports the last finite bound.
+        assert_eq!(j.get("p99").unwrap().as_f64(), Some(1000.0));
     }
 
     #[test]
@@ -266,12 +231,15 @@ mod tests {
         assert_eq!(j.get("requests_total").unwrap().as_u64(), Some(2));
         assert_eq!(j.get("cache_hits").unwrap().as_u64(), Some(1));
         assert!(j.get("uptime_ms").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(j.get("batch_size").unwrap().get("p95").is_some());
         let text = m.render_text();
         assert!(text.contains("triad_requests_total 2"), "{text}");
         assert!(
             text.contains("triad_batch_size_bucket{le=\"4\"} 1"),
             "{text}"
         );
+        assert!(text.contains("triad_batch_size_p99"), "{text}");
+        assert!(text.contains("triad_detect_latency_us_p50_us"), "{text}");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::json::Value;
 use triad_core::TriadDetection;
+use triad_stream::{StreamEvent, StreamStatus};
 
 /// Maximum accepted request line, bytes (guards the server against a rogue
 /// client streaming an unbounded line).
@@ -79,6 +80,63 @@ pub fn detection_fields(model: &str, det: &TriadDetection) -> Value {
         ("used_fallback".into(), Value::Bool(det.used_fallback)),
         ("discords".into(), Value::Arr(discords)),
     ])
+}
+
+fn event_value(ev: &StreamEvent) -> Value {
+    Value::Obj(vec![
+        ("start".into(), Value::Num(ev.start as f64)),
+        (
+            "end".into(),
+            match ev.end {
+                Some(e) => Value::Num(e as f64),
+                None => Value::Null,
+            },
+        ),
+        ("peak_deviance".into(), Value::Num(ev.peak_deviance)),
+    ])
+}
+
+/// Deterministic JSON body for a stream status snapshot (`stream.poll` and
+/// the status half of `stream.close`).
+pub fn stream_status_fields(stream: &str, status: &StreamStatus) -> Vec<(String, Value)> {
+    vec![
+        ("stream".into(), stream.into()),
+        ("seq".into(), Value::Num(status.seq as f64)),
+        ("retained".into(), Value::Num(status.retained as f64)),
+        ("evicted".into(), Value::Num(status.evicted as f64)),
+        (
+            "windows_scored".into(),
+            Value::Num(status.windows_scored as f64),
+        ),
+        (
+            "last_deviance".into(),
+            match status.last_deviance {
+                Some(d) => Value::Num(d),
+                None => Value::Null,
+            },
+        ),
+        ("anomalous".into(), Value::Bool(status.anomalous)),
+        (
+            "events".into(),
+            Value::Arr(status.events.iter().map(event_value).collect()),
+        ),
+        (
+            "live".into(),
+            Value::Obj(vec![
+                ("mean".into(), Value::Num(status.live.mean)),
+                ("variance".into(), Value::Num(status.live.variance)),
+                (
+                    "spectral_power".into(),
+                    Value::Num(status.live.spectral_power),
+                ),
+                ("residual_rms".into(), Value::Num(status.live.residual_rms)),
+            ]),
+        ),
+        (
+            "rejected_nonfinite".into(),
+            Value::Num(status.rejected_nonfinite as f64),
+        ),
+    ]
 }
 
 /// Merge a detection body into a response envelope (the detect verb's

@@ -15,8 +15,11 @@
 
 use crate::batch::{BatchPolicy, Batcher};
 use crate::json::{self, Value};
-use crate::metrics::{inc, Metrics};
-use crate::proto::{detect_response, detection_fields, err_response, ok_response, MAX_LINE_BYTES};
+use crate::metrics::{histogram_json, inc, render_histogram, Metrics};
+use crate::proto::{
+    detect_response, detection_fields, err_response, ok_response, stream_status_fields,
+    MAX_LINE_BYTES,
+};
 use crate::registry::ModelRegistry;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -25,7 +28,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use triad_core::{TriAd, TriadConfig};
+use triad_core::{persist, TriAd, TriadConfig};
+use triad_stream::{ManagerConfig, ShardMetrics, StreamManager};
 
 /// Server tunables. `Default` suits tests and local runs.
 #[derive(Debug, Clone)]
@@ -48,6 +52,13 @@ pub struct ServeConfig {
     pub idle_timeout_ms: u64,
     /// Max models kept deserialized (LRU beyond that).
     pub cache_capacity: usize,
+    /// Worker shards for the online streaming layer.
+    pub stream_shards: usize,
+    /// Bounded ingest-queue depth per stream shard (backpressure valve).
+    pub stream_queue: usize,
+    /// Where stream checkpoints live; `None` disables checkpointing (a
+    /// restarted server then starts with no open streams).
+    pub stream_checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +73,9 @@ impl Default for ServeConfig {
             request_timeout_ms: 30_000,
             idle_timeout_ms: 10_000,
             cache_capacity: 8,
+            stream_shards: 2,
+            stream_queue: 1024,
+            stream_checkpoint_dir: None,
         }
     }
 }
@@ -71,6 +85,9 @@ struct Shared {
     registry: RwLock<ModelRegistry>,
     metrics: Arc<Metrics>,
     batcher: Batcher,
+    /// Online streaming layer; stream engines live on its shard threads,
+    /// loading models from the same `models_dir` as the registry.
+    streams: StreamManager,
     shutdown: AtomicBool,
     addr: SocketAddr,
     request_timeout: Duration,
@@ -151,10 +168,29 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
         max_delay: Duration::from_millis(cfg.max_delay_ms),
         request_timeout: Duration::from_millis(cfg.request_timeout_ms.max(1)),
     };
+    // Stream shards load models straight from the models directory on their
+    // own threads (`FittedTriad` is not `Send`, so the registry's cached
+    // instances cannot cross into a shard). `fit` saves to disk before it
+    // replies, so a fit→stream.open sequence always sees the file.
+    let models_dir = cfg.models_dir.clone();
+    let loader: triad_stream::ModelLoader = Arc::new(move |name: &str| {
+        let path = models_dir.join(format!("{name}.triad"));
+        persist::load_file(&path).map_err(|e| format!("load model {name:?}: {e}"))
+    });
+    let streams = StreamManager::new(
+        ManagerConfig {
+            shards: cfg.stream_shards.max(1),
+            queue_capacity: cfg.stream_queue.max(1),
+            checkpoint_dir: cfg.stream_checkpoint_dir.clone(),
+            ..Default::default()
+        },
+        loader,
+    );
     let shared = Arc::new(Shared {
         registry: RwLock::new(registry),
         metrics: Arc::clone(&metrics),
         batcher: Batcher::new(policy),
+        streams,
         shutdown: AtomicBool::new(false),
         addr,
         request_timeout: policy.request_timeout,
@@ -346,12 +382,16 @@ fn handle_request(shared: &Arc<Shared>, line: &str) -> (Value, bool) {
         "stats" => {
             inc(&shared.metrics.stats_total);
             let body = if req.get("format").and_then(Value::as_str) == Some("text") {
-                vec![("text".into(), Value::Str(shared.metrics.render_text()))]
+                let mut text = shared.metrics.render_text();
+                render_stream_metrics(&shared.streams, &mut text);
+                vec![("text".into(), Value::Str(text))]
             } else {
-                match shared.metrics.to_json() {
+                let mut fields = match shared.metrics.to_json() {
                     Value::Obj(fields) => fields,
                     other => vec![("metrics".into(), other)],
-                }
+                };
+                fields.push(("streams".into(), stream_metrics_json(&shared.streams)));
+                fields
             };
             (ok_response("stats", id, body), false)
         }
@@ -393,6 +433,10 @@ fn handle_request(shared: &Arc<Shared>, line: &str) -> (Value, bool) {
                 ok_response("shutdown", id, vec![("draining".into(), Value::Bool(true))]),
                 true,
             )
+        }
+        v if v.starts_with("stream.") => {
+            inc(&shared.metrics.stream_total);
+            (handle_stream(shared, v, &req, id), false)
         }
         other => (
             err_response(other, id, &format!("unknown verb {other:?}")),
@@ -490,6 +534,175 @@ fn handle_detect(shared: &Arc<Shared>, req: &Value, id: Option<&Value>) -> Value
     }
 }
 
+/// Dispatch the `stream.*` verb family onto the [`StreamManager`].
+fn handle_stream(shared: &Arc<Shared>, verb: &str, req: &Value, id: Option<&Value>) -> Value {
+    let stream_name = req.get("stream").and_then(Value::as_str);
+    match verb {
+        "stream.open" => {
+            let Some(stream) = stream_name else {
+                return err_response(verb, id, "stream.open requires \"stream\"");
+            };
+            let Some(model) = req.get("model").and_then(Value::as_str) else {
+                return err_response(verb, id, "stream.open requires \"model\"");
+            };
+            // The shard would discover a missing model too, but only after
+            // the loader tries the file; the registry knows now.
+            let known = match shared.registry.read() {
+                Ok(r) => r.slot(model).is_some(),
+                Err(_) => return err_response(verb, id, "registry poisoned"),
+            };
+            if !known {
+                return err_response(verb, id, &format!("no such model {model:?}"));
+            }
+            match shared.streams.open(stream, model) {
+                Ok(()) => ok_response(
+                    verb,
+                    id,
+                    vec![
+                        ("stream".into(), stream.into()),
+                        ("model".into(), model.into()),
+                        (
+                            "shard".into(),
+                            Value::Num(shared.streams.shard_of(stream) as f64),
+                        ),
+                    ],
+                ),
+                Err(e) => err_response(verb, id, &e.to_string()),
+            }
+        }
+        "stream.push" => {
+            let Some(stream) = stream_name else {
+                return err_response(verb, id, "stream.push requires \"stream\"");
+            };
+            let Some(points) = req.get("points").and_then(|v| v.as_f64_vec()) else {
+                return err_response(verb, id, "stream.push requires a numeric \"points\" array");
+            };
+            match shared.streams.push(stream, &points) {
+                Ok(ticket) => ok_response(
+                    verb,
+                    id,
+                    vec![
+                        ("stream".into(), stream.into()),
+                        ("queued".into(), Value::Bool(ticket.queued)),
+                        ("dropped".into(), Value::Num(ticket.dropped as f64)),
+                        ("queue_len".into(), Value::Num(ticket.queue_len as f64)),
+                        ("shard".into(), Value::Num(ticket.shard as f64)),
+                    ],
+                ),
+                Err(e) => err_response(verb, id, &e.to_string()),
+            }
+        }
+        "stream.poll" => {
+            let Some(stream) = stream_name else {
+                return err_response(verb, id, "stream.poll requires \"stream\"");
+            };
+            match shared.streams.poll(stream) {
+                Ok(status) => ok_response(verb, id, stream_status_fields(stream, &status)),
+                Err(e) => err_response(verb, id, &e.to_string()),
+            }
+        }
+        "stream.close" => {
+            let Some(stream) = stream_name else {
+                return err_response(verb, id, "stream.close requires \"stream\"");
+            };
+            match shared.streams.close(stream) {
+                Ok(report) => {
+                    let mut body = stream_status_fields(stream, &report.status);
+                    body.push((
+                        "detection".into(),
+                        match &report.detection {
+                            Some(det) => detection_fields(stream, det),
+                            None => Value::Null,
+                        },
+                    ));
+                    body.push((
+                        "finalize_error".into(),
+                        match &report.finalize_error {
+                            Some(e) => Value::Str(e.clone()),
+                            None => Value::Null,
+                        },
+                    ));
+                    ok_response(verb, id, body)
+                }
+                Err(e) => err_response(verb, id, &e.to_string()),
+            }
+        }
+        "stream.checkpoint" => match shared.streams.checkpoint(stream_name) {
+            Ok(written) => ok_response(
+                verb,
+                id,
+                vec![("written".into(), Value::Num(written as f64))],
+            ),
+            Err(e) => err_response(verb, id, &e.to_string()),
+        },
+        "stream.list" => {
+            let names: Vec<Value> = shared
+                .streams
+                .streams()
+                .into_iter()
+                .map(Value::Str)
+                .collect();
+            ok_response(verb, id, vec![("streams".into(), Value::Arr(names))])
+        }
+        other => err_response(other, id, &format!("unknown stream verb {other:?}")),
+    }
+}
+
+/// Per-shard streaming counters for the `stats` verb's JSON payload.
+fn stream_metrics_json(mgr: &StreamManager) -> Value {
+    let mut shards = Vec::with_capacity(mgr.shard_count());
+    let mut open_total = 0u64;
+    for (i, m) in mgr.shard_metrics().iter().enumerate() {
+        open_total += ShardMetrics::get(&m.open_streams);
+        let mut fields: Vec<(String, Value)> = vec![("shard".into(), Value::Num(i as f64))];
+        for (name, counter) in shard_counters(m) {
+            fields.push((name.into(), Value::Num(ShardMetrics::get(counter) as f64)));
+        }
+        fields.push((
+            "score_latency_us".into(),
+            histogram_json(&m.score_latency_us),
+        ));
+        shards.push(Value::Obj(fields));
+    }
+    Value::Obj(vec![
+        ("shards".into(), Value::Arr(shards)),
+        ("open_streams".into(), Value::Num(open_total as f64)),
+    ])
+}
+
+/// Per-shard streaming counters in the text exposition format.
+fn render_stream_metrics(mgr: &StreamManager, out: &mut String) {
+    use std::fmt::Write;
+    for (i, m) in mgr.shard_metrics().iter().enumerate() {
+        for (name, counter) in shard_counters(m) {
+            let _ = writeln!(
+                out,
+                "triad_stream_{name}{{shard=\"{i}\"}} {}",
+                ShardMetrics::get(counter)
+            );
+        }
+        render_histogram(
+            &m.score_latency_us,
+            &format!("triad_stream_shard_{i}_score_latency_us"),
+            "_us",
+            out,
+        );
+    }
+}
+
+fn shard_counters(m: &ShardMetrics) -> [(&'static str, &std::sync::atomic::AtomicU64); 8] {
+    [
+        ("ingested", &m.ingested),
+        ("dropped_backpressure", &m.dropped_backpressure),
+        ("dropped_nonfinite", &m.dropped_nonfinite),
+        ("windows_scored", &m.windows_scored),
+        ("events_opened", &m.events_opened),
+        ("checkpoints_written", &m.checkpoints_written),
+        ("checkpoint_failures", &m.checkpoint_failures),
+        ("open_streams", &m.open_streams),
+    ]
+}
+
 /// Run a detection directly (no server) — shared by `triad client --local`
 /// style tooling and unit tests.
 pub fn detect_once(
@@ -569,6 +782,109 @@ mod tests {
         );
 
         assert!(get(&handle.metrics().errors_total) >= 6);
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_verbs_round_trip_over_tcp() {
+        use crate::client::Client;
+        use std::f64::consts::PI;
+
+        let dir = std::env::temp_dir().join(format!("triad_server_stream_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        // Pre-fit a small model straight into the models dir; the registry
+        // discovers it at startup and the stream shards load it by file.
+        let train: Vec<f64> = (0..560)
+            .map(|i| (2.0 * PI * i as f64 / 32.0).sin() + 0.3 * (4.0 * PI * i as f64 / 32.0).sin())
+            .collect();
+        let fitted = TriAd::new(TriadConfig {
+            epochs: 2,
+            depth: 2,
+            hidden: 8,
+            batch: 4,
+            merlin_step: 4,
+            ..Default::default()
+        })
+        .fit(&train)
+        .expect("fit");
+        let mut test = train[..380.min(train.len())].to_vec();
+        for (i, v) in test.iter_mut().enumerate().take(260).skip(200) {
+            *v = (8.0 * PI * i as f64 / 32.0).sin();
+        }
+        persist::save_file(&dir.join("m.triad"), &fitted).expect("save model");
+
+        let handle = start(ServeConfig {
+            models_dir: dir.clone(),
+            workers: 2,
+            executors: 1,
+            stream_shards: 2,
+            ..Default::default()
+        })
+        .expect("start");
+        let mut c = Client::connect(handle.addr(), Duration::from_secs(300)).expect("connect");
+
+        assert!(c.stream_open("s1", "ghost").is_err(), "unknown model");
+        c.stream_open("s1", "m").expect("open");
+        assert!(c.stream_open("s1", "m").is_err(), "duplicate stream");
+
+        for chunk in test.chunks(64) {
+            let t = c.stream_push("s1", chunk).expect("push");
+            assert_eq!(t.get("queued").and_then(Value::as_bool), Some(true));
+        }
+        // Poll until the shard has drained the queue.
+        let mut polled = None;
+        for _ in 0..600 {
+            let p = c.stream_poll("s1").expect("poll");
+            if p.get("seq").and_then(Value::as_u64) == Some(test.len() as u64) {
+                polled = Some(p);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let polled = polled.expect("stream never drained");
+        assert!(polled.get("windows_scored").and_then(Value::as_u64) > Some(0));
+
+        let listed = c.stream_list().expect("list");
+        assert_eq!(
+            listed.get("streams").map(|v| v.to_string()),
+            Some("[\"s1\"]".to_string())
+        );
+
+        // Per-shard metrics are visible through the stats verb.
+        let stats = c.stats().expect("stats");
+        let streams = stats.get("streams").expect("streams in stats");
+        let shards = streams
+            .get("shards")
+            .and_then(Value::as_arr)
+            .expect("shards");
+        assert_eq!(shards.len(), 2);
+        let ingested: u64 = shards
+            .iter()
+            .map(|s| s.get("ingested").and_then(Value::as_u64).unwrap_or(0))
+            .sum();
+        assert_eq!(ingested, test.len() as u64);
+        let text = c.stats_text().expect("stats text");
+        assert!(
+            text.contains("triad_stream_ingested{shard=\"0\"}"),
+            "{text}"
+        );
+        assert!(text.contains("_p99"), "{text}");
+
+        // Close returns the offline-equivalent detection: compare against
+        // the direct (no-server) path on the same model file.
+        let closed = c.stream_close("s1").expect("close");
+        assert_eq!(closed.get("finalize_error"), Some(&Value::Null));
+        let offline = detection_fields("s1", &fitted.detect(&test));
+        assert_eq!(
+            closed.get("detection").map(|v| v.to_string()),
+            Some(offline.to_string()),
+            "streamed detection differs from offline"
+        );
+        assert!(c.stream_poll("s1").is_err(), "closed stream still polls");
+
         handle.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

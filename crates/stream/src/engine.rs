@@ -1,0 +1,642 @@
+//! The per-stream online detection engine.
+//!
+//! A [`StreamEngine`] ingests one point at a time and keeps the tri-domain
+//! view current incrementally:
+//!
+//! * **temporal** — rolling mean/variance over the last `L` points, O(1)
+//!   per point;
+//! * **frequency** — a [`tsops::sliding::SlidingDft`] over the last `L`
+//!   points tracking the lowest `tracked_bins` bins, O(k) per point instead
+//!   of an O(L log L) FFT per window;
+//! * **residual** — per-phase running means (phase = seq mod period) with
+//!   the RMS of the last `L` residuals.
+//!
+//! Each time a segmentation stride completes, the engine slices the window
+//! out of the ring, embeds it with the trained encoders through
+//! [`triad_core::OnlineRanker`] (bit-identical to the offline embed path),
+//! and turns the window's mean similarity to everything seen before into a
+//! *deviance* signal. Deviance drives enter/exit **hysteresis**: an anomaly
+//! event opens when deviance rises above `enter` and closes only when it
+//! falls below `exit`, so a borderline stream does not flap one event per
+//! window.
+//!
+//! [`StreamEngine::finalize`] closes the loop: when the ring still holds the
+//! full history, it replays stages 2–4 of the batch pipeline on the online
+//! rankings and returns a [`TriadDetection`] **bit-equal** to running
+//! `FittedTriad::detect` on the same series offline.
+
+use crate::ring::RingBuffer;
+use crate::StreamError;
+use std::collections::VecDeque;
+use triad_core::{Domain, FittedTriad, OnlineRanker, TriadDetection};
+use tsops::sliding::SlidingDft;
+use tsops::window::Segmenter;
+
+/// Knobs that are per-stream policy rather than model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Ring capacity in samples. Forced up to `window + 1` so the sliding
+    /// DFT can always read the sample leaving the window. Streams longer
+    /// than this lose `finalize` (offline-equivalent detection) but keep
+    /// live scoring and hysteresis events.
+    pub capacity: usize,
+    /// Deviance at or above which an anomaly event opens.
+    pub enter: f64,
+    /// Deviance at or below which an open event closes. Must be < `enter`
+    /// for the hysteresis band to exist.
+    pub exit: f64,
+    /// How many low-frequency DFT bins the sliding spectrum tracks (clamped
+    /// to the window length).
+    pub tracked_bins: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            capacity: 1 << 20,
+            enter: 0.35,
+            exit: 0.15,
+            tracked_bins: 8,
+        }
+    }
+}
+
+/// An anomaly episode delimited by hysteresis, in absolute stream
+/// coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamEvent {
+    /// Start of the window whose deviance crossed `enter`.
+    pub start: u64,
+    /// End (exclusive) of the window whose deviance fell to `exit`;
+    /// `None` while the event is still open.
+    pub end: Option<u64>,
+    /// Highest deviance observed during the event.
+    pub peak_deviance: f64,
+}
+
+/// Scores for one completed stride.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowScore {
+    /// Window index in segmentation order (0-based).
+    pub index: usize,
+    /// Absolute sequence number of the window's first sample.
+    pub start: u64,
+    /// Window length.
+    pub len: usize,
+    /// Mean similarity of this window to every previous window, per domain.
+    pub domain_means: Vec<(Domain, f64)>,
+    /// `1 − min(domain mean)`: how deviant the *most* deviant domain finds
+    /// this window. `None` for the very first window, which has no peers to
+    /// compare against.
+    pub deviance: Option<f64>,
+    /// Whether a hysteresis event is open after this window.
+    pub event_open: bool,
+}
+
+/// Result of ingesting one point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushOutcome {
+    /// Sequence number assigned to the sample.
+    pub seq: u64,
+    /// Present when this sample completed a segmentation stride.
+    pub completed_window: Option<WindowScore>,
+}
+
+/// Instantaneous tri-domain view of the stream tail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveView {
+    /// Rolling mean over the last `min(n, L)` samples.
+    pub mean: f64,
+    /// Rolling (population) variance over the last `min(n, L)` samples.
+    pub variance: f64,
+    /// Mean squared magnitude of the tracked DFT bins over the current
+    /// window (0.0 until the first window completes).
+    pub spectral_power: f64,
+    /// RMS of the last `min(n, L)` per-phase residuals.
+    pub residual_rms: f64,
+}
+
+/// Snapshot of a stream for `stream.poll`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStatus {
+    /// Total samples ingested (next sequence number).
+    pub seq: u64,
+    /// Samples still held by the ring.
+    pub retained: usize,
+    /// Samples evicted to honour the capacity bound.
+    pub evicted: u64,
+    /// Windows embedded and scored so far.
+    pub windows_scored: usize,
+    /// Deviance of the most recent scored window (None before the second
+    /// window).
+    pub last_deviance: Option<f64>,
+    /// Whether a hysteresis event is currently open.
+    pub anomalous: bool,
+    /// All events so far, oldest first (the last one may be open).
+    pub events: Vec<StreamEvent>,
+    pub live: LiveView,
+    /// NaN/Inf samples rejected (not assigned sequence numbers).
+    pub rejected_nonfinite: u64,
+}
+
+/// Online detection state for a single stream. See the module docs.
+#[derive(Debug, Clone)]
+pub struct StreamEngine {
+    pub(crate) cfg: StreamConfig,
+    pub(crate) window: usize,
+    pub(crate) stride: usize,
+    pub(crate) period: usize,
+    pub(crate) ring: RingBuffer,
+    pub(crate) ranker: OnlineRanker,
+    /// Absolute start of every scored window, in segmentation order.
+    pub(crate) window_starts: Vec<u64>,
+    /// Rolling moments over the last `min(n, L)` samples.
+    pub(crate) roll_sum: f64,
+    pub(crate) roll_sumsq: f64,
+    pub(crate) roll_count: usize,
+    /// Sliding spectrum over the last `L` samples; anchored by a full
+    /// recompute when the first window completes, O(k) slides after.
+    pub(crate) sdft: SlidingDft,
+    pub(crate) sdft_ready: bool,
+    /// Per-phase running sums/counts for the residual view.
+    pub(crate) phase_sums: Vec<f64>,
+    pub(crate) phase_counts: Vec<u64>,
+    /// Last `min(n, L)` residuals and their running sum of squares.
+    pub(crate) residuals: VecDeque<f64>,
+    pub(crate) residual_sumsq: f64,
+    pub(crate) events: Vec<StreamEvent>,
+    pub(crate) last_deviance: Option<f64>,
+    pub(crate) rejected_nonfinite: u64,
+}
+
+impl StreamEngine {
+    /// A fresh engine for one stream, taking window length, stride, and
+    /// period from the fitted model so online segmentation matches offline.
+    pub fn new(fitted: &FittedTriad, cfg: StreamConfig) -> Self {
+        let window = fitted.window_len();
+        let stride = fitted.segmenter().stride;
+        let period = fitted.period().max(1);
+        let capacity = cfg.capacity.max(window + 1);
+        let bins: Vec<usize> = (0..cfg.tracked_bins.min(window)).collect();
+        StreamEngine {
+            ring: RingBuffer::new(capacity),
+            ranker: fitted.online_ranker(),
+            window_starts: Vec::new(),
+            roll_sum: 0.0,
+            roll_sumsq: 0.0,
+            roll_count: 0,
+            sdft: SlidingDft::new(window, &bins),
+            sdft_ready: false,
+            phase_sums: vec![0.0; period],
+            phase_counts: vec![0; period],
+            residuals: VecDeque::new(),
+            residual_sumsq: 0.0,
+            events: Vec::new(),
+            last_deviance: None,
+            rejected_nonfinite: 0,
+            cfg,
+            window,
+            stride,
+            period,
+        }
+    }
+
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    pub fn window_len(&self) -> usize {
+        self.window
+    }
+
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Total samples ingested (the next sequence number to assign).
+    pub fn seq(&self) -> u64 {
+        self.ring.end_seq()
+    }
+
+    pub fn events(&self) -> &[StreamEvent] {
+        &self.events
+    }
+
+    /// Absolute starts of every scored window, segmentation order.
+    pub fn window_starts(&self) -> &[u64] {
+        &self.window_starts
+    }
+
+    fn event_open(&self) -> bool {
+        self.events.last().is_some_and(|e| e.end.is_none())
+    }
+
+    /// Ingest one sample. NaN/Inf is rejected (counted, stream unharmed).
+    /// Returns the assigned sequence number plus, when this sample completed
+    /// a segmentation stride, the window's scores.
+    pub fn push(&mut self, fitted: &FittedTriad, x: f64) -> Result<PushOutcome, StreamError> {
+        if !x.is_finite() {
+            self.rejected_nonfinite += 1;
+            return Err(StreamError::NonFinite {
+                seq: self.ring.end_seq(),
+            });
+        }
+
+        // The sample about to leave the L-window must be read before the
+        // push can evict it (capacity ≥ L+1 keeps it retained until here).
+        let n_before = self.ring.end_seq();
+        let l = self.window as u64;
+        let outgoing = if n_before >= l {
+            self.ring.get(n_before - l)
+        } else {
+            None
+        };
+
+        let seq = self.ring.push(x);
+
+        // Temporal view: rolling moments.
+        self.roll_sum += x;
+        self.roll_sumsq += x * x;
+        if let Some(out) = outgoing {
+            self.roll_sum -= out;
+            self.roll_sumsq -= out * out;
+        } else {
+            self.roll_count += 1;
+        }
+
+        // Frequency view: anchor once, O(k) slide after.
+        if seq + 1 == l {
+            if let Some(first) = self.ring.slice_to_vec(0, self.window) {
+                self.sdft.reset(&first);
+                self.sdft_ready = true;
+            }
+        } else if seq + 1 > l {
+            if let Some(out) = outgoing {
+                self.sdft.slide(out, x);
+            }
+        }
+
+        // Residual view: per-phase running mean, then the residual of this
+        // point against its (updated) phase mean.
+        let phase = (seq % self.period as u64) as usize;
+        self.phase_sums[phase] += x;
+        self.phase_counts[phase] += 1;
+        let r = x - self.phase_sums[phase] / self.phase_counts[phase] as f64;
+        self.residuals.push_back(r);
+        self.residual_sumsq += r * r;
+        if self.residuals.len() > self.window {
+            if let Some(old) = self.residuals.pop_front() {
+                self.residual_sumsq -= old * old;
+            }
+        }
+
+        // Segmentation: the stride grid in absolute coordinates.
+        let completed_window = if seq + 1 >= l && (seq + 1 - l) % self.stride as u64 == 0 {
+            let start = seq + 1 - l;
+            self.score_window(fitted, start)
+        } else {
+            None
+        };
+
+        Ok(PushOutcome {
+            seq,
+            completed_window,
+        })
+    }
+
+    fn score_window(&mut self, fitted: &FittedTriad, start: u64) -> Option<WindowScore> {
+        let slice = self.ring.slice_to_vec(start, self.window)?;
+        let domain_means = fitted.push_window(&mut self.ranker, &slice);
+        let index = self.window_starts.len();
+        self.window_starts.push(start);
+
+        // The very first window's mean similarity is 0 by construction (no
+        // peers yet); treating that as deviance would open a spurious event
+        // on every stream, so hysteresis starts with the second window.
+        let deviance = if index == 0 {
+            None
+        } else {
+            // Most-deviant domain drives the signal: a single-domain anomaly
+            // (say, frequency-only) should not be averaged away by the two
+            // domains that look normal.
+            let min_mean = domain_means
+                .iter()
+                .map(|&(_, m)| m)
+                .fold(f64::INFINITY, f64::min);
+            Some(1.0 - min_mean)
+        };
+
+        if let Some(dev) = deviance {
+            self.last_deviance = Some(dev);
+            let end_of_window = start + self.window as u64;
+            if self.event_open() {
+                if let Some(ev) = self.events.last_mut() {
+                    if dev > ev.peak_deviance {
+                        ev.peak_deviance = dev;
+                    }
+                    if dev <= self.cfg.exit {
+                        ev.end = Some(end_of_window);
+                    }
+                }
+            } else if dev >= self.cfg.enter {
+                self.events.push(StreamEvent {
+                    start,
+                    end: None,
+                    peak_deviance: dev,
+                });
+            }
+        }
+
+        Some(WindowScore {
+            index,
+            start,
+            len: self.window,
+            domain_means,
+            deviance,
+            event_open: self.event_open(),
+        })
+    }
+
+    /// Current snapshot for `stream.poll`.
+    pub fn status(&self) -> StreamStatus {
+        StreamStatus {
+            seq: self.ring.end_seq(),
+            retained: self.ring.len(),
+            evicted: self.ring.evicted(),
+            windows_scored: self.window_starts.len(),
+            last_deviance: self.last_deviance,
+            anomalous: self.event_open(),
+            events: self.events.clone(),
+            live: self.live_view(),
+            rejected_nonfinite: self.rejected_nonfinite,
+        }
+    }
+
+    /// Instantaneous tri-domain view (see [`LiveView`]).
+    pub fn live_view(&self) -> LiveView {
+        let n = self.roll_count;
+        let (mean, variance) = if n == 0 {
+            (0.0, 0.0)
+        } else {
+            let m = self.roll_sum / n as f64;
+            ((m), (self.roll_sumsq / n as f64 - m * m).max(0.0))
+        };
+        let spectral_power = if self.sdft_ready && !self.sdft.bins().is_empty() {
+            let l = self.window as f64;
+            self.sdft
+                .spectrum()
+                .iter()
+                .map(|c| (c.re * c.re + c.im * c.im) / (l * l))
+                .sum::<f64>()
+                / self.sdft.bins().len() as f64
+        } else {
+            0.0
+        };
+        let residual_rms = if self.residuals.is_empty() {
+            0.0
+        } else {
+            (self.residual_sumsq.max(0.0) / self.residuals.len() as f64).sqrt()
+        };
+        LiveView {
+            mean,
+            variance,
+            spectral_power,
+            residual_rms,
+        }
+    }
+
+    /// Close the stream with a full detection over its retained history.
+    ///
+    /// Replays stages 2–4 of the batch pipeline on the incrementally built
+    /// rankings; when no samples were evicted the result is **bit-equal** to
+    /// `fitted.detect(&series)` on the same points. The off-grid flush
+    /// window (and the single clamped window of a short stream) is embedded
+    /// here — the online grid only ever completes on-stride windows.
+    pub fn finalize(&self, fitted: &FittedTriad) -> Result<TriadDetection, StreamError> {
+        let dropped = self.ring.evicted();
+        if dropped > 0 {
+            return Err(StreamError::HistoryDropped { dropped });
+        }
+        if self.ring.is_empty() {
+            return Err(StreamError::Empty);
+        }
+        let series = self.ring.to_vec();
+        let n = series.len();
+        let windows = Segmenter::new(self.window, self.stride).segment_clamped(n);
+
+        // The online grid must be a prefix of the offline segmentation.
+        debug_assert!(self
+            .window_starts
+            .iter()
+            .zip(&windows.starts)
+            .all(|(a, &b)| *a == b as u64));
+        debug_assert!(self.window_starts.len() <= windows.count());
+
+        let mut ranker = self.ranker.clone();
+        for i in ranker.window_count()..windows.count() {
+            fitted.push_window(&mut ranker, windows.slice(&series, i));
+        }
+        let rankings = ranker.rankings(fitted.config().top_z);
+        Ok(fitted.detect_from_rankings(&series, &windows, rankings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{anomalous_test, periodic, quick_fitted};
+
+    #[test]
+    fn finalize_reproduces_offline_detect_bit_exactly() {
+        let fitted = quick_fitted();
+        let test = anomalous_test(420, 32.0);
+        let offline = fitted.detect(&test);
+
+        let mut engine = StreamEngine::new(&fitted, StreamConfig::default());
+        for &x in &test {
+            engine.push(&fitted, x).expect("finite");
+        }
+        let online = engine.finalize(&fitted).expect("full history retained");
+        assert_eq!(online, offline);
+
+        // The online grid scored every on-stride window; the off-grid flush
+        // (if any) was embedded only at finalize.
+        let status = engine.status();
+        assert_eq!(status.seq, test.len() as u64);
+        assert!(status.windows_scored >= 1);
+        assert_eq!(status.evicted, 0);
+    }
+
+    #[test]
+    fn short_stream_finalizes_as_single_clamped_window() {
+        let fitted = quick_fitted();
+        let test = periodic(fitted.window_len() / 2, 32.0);
+        let offline = fitted.detect(&test);
+
+        let mut engine = StreamEngine::new(&fitted, StreamConfig::default());
+        for &x in &test {
+            engine.push(&fitted, x).expect("finite");
+        }
+        // Too short for any on-stride window…
+        assert_eq!(engine.status().windows_scored, 0);
+        // …but finalize clamps to one short window, like offline detect.
+        let online = engine.finalize(&fitted).expect("finalize");
+        assert_eq!(online, offline);
+    }
+
+    #[test]
+    fn first_window_has_no_deviance_and_opens_no_event() {
+        let fitted = quick_fitted();
+        // Hair-trigger hysteresis: any defined deviance opens an event.
+        let cfg = StreamConfig {
+            enter: 0.0,
+            exit: -1.0,
+            ..StreamConfig::default()
+        };
+        let mut engine = StreamEngine::new(&fitted, cfg);
+        let test = periodic(420, 32.0);
+        let mut first_score = None;
+        for &x in &test {
+            let out = engine.push(&fitted, x).expect("finite");
+            if let Some(score) = out.completed_window {
+                if score.index == 0 {
+                    assert_eq!(score.deviance, None, "first window must not score");
+                    assert!(!score.event_open, "first window must not open an event");
+                    first_score = Some(score);
+                }
+            }
+        }
+        assert!(first_score.is_some(), "stream long enough for windows");
+        // From the second window on, deviance ≥ 0 ≥ enter: exactly one event
+        // opened and (exit below the deviance floor) never closed.
+        assert_eq!(engine.events().len(), 1);
+        assert!(engine.status().anomalous);
+        assert_eq!(engine.status().last_deviance.map(|d| d >= 0.0), Some(true));
+    }
+
+    #[test]
+    fn unreachable_enter_threshold_never_opens_events() {
+        let fitted = quick_fitted();
+        let cfg = StreamConfig {
+            enter: 3.0, // deviance is ≤ 2 for unit-norm embeddings
+            ..StreamConfig::default()
+        };
+        let mut engine = StreamEngine::new(&fitted, cfg);
+        for &x in &anomalous_test(420, 32.0) {
+            engine.push(&fitted, x).expect("finite");
+        }
+        assert!(engine.events().is_empty());
+        assert!(!engine.status().anomalous);
+    }
+
+    #[test]
+    fn nonfinite_samples_are_rejected_without_corrupting_the_stream() {
+        let fitted = quick_fitted();
+        let test = periodic(300, 32.0);
+        let mut clean = StreamEngine::new(&fitted, StreamConfig::default());
+        let mut dirty = StreamEngine::new(&fitted, StreamConfig::default());
+        for (i, &x) in test.iter().enumerate() {
+            clean.push(&fitted, x).expect("finite");
+            if i == 57 {
+                assert!(matches!(
+                    dirty.push(&fitted, f64::NAN),
+                    Err(StreamError::NonFinite { seq: 57 })
+                ));
+                assert!(matches!(
+                    dirty.push(&fitted, f64::INFINITY),
+                    Err(StreamError::NonFinite { seq: 57 })
+                ));
+            }
+            dirty.push(&fitted, x).expect("finite");
+        }
+        assert_eq!(dirty.status().rejected_nonfinite, 2);
+        assert_eq!(dirty.seq(), clean.seq());
+        // The rejected points left no trace: identical detections.
+        assert_eq!(
+            dirty.finalize(&fitted).expect("finalize"),
+            clean.finalize(&fitted).expect("finalize")
+        );
+    }
+
+    #[test]
+    fn live_view_tracks_constant_series() {
+        let fitted = quick_fitted();
+        let mut engine = StreamEngine::new(&fitted, StreamConfig::default());
+        let l = engine.window_len();
+        for _ in 0..2 * l {
+            engine.push(&fitted, 2.5).expect("finite");
+        }
+        let live = engine.live_view();
+        assert!((live.mean - 2.5).abs() < 1e-9, "mean {}", live.mean);
+        assert!(live.variance < 1e-9, "variance {}", live.variance);
+        // Bin 0 of a constant window is L·x; its contribution to the mean
+        // power is x² / tracked_bins, and the other tracked bins are ~0.
+        let bins = engine.sdft.bins().len() as f64;
+        assert!(
+            (live.spectral_power - 2.5 * 2.5 / bins).abs() < 1e-6,
+            "spectral power {}",
+            live.spectral_power
+        );
+        // A constant stream has (near-)zero residuals once phases are seen.
+        assert!(
+            live.residual_rms < 1.0,
+            "residual rms {}",
+            live.residual_rms
+        );
+    }
+
+    #[test]
+    fn sliding_spectrum_matches_batch_fft_while_streaming() {
+        let fitted = quick_fitted();
+        let mut engine = StreamEngine::new(&fitted, StreamConfig::default());
+        let l = engine.window_len();
+        let series = periodic(3 * l, 32.0);
+        for (i, &x) in series.iter().enumerate() {
+            engine.push(&fitted, x).expect("finite");
+            if i + 1 >= l && (i + 1) % 17 == 0 {
+                let start = i + 1 - l;
+                let spec = tsops::fft::rfft(&series[start..start + l]);
+                for (bi, &k) in engine.sdft.bins().iter().enumerate() {
+                    let got = engine.sdft.spectrum()[bi];
+                    assert!(
+                        (got - spec[k]).abs() < 1e-9,
+                        "bin {k} at point {i}: {got:?} vs {:?}",
+                        spec[k]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_disables_finalize_but_not_live_scoring() {
+        let fitted = quick_fitted();
+        let cfg = StreamConfig {
+            capacity: 1, // forced up to window + 1
+            ..StreamConfig::default()
+        };
+        let mut engine = StreamEngine::new(&fitted, cfg);
+        let l = engine.window_len();
+        for &x in periodic(3 * l, 32.0).iter() {
+            engine.push(&fitted, x).expect("finite");
+        }
+        let status = engine.status();
+        assert!(status.evicted > 0);
+        assert!(status.windows_scored > 1, "live scoring kept going");
+        assert!(matches!(
+            engine.finalize(&fitted),
+            Err(StreamError::HistoryDropped { dropped }) if dropped == status.evicted
+        ));
+    }
+
+    #[test]
+    fn empty_stream_cannot_finalize() {
+        let fitted = quick_fitted();
+        let engine = StreamEngine::new(&fitted, StreamConfig::default());
+        assert!(matches!(engine.finalize(&fitted), Err(StreamError::Empty)));
+    }
+}

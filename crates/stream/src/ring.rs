@@ -1,0 +1,154 @@
+//! Fixed-capacity ring buffer with absolute sequence numbers.
+//!
+//! The stream engine must run for unbounded time in bounded memory: the ring
+//! retains the most recent `capacity` samples and silently evicts the
+//! oldest. Every sample keeps its *absolute* position in the stream (its
+//! sequence number), so window starts, events, and checkpoints all speak
+//! stream coordinates, not buffer offsets.
+
+use std::collections::VecDeque;
+
+/// The most recent `capacity` samples of a stream, addressed by absolute
+/// sequence number.
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    capacity: usize,
+    /// Absolute sequence number of `data[0]` (== number of evicted samples).
+    base: u64,
+    data: VecDeque<f64>,
+}
+
+impl RingBuffer {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring capacity must be ≥ 1");
+        RingBuffer {
+            capacity,
+            base: 0,
+            data: VecDeque::with_capacity(capacity.min(1 << 16)),
+        }
+    }
+
+    /// Append one sample, evicting the oldest when full. Returns the
+    /// sequence number assigned to the sample.
+    pub fn push(&mut self, x: f64) -> u64 {
+        if self.data.len() == self.capacity {
+            self.data.pop_front();
+            self.base += 1;
+        }
+        self.data.push_back(x);
+        self.base + self.data.len() as u64 - 1
+    }
+
+    /// Total samples ever pushed (the next sequence number to be assigned).
+    pub fn end_seq(&self) -> u64 {
+        self.base + self.data.len() as u64
+    }
+
+    /// Sequence number of the oldest retained sample.
+    pub fn base_seq(&self) -> u64 {
+        self.base
+    }
+
+    /// How many samples have been evicted to honour the capacity bound.
+    pub fn evicted(&self) -> u64 {
+        self.base
+    }
+
+    /// Retained sample count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sample at absolute sequence `seq`, if still retained.
+    pub fn get(&self, seq: u64) -> Option<f64> {
+        if seq < self.base {
+            return None;
+        }
+        let off = usize::try_from(seq - self.base).ok()?;
+        self.data.get(off).copied()
+    }
+
+    /// Copy `len` samples starting at absolute sequence `start` into a
+    /// fresh vector; `None` if any of them is evicted or not yet pushed.
+    pub fn slice_to_vec(&self, start: u64, len: usize) -> Option<Vec<f64>> {
+        if start < self.base {
+            return None;
+        }
+        let off = usize::try_from(start - self.base).ok()?;
+        let end = off.checked_add(len)?;
+        if end > self.data.len() {
+            return None;
+        }
+        Some(self.data.iter().skip(off).take(len).copied().collect())
+    }
+
+    /// All retained samples, oldest first.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.data.iter().copied().collect()
+    }
+
+    /// Rebuild from checkpointed parts (`data[0]` has sequence `base`).
+    pub fn from_parts(capacity: usize, base: u64, data: Vec<f64>) -> Self {
+        assert!(capacity >= 1, "ring capacity must be ≥ 1");
+        assert!(data.len() <= capacity, "ring data exceeds capacity");
+        RingBuffer {
+            capacity,
+            base,
+            data: VecDeque::from(data),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_assigns_monotone_sequences() {
+        let mut r = RingBuffer::new(4);
+        for i in 0..6u64 {
+            assert_eq!(r.push(i as f64), i);
+        }
+        assert_eq!(r.end_seq(), 6);
+        assert_eq!(r.base_seq(), 2);
+        assert_eq!(r.evicted(), 2);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.to_vec(), vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn get_and_slice_respect_eviction() {
+        let mut r = RingBuffer::new(3);
+        for i in 0..5 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.get(1), None); // evicted
+        assert_eq!(r.get(2), Some(2.0));
+        assert_eq!(r.get(4), Some(4.0));
+        assert_eq!(r.get(5), None); // not pushed yet
+        assert_eq!(r.slice_to_vec(2, 3), Some(vec![2.0, 3.0, 4.0]));
+        assert_eq!(r.slice_to_vec(1, 2), None);
+        assert_eq!(r.slice_to_vec(3, 3), None);
+        assert_eq!(r.slice_to_vec(4, 0), Some(Vec::new()));
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut r = RingBuffer::new(3);
+        for i in 0..5 {
+            r.push(i as f64 * 1.5);
+        }
+        let rebuilt = RingBuffer::from_parts(r.capacity(), r.base_seq(), r.to_vec());
+        assert_eq!(rebuilt.end_seq(), r.end_seq());
+        assert_eq!(rebuilt.to_vec(), r.to_vec());
+        assert_eq!(rebuilt.get(3), r.get(3));
+    }
+}

@@ -1,0 +1,832 @@
+//! Sharded multi-stream management.
+//!
+//! A [`StreamManager`] owns `N` worker shards. Stream names hash (FNV-1a)
+//! to a shard; each shard is one OS thread owning the engines of its
+//! streams, fed by a **bounded** ingest queue. A full queue sheds load
+//! explicitly — `push` reports `queued: false` and the shard's
+//! `dropped_backpressure` counter accounts for every dropped point — rather
+//! than blocking the caller or buffering without bound.
+//!
+//! Models are loaded *on the shard thread* through the caller-supplied
+//! [`ModelLoader`] and cached per shard: `FittedTriad` is deliberately not
+//! `Send` (the `neuro` tape uses `Rc`), so the loader closure crosses
+//! threads but the model it builds never does.
+//!
+//! When a checkpoint directory is configured, `checkpoint` persists every
+//! requested stream via [`crate::checkpoint`] (write to `<name>.ckpt.tmp`,
+//! then rename), shutdown checkpoints everything, and a new manager pointed
+//! at the same directory restores each stream **bit-identically** before
+//! accepting traffic.
+
+use crate::checkpoint;
+use crate::engine::{StreamConfig, StreamEngine, StreamStatus};
+use crate::metrics::ShardMetrics;
+use crate::StreamError;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Instant;
+use triad_core::{FittedTriad, TriadDetection};
+
+/// Builds a fitted model by name, on the shard thread that will own it.
+/// Must be cheap to clone and callable from any thread; the returned
+/// `FittedTriad` stays on the calling shard.
+pub type ModelLoader = Arc<dyn Fn(&str) -> Result<FittedTriad, String> + Send + Sync>;
+
+/// Manager-level configuration.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Worker shard count (≥ 1).
+    pub shards: usize,
+    /// Bounded ingest-queue depth per shard, in commands.
+    pub queue_capacity: usize,
+    /// Where stream checkpoints live; `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Per-stream engine defaults for newly opened streams.
+    pub stream_defaults: StreamConfig,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            shards: 2,
+            queue_capacity: 1024,
+            checkpoint_dir: None,
+            stream_defaults: StreamConfig::default(),
+        }
+    }
+}
+
+/// Receipt for a `push`: whether the batch made it onto the shard queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushTicket {
+    /// `false` means the whole batch was shed by backpressure (and counted
+    /// in the shard's `dropped_backpressure`).
+    pub queued: bool,
+    /// Points dropped by this call (0 when queued).
+    pub dropped: usize,
+    /// Queue depth observed at send time.
+    pub queue_len: usize,
+    /// Which shard the stream routes to.
+    pub shard: usize,
+}
+
+/// Everything `close` can tell the caller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloseReport {
+    /// Final status snapshot before teardown.
+    pub status: StreamStatus,
+    /// Offline-equivalent detection over the retained history, when the
+    /// ring still held every sample.
+    pub detection: Option<TriadDetection>,
+    /// Why `detection` is absent (history evicted, empty stream, …).
+    pub finalize_error: Option<String>,
+}
+
+enum Command {
+    Open {
+        stream: String,
+        model: String,
+        reply: Sender<Result<(), StreamError>>,
+    },
+    /// Fire-and-forget ingest; the bounded queue is the backpressure valve.
+    Push {
+        stream: String,
+        points: Vec<f64>,
+    },
+    Poll {
+        stream: String,
+        reply: Sender<Result<StreamStatus, StreamError>>,
+    },
+    Close {
+        stream: String,
+        reply: Sender<Result<CloseReport, StreamError>>,
+    },
+    Checkpoint {
+        stream: Option<String>,
+        reply: Sender<Result<usize, StreamError>>,
+    },
+    List {
+        reply: Sender<Vec<String>>,
+    },
+    Shutdown,
+}
+
+/// Hash-sharded collection of live [`StreamEngine`]s. See the module docs.
+pub struct StreamManager {
+    senders: Vec<Sender<Command>>,
+    receivers: Vec<Receiver<Command>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    metrics: Vec<Arc<ShardMetrics>>,
+    checkpoint_dir: Option<PathBuf>,
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stream and model names become file names and hash keys; keep them to a
+/// safe registry-style charset and reject path tricks like `..`.
+fn validate_name(name: &str, what: &str) -> Result<(), StreamError> {
+    if name.is_empty() || name.len() > 64 {
+        return Err(StreamError::BadName(format!(
+            "{what} name must be 1–64 characters, got {}",
+            name.len()
+        )));
+    }
+    if name.starts_with('.') || name.starts_with('-') {
+        return Err(StreamError::BadName(format!(
+            "{what} name {name:?} must not start with '.' or '-'"
+        )));
+    }
+    if let Some(c) = name
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-')))
+    {
+        return Err(StreamError::BadName(format!(
+            "{what} name {name:?} contains invalid character {c:?}"
+        )));
+    }
+    Ok(())
+}
+
+impl StreamManager {
+    /// Spawn the shard workers. When `cfg.checkpoint_dir` exists, every
+    /// `*.ckpt` file in it is routed to its shard and restored before the
+    /// worker accepts commands (corrupt files count as
+    /// `checkpoint_failures`, never abort startup).
+    pub fn new(cfg: ManagerConfig, loader: ModelLoader) -> StreamManager {
+        let shards = cfg.shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        let metrics: Vec<Arc<ShardMetrics>> =
+            (0..shards).map(|_| Arc::new(ShardMetrics::new())).collect();
+
+        // Route existing checkpoints to their shards by stream name (the
+        // file stem), matching where opens of the same name will land.
+        let mut restores: Vec<Vec<PathBuf>> = vec![Vec::new(); shards];
+        if let Some(dir) = &cfg.checkpoint_dir {
+            let _ = std::fs::create_dir_all(dir);
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    let path = entry.path();
+                    if path.extension().and_then(|e| e.to_str()) == Some("ckpt") {
+                        if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                            let shard = (fnv1a(stem) % shards as u64) as usize;
+                            restores[shard].push(path);
+                        }
+                    }
+                }
+            }
+        }
+
+        for (shard_id, restore) in restores.into_iter().enumerate() {
+            let (tx, rx) = bounded::<Command>(cfg.queue_capacity.max(1));
+            let worker_rx = rx.clone();
+            let worker_metrics = Arc::clone(&metrics[shard_id]);
+            let worker_loader = Arc::clone(&loader);
+            let worker_dir = cfg.checkpoint_dir.clone();
+            let defaults = cfg.stream_defaults.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("triad-stream-shard-{shard_id}"))
+                .spawn(move || {
+                    shard_main(
+                        worker_rx,
+                        worker_metrics,
+                        worker_loader,
+                        worker_dir,
+                        defaults,
+                        restore,
+                    )
+                })
+                // lint-allow(no-unwrap): OS thread-spawn failure at startup
+                // is unrecoverable resource exhaustion; there is no manager
+                // to degrade to yet
+                .expect("spawn shard worker");
+            senders.push(tx);
+            receivers.push(rx);
+            handles.push(handle);
+        }
+
+        StreamManager {
+            senders,
+            receivers,
+            handles,
+            metrics,
+            checkpoint_dir: cfg.checkpoint_dir,
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Which shard a stream name routes to.
+    pub fn shard_of(&self, stream: &str) -> usize {
+        (fnv1a(stream) % self.senders.len() as u64) as usize
+    }
+
+    /// Per-shard metrics, indexed by shard id.
+    pub fn shard_metrics(&self) -> &[Arc<ShardMetrics>] {
+        &self.metrics
+    }
+
+    pub fn checkpoint_dir(&self) -> Option<&Path> {
+        self.checkpoint_dir.as_deref()
+    }
+
+    fn request<T>(
+        &self,
+        shard: usize,
+        make: impl FnOnce(Sender<Result<T, StreamError>>) -> Command,
+    ) -> Result<T, StreamError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.senders[shard]
+            .send(make(reply_tx))
+            .map_err(|_| StreamError::ShardUnavailable)?;
+        // Workers are written to never die, but a reply that can never come
+        // (a worker lost to a bug) must surface as an error, not a hang. The
+        // deadline is generous because Open may be fitting a model.
+        reply_rx
+            .recv_timeout(std::time::Duration::from_secs(600))
+            .map_err(|_| StreamError::ShardUnavailable)?
+    }
+
+    /// Open a stream bound to a registered model name.
+    pub fn open(&self, stream: &str, model: &str) -> Result<(), StreamError> {
+        validate_name(stream, "stream")?;
+        validate_name(model, "model")?;
+        let shard = self.shard_of(stream);
+        self.request(shard, |reply| Command::Open {
+            stream: stream.to_string(),
+            model: model.to_string(),
+            reply,
+        })
+    }
+
+    /// Enqueue a batch of points. Never blocks: a full shard queue sheds
+    /// the whole batch and accounts it in `dropped_backpressure`.
+    pub fn push(&self, stream: &str, points: &[f64]) -> Result<PushTicket, StreamError> {
+        validate_name(stream, "stream")?;
+        let shard = self.shard_of(stream);
+        let cmd = Command::Push {
+            stream: stream.to_string(),
+            points: points.to_vec(),
+        };
+        match self.senders[shard].try_send(cmd) {
+            Ok(()) => {
+                ShardMetrics::add(&self.metrics[shard].ingested, points.len() as u64);
+                Ok(PushTicket {
+                    queued: true,
+                    dropped: 0,
+                    queue_len: self.receivers[shard].len(),
+                    shard,
+                })
+            }
+            Err(TrySendError::Full(_)) => {
+                ShardMetrics::add(
+                    &self.metrics[shard].dropped_backpressure,
+                    points.len() as u64,
+                );
+                Ok(PushTicket {
+                    queued: false,
+                    dropped: points.len(),
+                    queue_len: self.receivers[shard].len(),
+                    shard,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(StreamError::ShardUnavailable),
+        }
+    }
+
+    /// Status snapshot of one stream.
+    pub fn poll(&self, stream: &str) -> Result<StreamStatus, StreamError> {
+        validate_name(stream, "stream")?;
+        let shard = self.shard_of(stream);
+        self.request(shard, |reply| Command::Poll {
+            stream: stream.to_string(),
+            reply,
+        })
+    }
+
+    /// Close a stream: final status, offline-equivalent detection when the
+    /// full history is retained, engine torn down, checkpoint file removed.
+    pub fn close(&self, stream: &str) -> Result<CloseReport, StreamError> {
+        validate_name(stream, "stream")?;
+        let shard = self.shard_of(stream);
+        self.request(shard, |reply| Command::Close {
+            stream: stream.to_string(),
+            reply,
+        })
+    }
+
+    /// Checkpoint one stream (or every stream on every shard when `None`).
+    /// Returns how many checkpoints were written.
+    pub fn checkpoint(&self, stream: Option<&str>) -> Result<usize, StreamError> {
+        match stream {
+            Some(name) => {
+                validate_name(name, "stream")?;
+                let shard = self.shard_of(name);
+                self.request(shard, |reply| Command::Checkpoint {
+                    stream: Some(name.to_string()),
+                    reply,
+                })
+            }
+            None => {
+                let mut written = 0;
+                for shard in 0..self.senders.len() {
+                    written += self.request(shard, |reply| Command::Checkpoint {
+                        stream: None,
+                        reply,
+                    })?;
+                }
+                Ok(written)
+            }
+        }
+    }
+
+    /// Names of every open stream, across all shards.
+    pub fn streams(&self) -> Vec<String> {
+        let mut all = Vec::new();
+        for shard in 0..self.senders.len() {
+            let (reply_tx, reply_rx) = bounded(1);
+            if self.senders[shard]
+                .send(Command::List { reply: reply_tx })
+                .is_ok()
+            {
+                if let Ok(mut names) = reply_rx.recv_timeout(std::time::Duration::from_secs(600)) {
+                    all.append(&mut names);
+                }
+            }
+        }
+        all.sort();
+        all
+    }
+}
+
+impl Drop for StreamManager {
+    /// Graceful shutdown: every shard checkpoints its streams (when a
+    /// checkpoint dir is configured) and exits; all workers are joined.
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Command::Shutdown);
+        }
+        self.senders.clear();
+        self.receivers.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ------------------------------------------------------------ shard worker
+
+struct OpenStream {
+    engine: StreamEngine,
+    model: String,
+}
+
+struct ShardState {
+    streams: HashMap<String, OpenStream>,
+    /// Per-shard model cache; `Rc` because several streams on this shard
+    /// may share one model (and `FittedTriad` never leaves the thread).
+    models: HashMap<String, Rc<FittedTriad>>,
+    loader: ModelLoader,
+    dir: Option<PathBuf>,
+    metrics: Arc<ShardMetrics>,
+    defaults: StreamConfig,
+}
+
+impl ShardState {
+    fn model(&mut self, name: &str) -> Result<Rc<FittedTriad>, StreamError> {
+        if let Some(m) = self.models.get(name) {
+            return Ok(Rc::clone(m));
+        }
+        let fitted = (self.loader)(name).map_err(StreamError::ModelLoad)?;
+        let rc = Rc::new(fitted);
+        self.models.insert(name.to_string(), Rc::clone(&rc));
+        Ok(rc)
+    }
+
+    fn ckpt_path(&self, stream: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{stream}.ckpt")))
+    }
+
+    /// Write `<stream>.ckpt` via a temp file + rename so a crash mid-write
+    /// never leaves a torn checkpoint where a good one stood.
+    fn write_checkpoint(&self, stream: &str, open: &OpenStream) -> Result<(), StreamError> {
+        let Some(path) = self.ckpt_path(stream) else {
+            return Err(StreamError::Checkpoint(triad_core::PersistError::Format(
+                "no checkpoint directory configured".into(),
+            )));
+        };
+        let tmp = path.with_extension("ckpt.tmp");
+        checkpoint::save_file(&tmp, stream, &open.model, &open.engine)?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| StreamError::Checkpoint(triad_core::PersistError::Io(e)))?;
+        Ok(())
+    }
+
+    fn restore(&mut self, path: &Path) -> Result<String, StreamError> {
+        let state = checkpoint::load_file(path)?;
+        let name = state.stream.clone();
+        validate_name(&name, "stream")?;
+        validate_name(&state.model, "model")?;
+        let model_name = state.model.clone();
+        let fitted = self.model(&model_name)?;
+        let engine = state.into_engine(&fitted)?;
+        self.streams.insert(
+            name.clone(),
+            OpenStream {
+                engine,
+                model: model_name,
+            },
+        );
+        Ok(name)
+    }
+}
+
+fn shard_main(
+    rx: Receiver<Command>,
+    metrics: Arc<ShardMetrics>,
+    loader: ModelLoader,
+    dir: Option<PathBuf>,
+    defaults: StreamConfig,
+    restore: Vec<PathBuf>,
+) {
+    let mut st = ShardState {
+        streams: HashMap::new(),
+        models: HashMap::new(),
+        loader,
+        dir,
+        metrics,
+        defaults,
+    };
+
+    for path in &restore {
+        if st.restore(path).is_err() {
+            ShardMetrics::add(&st.metrics.checkpoint_failures, 1);
+        }
+    }
+    ShardMetrics::set(&st.metrics.open_streams, st.streams.len() as u64);
+
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Open {
+                stream,
+                model,
+                reply,
+            } => {
+                let result = if st.streams.contains_key(&stream) {
+                    Err(StreamError::DuplicateStream(stream))
+                } else {
+                    st.model(&model).map(|fitted| {
+                        let engine = StreamEngine::new(&fitted, st.defaults.clone());
+                        st.streams.insert(stream, OpenStream { engine, model });
+                        ShardMetrics::set(&st.metrics.open_streams, st.streams.len() as u64);
+                    })
+                };
+                let _ = reply.send(result);
+            }
+            Command::Push { stream, points } => {
+                // Unknown stream: the points were already counted as
+                // ingested at enqueue time; without an engine they can only
+                // be dropped. Poll/close on the name reports UnknownStream.
+                let Some(open) = st.streams.get_mut(&stream) else {
+                    continue;
+                };
+                let Some(fitted) = st.models.get(&open.model).map(Rc::clone) else {
+                    continue;
+                };
+                let events_before = open.engine.events().len();
+                for &x in &points {
+                    let t0 = Instant::now();
+                    match open.engine.push(&fitted, x) {
+                        Ok(outcome) => {
+                            if outcome.completed_window.is_some() {
+                                ShardMetrics::add(&st.metrics.windows_scored, 1);
+                                st.metrics.score_latency_us.observe(
+                                    t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                                );
+                            }
+                        }
+                        Err(_) => ShardMetrics::add(&st.metrics.dropped_nonfinite, 1),
+                    }
+                }
+                let opened = open.engine.events().len().saturating_sub(events_before);
+                ShardMetrics::add(&st.metrics.events_opened, opened as u64);
+            }
+            Command::Poll { stream, reply } => {
+                let result = st
+                    .streams
+                    .get(&stream)
+                    .map(|open| open.engine.status())
+                    .ok_or(StreamError::UnknownStream(stream));
+                let _ = reply.send(result);
+            }
+            Command::Close { stream, reply } => {
+                let result = match st.streams.remove(&stream) {
+                    None => Err(StreamError::UnknownStream(stream)),
+                    Some(open) => {
+                        ShardMetrics::set(&st.metrics.open_streams, st.streams.len() as u64);
+                        let status = open.engine.status();
+                        let (detection, finalize_error) =
+                            match st.models.get(&open.model).map(Rc::clone) {
+                                None => (None, Some("model evicted from shard cache".into())),
+                                Some(fitted) => match open.engine.finalize(&fitted) {
+                                    Ok(det) => (Some(det), None),
+                                    Err(e) => (None, Some(e.to_string())),
+                                },
+                            };
+                        if let Some(path) = st.ckpt_path(&stream) {
+                            let _ = std::fs::remove_file(path);
+                        }
+                        Ok(CloseReport {
+                            status,
+                            detection,
+                            finalize_error,
+                        })
+                    }
+                };
+                let _ = reply.send(result);
+            }
+            Command::Checkpoint { stream, reply } => {
+                let result = match stream {
+                    Some(name) => match st.streams.get(&name) {
+                        None => Err(StreamError::UnknownStream(name)),
+                        Some(open) => st.write_checkpoint(&name, open).map(|()| {
+                            ShardMetrics::add(&st.metrics.checkpoints_written, 1);
+                            1
+                        }),
+                    },
+                    None => {
+                        let mut written = 0usize;
+                        let mut first_err = None;
+                        for (name, open) in &st.streams {
+                            match st.write_checkpoint(name, open) {
+                                Ok(()) => {
+                                    written += 1;
+                                    ShardMetrics::add(&st.metrics.checkpoints_written, 1);
+                                }
+                                Err(e) => {
+                                    ShardMetrics::add(&st.metrics.checkpoint_failures, 1);
+                                    first_err.get_or_insert(e);
+                                }
+                            }
+                        }
+                        match first_err {
+                            Some(e) if written == 0 && !st.streams.is_empty() => Err(e),
+                            _ => Ok(written),
+                        }
+                    }
+                };
+                let _ = reply.send(result);
+            }
+            Command::List { reply } => {
+                let _ = reply.send(st.streams.keys().cloned().collect());
+            }
+            Command::Shutdown => {
+                if st.dir.is_some() {
+                    for (name, open) in &st.streams {
+                        match st.write_checkpoint(name, open) {
+                            Ok(()) => ShardMetrics::add(&st.metrics.checkpoints_written, 1),
+                            Err(_) => ShardMetrics::add(&st.metrics.checkpoint_failures, 1),
+                        }
+                    }
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{anomalous_test, periodic, quick_cfg};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+    use triad_core::TriAd;
+
+    /// Loader that fits a small model on the shard thread; counts calls so
+    /// tests can assert the per-shard cache works. A model named `slow-*`
+    /// sleeps first (used to wedge a worker for backpressure tests).
+    fn counting_loader(calls: Arc<AtomicUsize>) -> ModelLoader {
+        Arc::new(move |name: &str| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            if name.starts_with("slow") {
+                std::thread::sleep(Duration::from_millis(400));
+            }
+            TriAd::new(quick_cfg())
+                .fit(&periodic(560, 32.0))
+                .map_err(|e| e.to_string())
+        })
+    }
+
+    fn wait_for_seq(mgr: &StreamManager, stream: &str, want: u64) -> StreamStatus {
+        for _ in 0..600 {
+            let status = mgr.poll(stream).expect("poll");
+            if status.seq >= want {
+                return status;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("stream {stream} never reached seq {want}");
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("triad_stream_shard_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn open_push_poll_close_across_shards_matches_offline() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mgr = StreamManager::new(
+            ManagerConfig {
+                shards: 2,
+                queue_capacity: 256,
+                ..Default::default()
+            },
+            counting_loader(Arc::clone(&calls)),
+        );
+        assert_eq!(mgr.shard_count(), 2);
+
+        let test = anomalous_test(380, 32.0);
+        mgr.open("alpha", "m").expect("open alpha");
+        mgr.open("beta", "m").expect("open beta");
+        assert!(matches!(
+            mgr.open("alpha", "m"),
+            Err(StreamError::DuplicateStream(_))
+        ));
+        assert_eq!(mgr.streams(), vec!["alpha".to_string(), "beta".to_string()]);
+
+        for chunk in test.chunks(40) {
+            mgr.push("alpha", chunk).expect("push alpha");
+            mgr.push("beta", chunk).expect("push beta");
+        }
+        let status = wait_for_seq(&mgr, "alpha", test.len() as u64);
+        assert!(status.windows_scored > 0);
+        wait_for_seq(&mgr, "beta", test.len() as u64);
+
+        // Cache: at most one fit per shard that hosts a stream.
+        assert!(calls.load(Ordering::SeqCst) <= 2);
+
+        // Closing returns the offline-equivalent detection.
+        let offline = TriAd::new(quick_cfg())
+            .fit(&periodic(560, 32.0))
+            .expect("fit")
+            .detect(&test);
+        for name in ["alpha", "beta"] {
+            let report = mgr.close(name).expect("close");
+            assert_eq!(report.finalize_error, None);
+            assert_eq!(report.detection.as_ref(), Some(&offline), "stream {name}");
+        }
+        assert!(matches!(
+            mgr.poll("alpha"),
+            Err(StreamError::UnknownStream(_))
+        ));
+        let scored: u64 = mgr
+            .shard_metrics()
+            .iter()
+            .map(|m| ShardMetrics::get(&m.windows_scored))
+            .sum();
+        assert!(scored > 0);
+    }
+
+    #[test]
+    fn invalid_names_are_rejected_before_touching_a_shard() {
+        let mgr = StreamManager::new(
+            ManagerConfig {
+                shards: 1,
+                ..Default::default()
+            },
+            counting_loader(Arc::new(AtomicUsize::new(0))),
+        );
+        for bad in ["", ".hidden", "-flag", "a b", "x/y", "..", &"z".repeat(65)] {
+            assert!(
+                matches!(mgr.open(bad, "m"), Err(StreamError::BadName(_))),
+                "accepted {bad:?}"
+            );
+        }
+        assert!(matches!(
+            mgr.push("no/pe", &[1.0]),
+            Err(StreamError::BadName(_))
+        ));
+    }
+
+    #[test]
+    fn full_queue_sheds_load_and_accounts_drops() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mgr = Arc::new(StreamManager::new(
+            ManagerConfig {
+                shards: 1,
+                queue_capacity: 1,
+                ..Default::default()
+            },
+            counting_loader(Arc::clone(&calls)),
+        ));
+
+        // Wedge the single worker in a slow model load…
+        let mgr2 = Arc::clone(&mgr);
+        let opener = std::thread::spawn(move || mgr2.open("wedge", "slow-m"));
+        std::thread::sleep(Duration::from_millis(100));
+
+        // …so pushes pile into the depth-1 queue: the first is queued, the
+        // rest are shed with explicit accounting.
+        let mut dropped = 0usize;
+        let mut queued = 0usize;
+        for _ in 0..8 {
+            let ticket = mgr.push("wedge", &[1.0, 2.0, 3.0]).expect("push");
+            assert_eq!(ticket.shard, 0);
+            if ticket.queued {
+                queued += 1;
+            } else {
+                assert_eq!(ticket.dropped, 3);
+                dropped += ticket.dropped;
+            }
+        }
+        assert!(queued >= 1);
+        assert!(dropped > 0, "queue never filled");
+        assert_eq!(
+            ShardMetrics::get(&mgr.shard_metrics()[0].dropped_backpressure),
+            dropped as u64
+        );
+        opener.join().expect("join").expect("open");
+    }
+
+    #[test]
+    fn checkpoint_restart_restores_streams_bit_identically() {
+        let dir = temp_dir("restore");
+        let calls = Arc::new(AtomicUsize::new(0));
+        let cfg = ManagerConfig {
+            shards: 2,
+            queue_capacity: 256,
+            checkpoint_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let test = anomalous_test(380, 32.0);
+        let cut = 201; // deliberately off-stride
+
+        let first = StreamManager::new(cfg.clone(), counting_loader(Arc::clone(&calls)));
+        first.open("gamma", "m").expect("open");
+        first.push("gamma", &test[..cut]).expect("push");
+        let before = wait_for_seq(&first, "gamma", cut as u64);
+        assert_eq!(first.checkpoint(Some("gamma")).expect("checkpoint"), 1);
+        // Kill the manager (Drop checkpoints again on shutdown).
+        drop(first);
+        assert!(dir.join("gamma.ckpt").exists());
+
+        // A new manager over the same directory resumes mid-stream.
+        let second = StreamManager::new(cfg, counting_loader(Arc::clone(&calls)));
+        let after = second.poll("gamma").expect("restored stream");
+        assert_eq!(after, before);
+
+        second.push("gamma", &test[cut..]).expect("push rest");
+        wait_for_seq(&second, "gamma", test.len() as u64);
+        let report = second.close("gamma").expect("close");
+        assert_eq!(report.finalize_error, None);
+
+        // Offline ground truth over the whole series: the restart is
+        // invisible in the final detection.
+        let offline = TriAd::new(quick_cfg())
+            .fit(&periodic(560, 32.0))
+            .expect("fit")
+            .detect(&test);
+        assert_eq!(report.detection, Some(offline));
+        // close() removed the checkpoint file.
+        assert!(!dir.join("gamma.ckpt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_counts_as_failure_and_startup_survives() {
+        let dir = temp_dir("corrupt");
+        std::fs::write(dir.join("broken.ckpt"), b"not a checkpoint").expect("write");
+        let mgr = StreamManager::new(
+            ManagerConfig {
+                shards: 1,
+                checkpoint_dir: Some(dir.clone()),
+                ..Default::default()
+            },
+            counting_loader(Arc::new(AtomicUsize::new(0))),
+        );
+        assert!(mgr.streams().is_empty());
+        assert_eq!(
+            ShardMetrics::get(&mgr.shard_metrics()[0].checkpoint_failures),
+            1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -14,6 +14,8 @@
 //!   classical seasonal decomposition producing the *residual* domain input.
 //! * [`window`] — segmentation of a series into fixed-length strided windows
 //!   (Sec. IV-A2: window = 2.5 periods, stride = L/4).
+//! * [`sliding`] — sliding DFT keeping selected spectrum bins current in O(1)
+//!   per sample, the streaming counterpart of [`fft`].
 //! * [`stats`] — z-normalisation, moving statistics, misc. descriptive stats.
 //! * [`distance`] — Euclidean and z-normalised Euclidean subsequence distances
 //!   with O(1) rolling mean/std, the core primitive of discord discovery.
@@ -29,6 +31,7 @@ pub mod distance;
 pub mod fft;
 pub mod filter;
 pub mod mass;
+pub mod sliding;
 pub mod spectral;
 pub mod stats;
 pub mod window;

@@ -1,0 +1,214 @@
+//! Sliding (hopping-free) DFT: O(1)-per-sample updates of selected bins.
+//!
+//! The batch [`fft`](crate::fft) recomputes every bin of a window from
+//! scratch in O(n log n). A streaming consumer that advances one sample at a
+//! time only needs a handful of bins kept *current* — the classic sliding-DFT
+//! recurrence does that in O(1) per tracked bin per sample:
+//!
+//! ```text
+//! X'ₖ = (Xₖ − x_out + x_in) · e^{+2πik/n}
+//! ```
+//!
+//! where `x_out` is the sample leaving the window and `x_in` the one
+//! entering. The convention matches [`crate::fft::fft`] (`X[k] = Σ
+//! x[m]·e^{-2πikm/n}` with `x[0]` the oldest sample), so a tracked bin always
+//! equals the corresponding bin of a batch FFT over the current window — up
+//! to floating-point drift that grows linearly in the number of slides
+//! (`tests/properties.rs` pins the agreement at 1e-9 over test-sized
+//! streams). Long-lived streams can call [`SlidingDft::reset`] periodically
+//! to re-anchor the state from the raw window.
+
+use crate::fft::Complex;
+use std::f64::consts::PI;
+
+/// Sliding DFT over a fixed-length window, tracking a chosen subset of bins.
+#[derive(Debug, Clone)]
+pub struct SlidingDft {
+    window: usize,
+    bins: Vec<usize>,
+    /// Per-bin twiddle `e^{+2πik/n}`, precomputed once.
+    twiddles: Vec<Complex>,
+    /// Current bin values, aligned with `bins`.
+    state: Vec<Complex>,
+}
+
+impl SlidingDft {
+    /// Track `bins` (each `< window`) over an all-zero initial window.
+    pub fn new(window: usize, bins: &[usize]) -> Self {
+        assert!(window >= 1, "sliding DFT window must be ≥ 1");
+        for &k in bins {
+            assert!(
+                k < window,
+                "tracked bin {k} out of range for window {window}"
+            );
+        }
+        let twiddles = bins
+            .iter()
+            .map(|&k| Complex::cis(2.0 * PI * k as f64 / window as f64))
+            .collect();
+        SlidingDft {
+            window,
+            bins: bins.to_vec(),
+            twiddles,
+            state: vec![Complex::ZERO; bins.len()],
+        }
+    }
+
+    /// Track `bins` with the state initialised from an existing full window
+    /// (`window[0]` is the oldest sample).
+    pub fn from_window(window: &[f64], bins: &[usize]) -> Self {
+        let mut s = SlidingDft::new(window.len(), bins);
+        s.reset(window);
+        s
+    }
+
+    /// Re-anchor every tracked bin by a direct DFT of `window`, discarding
+    /// accumulated floating-point drift.
+    pub fn reset(&mut self, window: &[f64]) {
+        assert_eq!(
+            window.len(),
+            self.window,
+            "reset window length must match the configured window"
+        );
+        let n = self.window as u64;
+        for (bi, &k) in self.bins.iter().enumerate() {
+            let mut acc = Complex::ZERO;
+            for (m, &x) in window.iter().enumerate() {
+                // k·m mod n keeps the angle small for long windows.
+                let km = (k as u64 * m as u64) % n;
+                let ang = -2.0 * PI * km as f64 / n as f64;
+                acc = acc + Complex::cis(ang).scale(x);
+            }
+            self.state[bi] = acc;
+        }
+    }
+
+    /// Advance the window by one sample: `outgoing` leaves (the caller's
+    /// ring buffer supplies it), `incoming` enters. O(tracked bins).
+    pub fn slide(&mut self, outgoing: f64, incoming: f64) {
+        let delta = incoming - outgoing;
+        for (s, w) in self.state.iter_mut().zip(&self.twiddles) {
+            let shifted = Complex::new(s.re + delta, s.im);
+            *s = shifted * *w;
+        }
+    }
+
+    /// Window length `n`.
+    pub fn window_len(&self) -> usize {
+        self.window
+    }
+
+    /// The tracked bin indices, in construction order.
+    pub fn bins(&self) -> &[usize] {
+        &self.bins
+    }
+
+    /// Current values of the tracked bins, aligned with [`bins`](Self::bins).
+    pub fn spectrum(&self) -> &[Complex] {
+        &self.state
+    }
+
+    /// Current value of bin `k`, if tracked.
+    pub fn bin(&self, k: usize) -> Option<Complex> {
+        self.bins
+            .iter()
+            .position(|&b| b == k)
+            .map(|i| self.state[i])
+    }
+
+    /// Overwrite the tracked-bin state (checkpoint restore); lengths must
+    /// match the construction-time bin set.
+    pub fn set_spectrum(&mut self, state: &[Complex]) {
+        assert_eq!(
+            state.len(),
+            self.state.len(),
+            "restored spectrum length must match the tracked bin count"
+        );
+        self.state.copy_from_slice(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::rfft;
+
+    /// Deterministic pseudo-random-ish series without pulling in `rand`.
+    fn wiggly(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                (t * 0.37).sin() + 0.5 * (t * 0.11).cos() + 0.01 * ((i * 2654435761) % 97) as f64
+            })
+            .collect()
+    }
+
+    fn assert_bin_close(a: Complex, b: Complex, tol: f64, ctx: &str) {
+        assert!((a - b).abs() < tol, "{ctx}: {a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn slide_tracks_batch_fft_bins() {
+        let series = wiggly(300);
+        let cases: [(usize, Vec<usize>); 3] = [
+            (16, vec![0, 1, 3, 7]),
+            (25, vec![0, 2, 5, 12, 24]),
+            (31, vec![1, 30]),
+        ];
+        for (w, bins) in &cases {
+            let (w, bins) = (*w, bins.as_slice());
+            let mut sd = SlidingDft::from_window(&series[..w], bins);
+            for start in 1..series.len() - w + 1 {
+                sd.slide(series[start - 1], series[start + w - 1]);
+                let spec = rfft(&series[start..start + w]);
+                for &k in bins {
+                    let got = sd.bin(k).expect("tracked");
+                    assert_bin_close(got, spec[k], 1e-9, &format!("w={w} k={k} start={start}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_discards_drift() {
+        let series = wiggly(120);
+        let w = 20;
+        let bins = [0usize, 3, 9];
+        let mut sd = SlidingDft::from_window(&series[..w], &bins);
+        for start in 1..=50usize {
+            sd.slide(series[start - 1], series[start + w - 1]);
+        }
+        let before: Vec<Complex> = sd.spectrum().to_vec();
+        sd.reset(&series[50..50 + w]);
+        let spec = rfft(&series[50..50 + w]);
+        for (i, &k) in bins.iter().enumerate() {
+            assert_bin_close(sd.spectrum()[i], spec[k], 1e-10, "post-reset");
+            // and the pre-reset value was already close (drift is tiny here)
+            assert_bin_close(before[i], spec[k], 1e-9, "pre-reset");
+        }
+    }
+
+    #[test]
+    fn untracked_bin_is_none_and_zero_window_state_is_zero() {
+        let sd = SlidingDft::new(8, &[2]);
+        assert!(sd.bin(3).is_none());
+        assert_eq!(sd.window_len(), 8);
+        assert!(sd.bin(2).expect("tracked").abs() < 1e-15);
+    }
+
+    #[test]
+    fn set_spectrum_round_trips() {
+        let series = wiggly(40);
+        let mut a = SlidingDft::from_window(&series[..16], &[1, 5]);
+        a.slide(series[0], series[16]);
+        let saved: Vec<Complex> = a.spectrum().to_vec();
+        let mut b = SlidingDft::new(16, &[1, 5]);
+        b.set_spectrum(&saved);
+        // Identical state → identical continued evolution.
+        a.slide(series[1], series[17]);
+        b.slide(series[1], series[17]);
+        for (x, y) in a.spectrum().iter().zip(b.spectrum()) {
+            assert!(x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits());
+        }
+    }
+}

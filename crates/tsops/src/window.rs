@@ -6,6 +6,90 @@
 //! back to timestamp ranges (needed when votes are projected back onto the
 //! series).
 
+/// Start offsets of strided windows of length `window` over a series of
+/// `len` points, with the final window flush with the end of the series so
+/// no suffix is left uncovered. Yields nothing when `len < window`.
+///
+/// This is the one place the striding arithmetic lives; [`Segmenter::segment`]
+/// and the streaming engine's window-completion logic both consume it, so the
+/// off-by-one-prone flush handling cannot drift between them.
+pub fn strided_windows(len: usize, window: usize, stride: usize) -> StridedWindows {
+    assert!(window >= 1, "window length must be ≥ 1");
+    assert!(stride >= 1, "stride must be ≥ 1");
+    if len < window {
+        StridedWindows {
+            next: 0,
+            last: 0,
+            stride,
+            state: StrideState::Done,
+        }
+    } else {
+        StridedWindows {
+            next: 0,
+            last: len - window,
+            stride,
+            state: StrideState::OnGrid,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StrideState {
+    /// Yielding `0, stride, 2·stride, …` while they stay ≤ `last`.
+    OnGrid,
+    /// The grid overshot `last`; one off-grid flush start remains.
+    Flush,
+    Done,
+}
+
+/// Iterator returned by [`strided_windows`].
+#[derive(Debug, Clone)]
+pub struct StridedWindows {
+    next: usize,
+    last: usize,
+    stride: usize,
+    state: StrideState,
+}
+
+impl Iterator for StridedWindows {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self.state {
+            StrideState::Done => None,
+            StrideState::Flush => {
+                self.state = StrideState::Done;
+                Some(self.last)
+            }
+            StrideState::OnGrid => {
+                let cur = self.next;
+                if cur >= self.last {
+                    self.state = StrideState::Done;
+                    return Some(self.last);
+                }
+                self.next = cur + self.stride;
+                if self.next > self.last {
+                    self.state = StrideState::Flush;
+                }
+                Some(cur)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self.state {
+            StrideState::Done => 0,
+            StrideState::Flush => 1,
+            StrideState::OnGrid => {
+                let span = self.last - self.next;
+                // Grid starts plus the off-grid flush start, if any.
+                span / self.stride + 1 + usize::from(span % self.stride != 0)
+            }
+        };
+        (n, Some(n))
+    }
+}
+
 /// Iterator-free segmentation result: start offsets plus the shared length.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Windows {
@@ -72,19 +156,26 @@ impl Segmenter {
     /// the series so no suffix is ever left uncovered (an anomaly in the tail
     /// must land inside some window).
     pub fn segment(&self, series_len: usize) -> Windows {
-        let l = self.window;
-        if series_len < l {
-            return Windows {
-                starts: Vec::new(),
-                len: l,
-            };
+        Windows {
+            starts: strided_windows(series_len, self.window, self.stride).collect(),
+            len: self.window,
         }
-        let last = series_len - l;
-        let mut starts: Vec<usize> = (0..=last).step_by(self.stride).collect();
-        if starts.last() != Some(&last) {
-            starts.push(last);
+    }
+
+    /// Like [`segment`](Segmenter::segment), but a series shorter than one
+    /// window becomes a single clamped window covering all of it instead of
+    /// no windows at all. This is the policy shared by `core::detect` and the
+    /// baselines: every test split, however short, must yield at least one
+    /// rankable window.
+    pub fn segment_clamped(&self, series_len: usize) -> Windows {
+        if series_len >= self.window {
+            self.segment(series_len)
+        } else {
+            Windows {
+                starts: vec![0],
+                len: series_len,
+            }
         }
-        Windows { starts, len: l }
     }
 }
 
@@ -139,6 +230,42 @@ mod tests {
         assert_eq!(c, vec![1, 2, 3]);
         assert!(w.covering(0) == vec![0]);
         assert!(w.covering(24).contains(&(w.count() - 1)));
+    }
+
+    #[test]
+    fn strided_windows_matches_segment_across_shapes() {
+        for len in 0..60usize {
+            for window in 1..12usize {
+                for stride in 1..6usize {
+                    let iter: Vec<usize> = strided_windows(len, window, stride).collect();
+                    let seg = Segmenter::new(window, stride).segment(len);
+                    assert_eq!(iter, seg.starts, "len={len} w={window} s={stride}");
+                    let (lo, hi) = strided_windows(len, window, stride).size_hint();
+                    assert_eq!(lo, iter.len(), "size_hint len={len} w={window} s={stride}");
+                    assert_eq!(hi, Some(iter.len()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_windows_flush_and_exact_grid() {
+        let s: Vec<usize> = strided_windows(23, 10, 4).collect();
+        assert_eq!(s, vec![0, 4, 8, 12, 13]); // off-grid tail flushes at 13
+        let s: Vec<usize> = strided_windows(12, 4, 2).collect();
+        assert_eq!(s, vec![0, 2, 4, 6, 8]); // exact grid: no duplicate tail
+        assert!(strided_windows(3, 4, 1).next().is_none());
+    }
+
+    #[test]
+    fn segment_clamped_short_series_single_window() {
+        let seg = Segmenter::new(10, 3);
+        let w = seg.segment_clamped(7);
+        assert_eq!(w.starts, vec![0]);
+        assert_eq!(w.len, 7);
+        // At or above one window it is exactly segment().
+        assert_eq!(seg.segment_clamped(25), seg.segment(25));
+        assert_eq!(seg.segment_clamped(10), seg.segment(10));
     }
 
     #[test]

@@ -13,6 +13,9 @@ cargo build --workspace --release
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== stream soak (high-rate replay, kill-and-restore mid-run)"
+cargo test --release -q --test stream_soak -- --ignored
+
 echo "== triad-lint --deny (workspace must be clean)"
 cargo run -q -p triad-lint -- --deny
 

@@ -159,4 +159,43 @@ proptest! {
         prop_assert!(!ds.test_labels().iter().all(|&b| b));
         prop_assert!(ds.test_labels().iter().any(|&b| b));
     }
+
+    /// The sliding DFT stays within 1e-9 of a batch FFT over the same
+    /// window, for arbitrary window/stride/bin combinations. The streaming
+    /// engine leans on this to keep frequency bins current in O(k) per
+    /// point instead of an O(L log L) FFT per window.
+    #[test]
+    fn sliding_dft_matches_batch_fft(
+        x in prop::collection::vec(-10f64..10.0, 24..240),
+        wsel in 4usize..64,
+        stride in 1usize..16,
+        binsel in 0usize..1000,
+    ) {
+        let w = wsel.min(x.len() / 2);
+        let k = binsel % w;
+        // Track DC, a random bin, and the topmost bin (deduped, sorted).
+        let bins = {
+            let mut b = vec![0, k, w - 1];
+            b.sort_unstable();
+            b.dedup();
+            b
+        };
+        let mut sd = tsops::sliding::SlidingDft::from_window(&x[..w], &bins);
+        let mut start = 0usize;
+        while start + stride + w <= x.len() {
+            for s in start..start + stride {
+                sd.slide(x[s], x[s + w]);
+            }
+            start += stride;
+            let spec = tsops::fft::rfft(&x[start..start + w]);
+            for &b in &bins {
+                let got = sd.bin(b).expect("tracked bin");
+                prop_assert!(
+                    (got - spec[b]).abs() < 1e-9,
+                    "w={} stride={} bin={} start={}: {:?} vs {:?}",
+                    w, stride, b, start, got, spec[b]
+                );
+            }
+        }
+    }
 }

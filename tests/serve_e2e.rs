@@ -54,6 +54,7 @@ fn serve_fit_batch_detect_evict_shutdown() {
         request_timeout_ms: 120_000,
         idle_timeout_ms: 120_000,
         cache_capacity: 4,
+        ..Default::default()
     })
     .expect("server start");
     let addr = handle.addr().to_string();

@@ -1,0 +1,93 @@
+//! Online/offline equivalence of the streaming layer on archive data.
+//!
+//! For every anomaly kind in the synthetic UCR archive: replaying the test
+//! split point-by-point through a [`StreamEngine`] and finalizing must
+//! reproduce the offline `detect` **bit-exactly** — including when the
+//! engine is killed mid-series, checkpointed, and restored from bytes at a
+//! deliberately off-stride cut.
+
+use triad_core::{TriAd, TriadConfig, TriadDetection};
+use triad_stream::{checkpoint, StreamConfig, StreamEngine};
+use ucrgen::anomaly::AnomalyKind;
+use ucrgen::archive::generate_dataset;
+
+fn quick_cfg(seed: u64) -> TriadConfig {
+    TriadConfig {
+        epochs: 2,
+        depth: 2,
+        hidden: 8,
+        batch: 4,
+        merlin_step: 4,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Find an archive dataset of a given anomaly kind.
+fn dataset_of(kind: AnomalyKind) -> ucrgen::UcrDataset {
+    (0..120)
+        .map(|id| generate_dataset(3, id))
+        .find(|d| d.kind == kind)
+        .expect("kind present in archive")
+}
+
+const KINDS: [AnomalyKind; 6] = [
+    AnomalyKind::Noise,
+    AnomalyKind::Duration,
+    AnomalyKind::Seasonal,
+    AnomalyKind::Trend,
+    AnomalyKind::LevelShift,
+    AnomalyKind::Contextual,
+];
+
+fn replay(engine: &mut StreamEngine, fitted: &triad_core::FittedTriad, points: &[f64]) {
+    for &x in points {
+        engine.push(fitted, x).expect("push");
+    }
+}
+
+fn assert_same(kind: AnomalyKind, what: &str, got: &TriadDetection, want: &TriadDetection) {
+    assert_eq!(got, want, "{kind:?}: {what} diverges from offline detect");
+}
+
+#[test]
+fn streamed_detection_equals_offline_on_every_smoke_dataset() {
+    for (i, kind) in KINDS.into_iter().enumerate() {
+        let ds = dataset_of(kind);
+        let fitted = TriAd::new(quick_cfg(i as u64))
+            .fit(ds.train())
+            .expect("fit");
+        let test = ds.test();
+        let offline = fitted.detect(test);
+
+        // Straight replay: one point at a time, then finalize.
+        let mut live = StreamEngine::new(&fitted, StreamConfig::default());
+        replay(&mut live, &fitted, test);
+        let streamed = live.finalize(&fitted).expect("finalize");
+        assert_same(kind, "straight replay", &streamed, &offline);
+
+        // Kill-and-restore: feed to an off-stride cut, checkpoint to bytes,
+        // drop the engine, resume from the checkpoint, feed the rest. The
+        // restart must be invisible in the final detection AND in the
+        // running event set.
+        let cut = test.len() / 2 + 1;
+        let mut first = StreamEngine::new(&fitted, StreamConfig::default());
+        replay(&mut first, &fitted, &test[..cut]);
+        let mut bytes = Vec::new();
+        checkpoint::save(&mut bytes, "eq", "m", &first).expect("save");
+        drop(first);
+
+        let mut resumed = checkpoint::load(&bytes[..])
+            .expect("load")
+            .into_engine(&fitted)
+            .expect("into_engine");
+        replay(&mut resumed, &fitted, &test[cut..]);
+        assert_eq!(
+            resumed.status(),
+            live.status(),
+            "{kind:?}: resumed status (events, live view) diverges"
+        );
+        let resumed_det = resumed.finalize(&fitted).expect("finalize");
+        assert_same(kind, "kill-and-restore replay", &resumed_det, &offline);
+    }
+}

@@ -1,0 +1,243 @@
+//! Stream soak (bounded runtime, run by CI with `--ignored`): replay ucrgen
+//! series through a live server at high rate across several streams, kill
+//! the server after a mid-run checkpoint, restore into a fresh server over
+//! the same directories, and require:
+//!
+//! * zero worker panics (every verb keeps answering, both servers shut down
+//!   cleanly),
+//! * zero checkpoint/CRC failures after the kill-and-restore,
+//! * bit-identical restored stream state (poll snapshots match byte-for-byte),
+//! * a final detection on close byte-equal to the offline `detect` over the
+//!   same series.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use triad_core::{persist, TriAd, TriadConfig};
+use triad_serve::{proto, Client, ServeConfig, Value};
+use ucrgen::anomaly::AnomalyKind;
+use ucrgen::archive::generate_dataset;
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(300);
+const STREAMS: [&str; 3] = ["soak-a", "soak-b", "soak-c"];
+const CHUNK: usize = 23; // deliberately off-stride
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("triad_stream_soak_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+fn serve_cfg(models: &Path, ckpt: &Path) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        models_dir: models.to_path_buf(),
+        workers: 4,
+        executors: 1,
+        stream_shards: 2,
+        // A shallow ingest queue so the high-rate replay actually exercises
+        // backpressure; the pusher resends shed chunks.
+        stream_queue: 8,
+        stream_checkpoint_dir: Some(ckpt.to_path_buf()),
+        ..Default::default()
+    }
+}
+
+/// Push every chunk at full speed, resending whenever the shard queue sheds
+/// it. Returns how many sends were shed at least once.
+fn push_with_retry(ctl: &mut Client, stream: &str, points: &[f64]) -> u64 {
+    let mut resent = 0u64;
+    for chunk in points.chunks(CHUNK) {
+        let mut tries = 0u32;
+        loop {
+            let resp = ctl.stream_push(stream, chunk).expect("stream.push");
+            if resp.get("queued").and_then(Value::as_bool) == Some(true) {
+                break;
+            }
+            resent += 1;
+            tries += 1;
+            assert!(tries < 10_000, "shard queue for {stream} stayed full");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    resent
+}
+
+fn wait_for_seq(ctl: &mut Client, stream: &str, want: u64) -> Value {
+    for _ in 0..6000 {
+        let status = ctl.stream_poll(stream).expect("stream.poll");
+        if status.get("seq").and_then(Value::as_u64) >= Some(want) {
+            return status;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("stream {stream} never reached seq {want}");
+}
+
+/// Canonical render of a poll response: every status field, none of the
+/// per-request envelope (id), so snapshots compare across connections and
+/// server restarts.
+fn canonical_status(resp: &Value) -> String {
+    [
+        "stream",
+        "seq",
+        "retained",
+        "evicted",
+        "windows_scored",
+        "last_deviance",
+        "anomalous",
+        "events",
+        "live",
+        "rejected_nonfinite",
+    ]
+    .iter()
+    .map(|k| format!("{k}={}", resp.get(k).cloned().unwrap_or(Value::Null)))
+    .collect::<Vec<_>>()
+    .join(";")
+}
+
+fn checkpoint_failures(ctl: &mut Client) -> u64 {
+    let stats = ctl.stats().expect("stats");
+    let shards = stats
+        .get("streams")
+        .and_then(|s| s.get("shards"))
+        .and_then(Value::as_arr)
+        .expect("streams.shards in stats");
+    shards
+        .iter()
+        .map(|s| {
+            s.get("checkpoint_failures")
+                .and_then(Value::as_u64)
+                .expect("checkpoint_failures counter")
+        })
+        .sum()
+}
+
+#[test]
+#[ignore = "soak test: run explicitly (CI does) with --ignored"]
+fn soak_replay_kill_restore_matches_offline() {
+    let models = tmp_dir("models");
+    let ckpts = tmp_dir("ckpts");
+
+    // Ground truth: a quickly fitted model over an archive dataset, saved
+    // where the server's model loader will find it.
+    let ds = (0..120)
+        .map(|id| generate_dataset(3, id))
+        .find(|d| d.kind == AnomalyKind::LevelShift)
+        .expect("level-shift dataset in archive");
+    let fitted = TriAd::new(TriadConfig {
+        epochs: 2,
+        depth: 2,
+        hidden: 8,
+        batch: 4,
+        merlin_step: 4,
+        ..Default::default()
+    })
+    .fit(ds.train())
+    .expect("fit");
+    persist::save_file(&models.join("soak.triad"), &fitted).expect("save model");
+    let test = ds.test().to_vec();
+    let offline = fitted.detect(&test);
+    let cut = test.len() / 2 + 3; // off-stride
+
+    // --- server 1: open streams, replay the first half at high rate -------
+    let handle = triad_serve::start(serve_cfg(&models, &ckpts)).expect("server 1");
+    let addr = handle.addr().to_string();
+    let mut ctl = Client::connect(&addr, CLIENT_TIMEOUT).expect("connect");
+    let mut resent_total = 0u64;
+    for name in STREAMS {
+        ctl.stream_open(name, "soak").expect("stream.open");
+        resent_total += push_with_retry(&mut ctl, name, &test[..cut]);
+    }
+    let mut snapshots = Vec::new();
+    for name in STREAMS {
+        wait_for_seq(&mut ctl, name, cut as u64);
+    }
+    // Checkpoint everything mid-run, then snapshot each stream's state.
+    let written = ctl
+        .stream_checkpoint(None)
+        .expect("stream.checkpoint")
+        .get("written")
+        .and_then(Value::as_u64);
+    assert_eq!(written, Some(STREAMS.len() as u64));
+    for name in STREAMS {
+        let status = ctl.stream_poll(name).expect("stream.poll");
+        snapshots.push(canonical_status(&status));
+    }
+    assert_eq!(checkpoint_failures(&mut ctl), 0);
+    // Kill the server (graceful: its manager checkpoints again on drop).
+    ctl.shutdown().expect("shutdown");
+    handle.wait();
+
+    // --- server 2 over the same directories: restore, finish, close -------
+    let handle = triad_serve::start(serve_cfg(&models, &ckpts)).expect("server 2");
+    let addr = handle.addr().to_string();
+    let mut ctl = Client::connect(&addr, CLIENT_TIMEOUT).expect("connect");
+    let listed = ctl.stream_list().expect("stream.list");
+    let names: Vec<&str> = listed
+        .get("streams")
+        .and_then(Value::as_arr)
+        .expect("streams")
+        .iter()
+        .filter_map(Value::as_str)
+        .collect();
+    assert_eq!(names, STREAMS, "restored stream set differs");
+    assert_eq!(checkpoint_failures(&mut ctl), 0, "restore hit CRC failures");
+
+    for (name, before) in STREAMS.iter().zip(&snapshots) {
+        let after = ctl.stream_poll(name).expect("poll restored");
+        assert_eq!(
+            &canonical_status(&after),
+            before,
+            "restored state of {name} is not bit-identical"
+        );
+    }
+
+    // Finish the replay and close: the restart must be invisible in the
+    // final detection, which must equal the offline result byte-for-byte.
+    let expected_det: Vec<String> = STREAMS
+        .iter()
+        .map(|name| proto::detection_fields(name, &offline).to_string())
+        .collect();
+    for name in STREAMS {
+        resent_total += push_with_retry(&mut ctl, name, &test[cut..]);
+    }
+    for (name, expected) in STREAMS.iter().zip(&expected_det) {
+        wait_for_seq(&mut ctl, name, test.len() as u64);
+        let report = ctl.stream_close(name).expect("stream.close");
+        assert_eq!(
+            report.get("finalize_error").cloned(),
+            Some(Value::Null),
+            "finalize failed for {name}"
+        );
+        let got = report
+            .get("detection")
+            .expect("detection in close response")
+            .to_string();
+        assert_eq!(&got, expected, "{name}: online detection != offline");
+    }
+
+    // No samples lost end to end: everything shed by backpressure was
+    // resent, nothing was rejected, no worker died.
+    let stats = ctl.stats().expect("stats");
+    let shards = stats
+        .get("streams")
+        .and_then(|s| s.get("shards"))
+        .and_then(Value::as_arr)
+        .expect("shards");
+    let nonfinite: u64 = shards
+        .iter()
+        .map(|s| s.get("dropped_nonfinite").and_then(Value::as_u64).unwrap())
+        .sum();
+    assert_eq!(nonfinite, 0);
+    eprintln!(
+        "soak: {} streams x {} points, {} chunk resends under backpressure",
+        STREAMS.len(),
+        test.len(),
+        resent_total
+    );
+    ctl.shutdown().expect("shutdown 2");
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&models);
+    let _ = std::fs::remove_dir_all(&ckpts);
+}

@@ -77,6 +77,14 @@ pub mod channel {
     pub struct SendError<T>(pub T);
 
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +182,22 @@ pub mod channel {
                 }
                 inner = self.shared.not_full.wait(inner).unwrap();
             }
+        }
+
+        /// Non-blocking send: `Full` instead of waiting when a bounded
+        /// channel is at capacity (the caller decides whether to drop,
+        /// retry, or shed load).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if inner.cap.is_some_and(|c| inner.queue.len() >= c) {
+                return Err(TrySendError::Full(value));
+            }
+            inner.queue.push_back(value);
+            self.shared.not_empty.notify_one();
+            Ok(())
         }
     }
 
@@ -311,6 +335,23 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), 3);
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn try_send_sheds_load_when_full() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        assert!(tx.try_send(1).is_ok());
+        assert!(matches!(
+            tx.try_send(2),
+            Err(channel::TrySendError::Full(2))
+        ));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(4),
+            Err(channel::TrySendError::Disconnected(4))
+        ));
     }
 
     #[test]
