@@ -13,6 +13,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use baselines::Detector;
 use evalkit::pak::PakAuc;
 use evalkit::Prf;

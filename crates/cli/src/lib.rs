@@ -36,6 +36,10 @@ pub struct Cli {
 
 impl Cli {
     /// Parse from an argument list (without the program name).
+    ///
+    /// Flags take a value (`--epochs 3`); a flag followed by another flag or
+    /// by nothing is boolean (`--smoke`) and stores an empty value, visible
+    /// through [`get`](Cli::get) as `Some("")`.
     pub fn parse(args: &[String]) -> Result<Cli, String> {
         let command = args.first().cloned().ok_or_else(usage)?;
         let mut pairs = Vec::new();
@@ -44,12 +48,16 @@ impl Cli {
             let key = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {:?}\n{}", args[i], usage()))?;
-            let val = args
-                .get(i + 1)
-                .cloned()
-                .ok_or_else(|| format!("--{key} needs a value"))?;
-            pairs.push((key.to_string(), val));
-            i += 2;
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    pairs.push((key.to_string(), v.clone()));
+                    i += 2;
+                }
+                _ => {
+                    pairs.push((key.to_string(), String::new()));
+                    i += 1;
+                }
+            }
         }
         Ok(Cli { command, pairs })
     }
@@ -80,19 +88,21 @@ pub fn usage() -> String {
 triad — self-supervised tri-domain time-series anomaly detection
 
 USAGE:
-  triad fit    --train FILE --model FILE [--epochs N] [--seed N]
-  triad detect --test FILE (--train FILE [--epochs N] | --model FILE) [--labels FILE]
+  triad fit    --train FILE --model FILE [--epochs N] [--seed N] [--threads N]
+  triad detect --test FILE (--train FILE [--epochs N] | --model FILE)
+               [--labels FILE] [--threads N]
   triad gen    --out FILE [--seed N] [--id N]
   triad eval   --pred FILE --labels FILE
   triad serve  [--addr HOST:PORT] [--models DIR] [--workers N] [--executors N]
-               [--max-batch N] [--max-delay-ms N] [--cache N]
+               [--max-batch N] [--max-delay-ms N] [--cache N] [--threads N]
                [--stream-shards N] [--stream-queue N] [--stream-checkpoints DIR]
   triad client --verb VERB [--addr HOST:PORT] [--model NAME]
                [--series FILE] [--train FILE] [--epochs N] [--seed N]
   triad stream --test FILE (--model FILE | --train FILE [--epochs N])
-               [--chunk N] [--enter X] [--exit X] [--checkpoint-at N]
+               [--chunk N] [--enter X] [--exit X] [--checkpoint-at N] [--threads N]
   triad stream --addr HOST:PORT --model NAME --test FILE
                [--stream NAME] [--chunk N]
+  triad bench  [--smoke] [--out-dir DIR] [--stages LIST]
 
 Series files hold one sample per line (UCR archive format accepted).
 `detect` prints the flagged region; with --labels it also prints metrics.
@@ -106,6 +116,13 @@ JSON line.
 final offline-equivalent detection. Without --addr it runs in-process
 (--checkpoint-at N saves and restores mid-replay to exercise resume); with
 --addr it drives the stream.* verbs of a running server.
+--threads N sets the worker count for the parallel runtime (0 = auto,
+capped; TRIAD_THREADS overrides the auto choice). Results are bit-identical
+at any thread count.
+`bench` runs the fixed-seed perf harness (train/detect/stream/discord
+workloads at 1/2/4/8 threads) and writes one BENCH_<stage>.json per stage
+into --out-dir (default `.`); --smoke shrinks the workloads for CI and
+--stages narrows to a comma-separated subset.
 "
     .to_string()
 }
@@ -126,6 +143,7 @@ fn config_from(cli: &Cli) -> Result<TriadConfig, String> {
         epochs: cli.get_num("epochs", 10usize)?,
         seed: cli.get_num("seed", 0u64)?,
         merlin_step: cli.get_num("merlin-step", 2usize)?,
+        threads: cli.get_num("threads", 0usize)?,
         ..TriadConfig::default()
     })
 }
@@ -140,6 +158,7 @@ pub fn run(cli: &Cli) -> Result<Vec<String>, String> {
         "serve" => cmd_serve(cli),
         "client" => cmd_client(cli),
         "stream" => cmd_stream(cli),
+        "bench" => cmd_bench(cli),
         "help" | "--help" | "-h" => Ok(vec![usage()]),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -161,7 +180,7 @@ fn cmd_fit(cli: &Cli) -> Result<Vec<String>, String> {
 
 fn cmd_detect(cli: &Cli) -> Result<Vec<String>, String> {
     let test = read_series(Path::new(cli.require("test")?))?;
-    let fitted = match (cli.get("model"), cli.get("train")) {
+    let mut fitted = match (cli.get("model"), cli.get("train")) {
         (Some(m), _) => persist::load_file(Path::new(m)).map_err(|e| e.to_string())?,
         (None, Some(t)) => {
             let train = read_series(Path::new(t))?;
@@ -169,6 +188,7 @@ fn cmd_detect(cli: &Cli) -> Result<Vec<String>, String> {
         }
         (None, None) => return Err("detect needs --model or --train".into()),
     };
+    fitted.set_threads(cli.get_num("threads", 0usize)?);
     let det = fitted.detect(&test);
     let mut out = vec![
         format!("selected window : {:?}", det.selected_window),
@@ -271,6 +291,7 @@ fn cmd_serve(cli: &Cli) -> Result<Vec<String>, String> {
         stream_shards: cli.get_num("stream-shards", 2usize)?,
         stream_queue: cli.get_num("stream-queue", 1024usize)?,
         stream_checkpoint_dir: cli.get("stream-checkpoints").map(PathBuf::from),
+        threads: cli.get_num("threads", 0usize)?,
     };
     let models_dir = cfg.models_dir.clone();
     let handle = triad_serve::start(cfg).map_err(|e| format!("serve: {e}"))?;
@@ -348,7 +369,7 @@ fn cmd_stream(cli: &Cli) -> Result<Vec<String>, String> {
         return cmd_stream_remote(cli);
     }
     let test = read_series(Path::new(cli.require("test")?))?;
-    let fitted: FittedTriad = match (cli.get("model"), cli.get("train")) {
+    let mut fitted: FittedTriad = match (cli.get("model"), cli.get("train")) {
         (Some(m), _) => persist::load_file(Path::new(m)).map_err(|e| e.to_string())?,
         (None, Some(t)) => {
             let train = read_series(Path::new(t))?;
@@ -358,6 +379,7 @@ fn cmd_stream(cli: &Cli) -> Result<Vec<String>, String> {
             return Err("stream needs --model or --train (or --addr for server mode)".into())
         }
     };
+    fitted.set_threads(cli.get_num("threads", 0usize)?);
     let chunk = cli.get_num("chunk", 64usize)?.max(1);
     let defaults = StreamConfig::default();
     let cfg = StreamConfig {
@@ -506,6 +528,25 @@ fn cmd_stream_remote(cli: &Cli) -> Result<Vec<String>, String> {
     Ok(out)
 }
 
+/// Run the fixed-seed perf harness (`crates/bench::perf`) and report where
+/// each `BENCH_<stage>.json` landed.
+fn cmd_bench(cli: &Cli) -> Result<Vec<String>, String> {
+    let stages: Vec<String> = match cli.get("stages") {
+        None | Some("") => Vec::new(),
+        Some(s) => s
+            .split(',')
+            .map(|t| t.trim().to_string())
+            .filter(|t| !t.is_empty())
+            .collect(),
+    };
+    let opts = bench::perf::BenchOptions {
+        smoke: cli.get("smoke").is_some(),
+        out_dir: PathBuf::from(cli.get("out-dir").unwrap_or(".")),
+        stages,
+    };
+    bench::perf::run_bench(&opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,7 +571,12 @@ mod tests {
         assert!(cli.require("missing").is_err());
         assert!(Cli::parse(&argv(&[])).is_err());
         assert!(Cli::parse(&argv(&["x", "notflag"])).is_err());
-        assert!(Cli::parse(&argv(&["x", "--flag"])).is_err());
+        // Boolean flags: trailing or followed by another flag.
+        let cli = Cli::parse(&argv(&["x", "--flag"])).unwrap();
+        assert_eq!(cli.get("flag"), Some(""));
+        let cli = Cli::parse(&argv(&["x", "--smoke", "--out-dir", "d"])).unwrap();
+        assert_eq!(cli.get("smoke"), Some(""));
+        assert_eq!(cli.get("out-dir"), Some("d"));
     }
 
     #[test]

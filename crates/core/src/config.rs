@@ -53,6 +53,22 @@ pub struct TriadConfig {
     pub merlin_step: usize,
     /// RNG seed (weights, augmentation, batching).
     pub seed: u64,
+    /// Worker threads for the deterministic parallel runtime
+    /// (`crates/parallel`): 0 = auto (the `TRIAD_THREADS` environment
+    /// variable, else the machine's parallelism). The runtime is
+    /// thread-count invariant — results are bit-identical at any value —
+    /// so this is a pure performance knob and is *not* persisted with the
+    /// model.
+    pub threads: usize,
+    /// Gradient-accumulation shards per training batch. The batch is split
+    /// into this many fixed contiguous sub-batches; each shard's
+    /// contrastive loss is backpropagated independently and the gradients
+    /// are summed in shard order before one optimizer step. 1 (default)
+    /// keeps the paper's whole-batch objective; values > 1 enable
+    /// data-parallel training. The shard structure depends only on this
+    /// field — never on the thread count — so results stay bit-identical
+    /// across thread counts.
+    pub grad_shards: usize,
     /// Ablation switches (Fig. 9): which domains participate.
     pub use_temporal: bool,
     pub use_frequency: bool,
@@ -86,6 +102,8 @@ impl Default for TriadConfig {
             merlin_max_len: 300,
             merlin_step: 1,
             seed: 0,
+            threads: 0,
+            grad_shards: 1,
             use_temporal: true,
             use_frequency: true,
             use_residual: true,
@@ -148,6 +166,9 @@ impl TriadConfig {
         }
         if self.weighted_voting && self.triad_vote_weight <= 0.0 {
             return Err("triad_vote_weight must be positive".into());
+        }
+        if self.grad_shards == 0 {
+            return Err("grad_shards must be ≥ 1".into());
         }
         Ok(())
     }
@@ -215,6 +236,11 @@ mod tests {
         c.triad_vote_weight = 0.0;
         assert!(c.validate().is_err());
         c.triad_vote_weight = 2.0;
+        assert!(c.validate().is_ok());
+        let mut c = TriadConfig::default();
+        c.grad_shards = 0;
+        assert!(c.validate().is_err());
+        c.grad_shards = 4;
         assert!(c.validate().is_ok());
     }
 }

@@ -60,21 +60,33 @@ impl TriadDetection {
 }
 
 /// Mean-pairwise-similarity scores from unit-norm embedding rows.
+///
+/// The pairwise dots are pure, so they are computed in parallel (keyed by
+/// the lower index `i`); the accumulation into per-window sums then replays
+/// the historical serial order — `i` ascending, `j` ascending, `scores[i]`
+/// before `scores[j]` — so the result is bit-identical at any thread count.
 fn similarity_scores(rows: &[Vec<f32>]) -> Vec<f64> {
     let m = rows.len();
     if m <= 1 {
         return vec![0.0; m];
     }
+    let d = rows.first().map_or(0, |r| r.len());
+    let par = parallel::ambient().for_work((m * (m - 1) / 2) * d.max(1), 1 << 15);
+    let dots: Vec<Vec<f64>> = parallel::map_indexed(par, rows, |i, ri| {
+        ((i + 1)..m)
+            .map(|j| {
+                ri.iter()
+                    .zip(&rows[j])
+                    .map(|(a, b)| (*a as f64) * (*b as f64))
+                    .sum()
+            })
+            .collect()
+    });
     let mut scores = vec![0.0f64; m];
-    for i in 0..m {
-        for j in (i + 1)..m {
-            let dot: f64 = rows[i]
-                .iter()
-                .zip(&rows[j])
-                .map(|(a, b)| (*a as f64) * (*b as f64))
-                .sum();
+    for (i, drow) in dots.iter().enumerate() {
+        for (off, &dot) in drow.iter().enumerate() {
             scores[i] += dot;
-            scores[j] += dot;
+            scores[i + 1 + off] += dot;
         }
     }
     for s in &mut scores {
@@ -229,6 +241,10 @@ impl OnlineRanker {
 
 /// Distance from a z-normalised probe window to its nearest training
 /// subsequence (stride-1 traversal, Sec. III-D1).
+///
+/// The stride-1 scan splits into per-worker ranges whose minima fold with
+/// `f64::min` — exactly associative, so the parallel fold is bit-identical
+/// to the serial scan.
 fn nearest_normal_distance(train: &[f64], probe: &[f64]) -> f64 {
     let l = probe.len();
     if train.len() < l {
@@ -236,22 +252,28 @@ fn nearest_normal_distance(train: &[f64], probe: &[f64]) -> f64 {
     }
     let z = tsops::stats::znormalize(probe);
     let (means, stds) = tsops::stats::rolling_mean_std(train, l);
-    let mut best = f64::INFINITY;
-    // The probe is zero-mean, so the training mean cancels out of the cross
-    // term; only σ is needed.
-    for (start, (_mu, &sigma)) in means.iter().zip(&stds).enumerate() {
-        let seg = &train[start..start + l];
-        let d2 = if sigma < 1e-12 {
-            l as f64 // constant training segment vs unit-norm probe
-        } else {
-            let dot: f64 = z.iter().zip(seg).map(|(a, t)| a * t).sum();
-            (2.0 * l as f64 - 2.0 * dot / sigma).max(0.0)
-        };
-        if d2 < best {
-            best = d2;
+    let starts = means.len().min(stds.len());
+    let par = parallel::ambient().for_work(starts * l, 1 << 15);
+    let partials = parallel::map_ranges(par, starts, |range| {
+        let mut best = f64::INFINITY;
+        // The probe is zero-mean, so the training mean cancels out of the
+        // cross term; only σ is needed.
+        for start in range {
+            let sigma = stds[start];
+            let seg = &train[start..start + l];
+            let d2 = if sigma < 1e-12 {
+                l as f64 // constant training segment vs unit-norm probe
+            } else {
+                let dot: f64 = z.iter().zip(seg).map(|(a, t)| a * t).sum();
+                (2.0 * l as f64 - 2.0 * dot / sigma).max(0.0)
+            };
+            if d2 < best {
+                best = d2;
+            }
         }
-    }
-    best.sqrt()
+        best
+    });
+    partials.into_iter().fold(f64::INFINITY, f64::min).sqrt()
 }
 
 /// Run the full detection pipeline on a test split, validating the input
@@ -305,25 +327,29 @@ fn run_detect(
     train: &[f64],
     test: &[f64],
 ) -> TriadDetection {
-    let n = test.len();
-    // Segment the test split; a split shorter than one window becomes a
-    // single clamped window.
-    let windows: Windows = segmenter.segment_clamped(n);
-    let slices: Vec<&[f64]> = (0..windows.count())
-        .map(|i| windows.slice(test, i))
-        .collect();
+    // Scope the deterministic worker pool to this detection; everything
+    // inside is thread-count invariant (see crates/parallel).
+    parallel::with_ambient(cfg.threads, || {
+        let n = test.len();
+        // Segment the test split; a split shorter than one window becomes a
+        // single clamped window.
+        let windows: Windows = segmenter.segment_clamped(n);
+        let slices: Vec<&[f64]> = (0..windows.count())
+            .map(|i| windows.slice(test, i))
+            .collect();
 
-    // --- Stage 1: per-domain window ranking (top Z per domain; the paper
-    //     uses Z = 1 since every test set holds a single event) ---
-    let z = cfg.top_z.max(1);
-    let mut rankings = Vec::with_capacity(model.encoders.len());
-    for (d, _) in &model.encoders {
-        let rows = model.embed_windows(fx, &slices, *d);
-        let scores = similarity_scores(&rows);
-        rankings.push(ranking_from_scores(*d, scores, z));
-    }
+        // --- Stage 1: per-domain window ranking (top Z per domain; the paper
+        //     uses Z = 1 since every test set holds a single event) ---
+        let z = cfg.top_z.max(1);
+        let mut rankings = Vec::with_capacity(model.encoders.len());
+        for (d, _) in &model.encoders {
+            let rows = model.embed_windows_par(cfg, fx, &slices, *d);
+            let scores = similarity_scores(&rows);
+            rankings.push(ranking_from_scores(*d, scores, z));
+        }
 
-    detect_from_rankings(cfg, train, test, &windows, rankings)
+        detect_from_rankings(cfg, train, test, &windows, rankings)
+    })
 }
 
 /// Stages 2–4 of the pipeline, starting from already-computed stage-1
@@ -335,6 +361,21 @@ fn run_detect(
 /// windows incrementally with [`OnlineRanker`] and then calls this to close a
 /// stream with a detection identical to the offline [`detect`].
 pub fn detect_from_rankings(
+    cfg: &TriadConfig,
+    train: &[f64],
+    test: &[f64],
+    windows: &Windows,
+    rankings: Vec<DomainRanking>,
+) -> TriadDetection {
+    // Streaming callers reach stages 2–4 directly, so the ambient worker
+    // pool is (re-)scoped here as well; nesting under `run_detect` is a
+    // no-op since the request is the same.
+    parallel::with_ambient(cfg.threads, move || {
+        detect_from_rankings_inner(cfg, train, test, windows, rankings)
+    })
+}
+
+fn detect_from_rankings_inner(
     cfg: &TriadConfig,
     train: &[f64],
     test: &[f64],

@@ -62,18 +62,30 @@ impl FeatureExtractor {
 
     /// Stack a batch of windows into the `[B, C, L]` tensor the encoder
     /// consumes. All windows must share one length.
+    ///
+    /// Featurization is per-window pure, so windows are extracted in
+    /// parallel (ambient thread count) and assembled in index order —
+    /// bit-identical to the serial loop at any worker count.
     pub fn batch_tensor(&self, windows: &[&[f64]], domain: Domain) -> Tensor {
         assert!(!windows.is_empty(), "empty batch");
         let l = windows[0].len();
         let c = domain.channels();
-        let mut data = Vec::with_capacity(windows.len() * c * l);
         for w in windows {
             assert_eq!(w.len(), l, "ragged batch");
+        }
+        let par = parallel::ambient().for_work(windows.len(), 4);
+        let rows = parallel::map_indexed(par, windows, |_, w| {
             let chans = self.extract(w, domain);
             debug_assert_eq!(chans.len(), c);
+            let mut row = Vec::with_capacity(c * l);
             for ch in &chans {
-                data.extend(ch.iter().map(|&v| v as f32));
+                row.extend(ch.iter().map(|&v| v as f32));
             }
+            row
+        });
+        let mut data = Vec::with_capacity(windows.len() * c * l);
+        for row in rows {
+            data.extend(row);
         }
         Tensor::from_vec(&[windows.len(), c, l], data)
     }

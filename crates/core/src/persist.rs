@@ -25,8 +25,7 @@ use crate::config::TriadConfig;
 use crate::error::PersistError;
 use crate::features::FeatureExtractor;
 use crate::pipeline::FittedTriad;
-use crate::train::{Model, TrainReport};
-use crate::Domain;
+use crate::train::TrainReport;
 use neuro::serialize::{load_params, write_params};
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -328,26 +327,7 @@ pub fn load<R: Read>(r: R) -> Result<FittedTriad, PersistError> {
 
     // Rebuild the model skeleton exactly as `train::fit` does (same seed,
     // same construction order), then overwrite its parameters.
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
-    let encoders: Vec<(Domain, crate::encoder::DomainEncoder)> = cfg
-        .domains()
-        .iter()
-        .map(|&d| {
-            (
-                d,
-                crate::encoder::DomainEncoder::new(
-                    &mut rng,
-                    d.channels(),
-                    cfg.hidden,
-                    cfg.depth,
-                    cfg.kernel,
-                ),
-            )
-        })
-        .collect();
-    let head = crate::encoder::ProjectionHead::new(&mut rng, cfg.hidden);
-    let model = Model { encoders, head };
+    let model = crate::train::skeleton(&cfg);
     load_params(&mut r, &model.params())?;
     r.verify_trailer()?;
 

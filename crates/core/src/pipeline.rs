@@ -126,7 +126,18 @@ impl FittedTriad {
         ranker: &mut OnlineRanker,
         window: &[f64],
     ) -> Vec<(crate::Domain, f64)> {
-        ranker.push_window(&self.model, &self.extractor, window)
+        parallel::with_ambient(self.cfg.threads, || {
+            ranker.push_window(&self.model, &self.extractor, window)
+        })
+    }
+
+    /// Set the worker-thread count for this model's train/detect/stream hot
+    /// paths (0 = auto). Purely a performance knob: results are bit-identical
+    /// at any value, and the setting is not persisted with the model — which
+    /// is why a loaded model can be retuned here (e.g. from a server's
+    /// `--threads` flag) without invalidating anything.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.cfg.threads = threads;
     }
 
     /// Run stages 2–4 (selection, MERLIN, voting) from externally produced

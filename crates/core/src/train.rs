@@ -14,6 +14,7 @@ use crate::loss::ContrastiveLoss;
 use crate::Domain;
 use neuro::graph::{Graph, Param};
 use neuro::optim::Adam;
+use neuro::Tensor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -25,11 +26,56 @@ pub struct Model {
     pub head: ProjectionHead,
 }
 
+/// Build the untrained model skeleton for `cfg`, consuming weights from the
+/// caller's RNG in the fixed construction order (encoders in `domains()`
+/// order, then the head). `fit`, model loading, and the parallel runtime's
+/// worker replicas all share this so structures always line up.
+pub(crate) fn skeleton_with(rng: &mut StdRng, cfg: &TriadConfig) -> Model {
+    let encoders: Vec<(Domain, DomainEncoder)> = cfg
+        .domains()
+        .iter()
+        .map(|&d| {
+            (
+                d,
+                DomainEncoder::new(rng, d.channels(), cfg.hidden, cfg.depth, cfg.kernel),
+            )
+        })
+        .collect();
+    let head = ProjectionHead::new(rng, cfg.hidden);
+    Model { encoders, head }
+}
+
+/// [`skeleton_with`] seeded from `cfg.seed` — the exact skeleton `fit`
+/// builds before training. Parameter values are placeholders the caller
+/// overwrites (via [`Model::load_snapshot`] or deserialisation).
+pub(crate) fn skeleton(cfg: &TriadConfig) -> Model {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    skeleton_with(&mut rng, cfg)
+}
+
 impl Model {
     pub fn params(&self) -> Vec<Param> {
         let mut p: Vec<Param> = self.encoders.iter().flat_map(|(_, e)| e.params()).collect();
         p.extend(self.head.params());
         p
+    }
+
+    /// Plain-tensor copies of every parameter value, in [`params`](Model::params)
+    /// order. Unlike `Param` (an `Rc`), tensors cross thread boundaries, so
+    /// this is how the parallel runtime ships weights to worker replicas.
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.params().iter().map(|p| p.tensor()).collect()
+    }
+
+    /// Overwrite this model's parameter values from a [`snapshot`](Model::snapshot)
+    /// (same count and shapes, `params()` order). Gradients are untouched.
+    pub fn load_snapshot(&self, snap: &[Tensor]) {
+        let params = self.params();
+        assert_eq!(params.len(), snap.len(), "snapshot: parameter count");
+        for (p, t) in params.iter().zip(snap) {
+            assert_eq!(p.shape(), t.shape(), "snapshot: parameter shape");
+            p.borrow_mut().value = t.clone();
+        }
     }
 
     /// Embed a set of equal-length windows in one domain: returns the
@@ -53,6 +99,32 @@ impl Model {
             }
         }
         out
+    }
+
+    /// [`embed_windows`](Model::embed_windows) distributed across the ambient
+    /// worker pool: each worker rebuilds a structural replica from `cfg`
+    /// (weights copied via [`snapshot`](Model::snapshot)) and embeds a
+    /// contiguous span of windows. Every op in the embed path is
+    /// batch-row independent, so the rows are bit-identical to the serial
+    /// path at any thread count — batch boundaries don't matter.
+    pub fn embed_windows_par(
+        &self,
+        cfg: &TriadConfig,
+        fx: &FeatureExtractor,
+        windows: &[&[f64]],
+        domain: Domain,
+    ) -> Vec<Vec<f32>> {
+        let par = parallel::ambient().for_work(windows.len(), 4);
+        if par.is_serial() || !self.encoders.iter().any(|(d, _)| *d == domain) {
+            return self.embed_windows(fx, windows, domain);
+        }
+        let snap = self.snapshot();
+        let spans = parallel::map_ranges(par, windows.len(), |range| {
+            let replica = skeleton(cfg);
+            replica.load_snapshot(&snap);
+            replica.embed_windows(fx, &windows[range], domain)
+        });
+        spans.into_iter().flatten().collect()
     }
 }
 
@@ -81,7 +153,13 @@ pub struct Trained {
 /// is too short to produce at least one training batch.
 pub fn fit(cfg: &TriadConfig, train: &[f64]) -> Result<Trained, String> {
     cfg.validate()?;
+    // Scope the deterministic worker pool to this training run; everything
+    // inside is thread-count invariant, so `cfg.threads` is purely a
+    // performance knob.
+    parallel::with_ambient(cfg.threads, || fit_inner(cfg, train))
+}
 
+fn fit_inner(cfg: &TriadConfig, train: &[f64]) -> Result<Trained, String> {
     let period = match cfg.period_override {
         Some(p) if p >= 2 => p,
         Some(p) => return Err(format!("period override {p} too small")),
@@ -108,17 +186,7 @@ pub fn fit(cfg: &TriadConfig, train: &[f64]) -> Result<Trained, String> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let domains = cfg.domains();
-    let encoders: Vec<(Domain, DomainEncoder)> = domains
-        .iter()
-        .map(|&d| {
-            (
-                d,
-                DomainEncoder::new(&mut rng, d.channels(), cfg.hidden, cfg.depth, cfg.kernel),
-            )
-        })
-        .collect();
-    let head = ProjectionHead::new(&mut rng, cfg.hidden);
-    let model = Model { encoders, head };
+    let model = skeleton_with(&mut rng, cfg);
 
     let mut opt = Adam::new(model.params(), cfg.lr as f32);
     let loss_cfg = ContrastiveLoss {
@@ -148,9 +216,15 @@ pub fn fit(cfg: &TriadConfig, train: &[f64]) -> Result<Trained, String> {
             if chunk.len() < 2 {
                 continue; // contrastive positives need ≥ 2 windows
             }
-            let loss = run_batch(
-                &model, &extractor, &loss_cfg, cfg, train, &windows, chunk, &mut rng, true,
-            );
+            let loss = if cfg.grad_shards > 1 {
+                run_batch_sharded(
+                    &model, &extractor, &loss_cfg, cfg, train, &windows, chunk, &mut rng,
+                )
+            } else {
+                run_batch(
+                    &model, &extractor, &loss_cfg, cfg, train, &windows, chunk, &mut rng, true,
+                )
+            };
             opt_step_guard(&mut opt);
             epoch_loss += loss;
             n_batches += 1;
@@ -206,13 +280,25 @@ fn run_batch(
         .map(|w| tsaug::augment_window(rng, w, &cfg.augment).0)
         .collect();
     let aug_refs: Vec<&[f64]> = augmented.iter().map(|v| v.as_slice()).collect();
+    forward_backward(model, fx, loss_cfg, &originals, &aug_refs, train_mode)
+}
 
+/// Forward pass over one (originals, augmented) pairing; backward when
+/// `train_mode` and the loss is finite. Returns the loss value.
+fn forward_backward(
+    model: &Model,
+    fx: &FeatureExtractor,
+    loss_cfg: &ContrastiveLoss,
+    originals: &[&[f64]],
+    aug_refs: &[&[f64]],
+    train_mode: bool,
+) -> f64 {
     let mut g = Graph::new();
     let mut rs = Vec::with_capacity(model.encoders.len());
     let mut ras = Vec::with_capacity(model.encoders.len());
     for (d, enc) in &model.encoders {
-        let xo = g.input(fx.batch_tensor(&originals, *d));
-        let xa = g.input(fx.batch_tensor(&aug_refs, *d));
+        let xo = g.input(fx.batch_tensor(originals, *d));
+        let xa = g.input(fx.batch_tensor(aug_refs, *d));
         let ho = enc.forward(&mut g, xo);
         let ha = enc.forward(&mut g, xa);
         rs.push(model.head.forward(&mut g, ho));
@@ -224,6 +310,75 @@ fn run_batch(
         g.backward(loss);
     }
     v
+}
+
+/// Data-parallel batch: split the window indices into `cfg.grad_shards`
+/// fixed contiguous shards, run each shard's forward/backward on a worker
+/// (against a structural replica of the model), then fold the shard
+/// gradients into the live parameters *in shard order*.
+///
+/// Determinism contract: the shard structure and the fold order depend only
+/// on the config — never on the worker count — and augmentations are drawn
+/// serially up front, so the RNG stream and the accumulated gradients are
+/// bit-identical at any thread count. (Sharding the contrastive loss does
+/// change the objective relative to `grad_shards = 1`, which is why it is
+/// an explicit config switch and not a transparent optimisation.)
+#[allow(clippy::too_many_arguments)]
+fn run_batch_sharded(
+    model: &Model,
+    fx: &FeatureExtractor,
+    loss_cfg: &ContrastiveLoss,
+    cfg: &TriadConfig,
+    series: &[f64],
+    windows: &Windows,
+    chunk: &[usize],
+    rng: &mut StdRng,
+) -> f64 {
+    // Augmentations are drawn serially, in batch order, before any worker
+    // runs — the RNG stream never depends on thread interleaving.
+    let originals: Vec<Vec<f64>> = chunk
+        .iter()
+        .map(|&i| windows.slice(series, i).to_vec())
+        .collect();
+    let augmented: Vec<Vec<f64>> = originals
+        .iter()
+        .map(|w| tsaug::augment_window(rng, w, &cfg.augment).0)
+        .collect();
+
+    // Every shard needs ≥ 2 windows for contrastive positives.
+    let n_shards = cfg.grad_shards.min(chunk.len() / 2).max(1);
+    let shards = parallel::split_ranges(chunk.len(), n_shards);
+    let snap = model.snapshot();
+    let par = parallel::ambient().for_work(n_shards, 1);
+    let results = parallel::map_indexed(par, &shards, |_, range| {
+        let replica = skeleton(cfg);
+        replica.load_snapshot(&snap);
+        let o: Vec<&[f64]> = originals[range.clone()]
+            .iter()
+            .map(|v| v.as_slice())
+            .collect();
+        let a: Vec<&[f64]> = augmented[range.clone()]
+            .iter()
+            .map(|v| v.as_slice())
+            .collect();
+        let loss = forward_backward(&replica, fx, loss_cfg, &o, &a, true);
+        let grads: Vec<Tensor> = replica
+            .params()
+            .iter()
+            .map(|p| p.value().grad.clone())
+            .collect();
+        (loss, grads)
+    });
+
+    let params = model.params();
+    let mut weighted = 0.0f64;
+    for ((loss, grads), range) in results.iter().zip(&shards) {
+        for (p, g) in params.iter().zip(grads) {
+            p.borrow_mut().grad.add_assign(g);
+        }
+        weighted += loss * range.len() as f64;
+    }
+    weighted / chunk.len() as f64
 }
 
 /// Step only when gradients are finite — a single degenerate batch must not

@@ -130,49 +130,72 @@ pub fn merlin_top_k(series: &[f64], cfg: MerlinConfig, k: usize) -> Vec<Vec<Disc
 
 /// Shared driver: the adaptive-`r` sweep, parameterised over the DRAG
 /// implementation so MERLIN++ can swap in its indexed refinement.
+///
+/// The per-length searches run on the ambient worker pool. That is safe
+/// because each length's *result* is independent of its `r` seed: whenever
+/// DRAG succeeds it returns the exact top-1 for that length (phase 1 keeps a
+/// superset of every subsequence with NN distance ≥ `r`, phase 2 computes
+/// exact distances, and the stable sort breaks ties by ascending candidate
+/// index), and the retry loop always shrinks `r` into the success region.
+/// The seed therefore only affects *speed* — so every length after the
+/// first is seeded from the first length's discord (a pure function of the
+/// input, never of the thread count or of sibling lengths), and the sweep
+/// is bit-identical at any worker count.
 pub(crate) fn merlin_with(
     series: &[f64],
     cfg: MerlinConfig,
-    run_drag: impl Fn(&ZnormSeries<'_>, f64) -> Vec<Discord>,
+    run_drag: impl Fn(&ZnormSeries<'_>, f64) -> Vec<Discord> + Sync,
 ) -> Vec<Discord> {
-    let mut out = Vec::new();
-    let mut prev: Option<Discord> = None;
-
+    // Swept lengths the series is long enough for (at least two
+    // non-overlapping subsequences); lengths ascend, so stop at the first
+    // too-long one exactly as the serial loop's `break` did.
+    let mut lengths = Vec::new();
     let mut w = cfg.min_len;
-    while w <= cfg.max_len {
-        // Need at least two non-overlapping subsequences.
-        if series.len() < 2 * w {
-            break;
-        }
-        let zs = ZnormSeries::new(series, w);
-        let mut r = match prev {
-            Some(p) if p.distance > 1e-9 => 0.99 * p.distance * (w as f64 / p.length as f64).sqrt(),
-            _ => 2.0 * (w as f64).sqrt(),
-        };
-
-        let mut found: Option<Discord> = None;
-        // Shrink r geometrically until DRAG yields something. r can always
-        // reach a success region: at r→0 every subsequence is reported.
-        for attempt in 0..200 {
-            let ds = run_drag(&zs, r);
-            if let Some(top) = ds.first() {
-                found = Some(*top);
-                break;
-            }
-            // Gentle 1% shrink first (the common case per the paper), then
-            // accelerate so pathological series still terminate fast.
-            r *= if attempt < 20 { 0.99 } else { 0.5 };
-            if r < 1e-9 {
-                break;
-            }
-        }
-        if let Some(d) = found {
-            prev = Some(d);
-            out.push(d);
-        }
+    while w <= cfg.max_len && series.len() >= 2 * w {
+        lengths.push(w);
         w += cfg.step;
     }
-    out
+    let Some((&first_len, rest_lens)) = lengths.split_first() else {
+        return Vec::new();
+    };
+
+    // First length: the paper's cold start (r = 2√w, the z-norm maximum).
+    let first = sweep_one(series, first_len, None, &run_drag);
+
+    let par = parallel::ambient().for_work(rest_lens.len() * series.len(), 1 << 14);
+    let rest = parallel::map_indexed(par, rest_lens, |_, &w| {
+        sweep_one(series, w, first, &run_drag)
+    });
+
+    std::iter::once(first).chain(rest).flatten().collect()
+}
+
+/// The adaptive-`r` search at one length: shrink `r` geometrically from the
+/// seed until DRAG yields something (`r` can always reach a success region —
+/// at r→0 every subsequence is reported), gently at first (the common case
+/// per the paper), then halving so pathological series terminate fast.
+fn sweep_one(
+    series: &[f64],
+    w: usize,
+    seed: Option<Discord>,
+    run_drag: &(impl Fn(&ZnormSeries<'_>, f64) -> Vec<Discord> + Sync),
+) -> Option<Discord> {
+    let zs = ZnormSeries::new(series, w);
+    let mut r = match seed {
+        Some(p) if p.distance > 1e-9 => 0.99 * p.distance * (w as f64 / p.length as f64).sqrt(),
+        _ => 2.0 * (w as f64).sqrt(),
+    };
+    for attempt in 0..200 {
+        let ds = run_drag(&zs, r);
+        if let Some(top) = ds.first() {
+            return Some(*top);
+        }
+        r *= if attempt < 20 { 0.99 } else { 0.5 };
+        if r < 1e-9 {
+            break;
+        }
+    }
+    None
 }
 
 #[cfg(test)]

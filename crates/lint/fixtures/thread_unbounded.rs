@@ -1,0 +1,20 @@
+//@ path: crates/stream/src/fixture.rs
+//@ expect: thread-unbounded
+// Seeded violation: a raw spawn next to a Builder spawn (sanctioned for
+// named service threads) and a suppressed spawn with a recorded reason.
+
+pub fn fire_and_forget(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work);
+}
+
+pub fn service_thread(work: impl FnOnce() + Send + 'static) -> std::io::Result<()> {
+    std::thread::Builder::new()
+        .name("svc".into())
+        .spawn(work)
+        .map(|_| ())
+}
+
+pub fn justified(work: impl FnOnce() + Send + 'static) {
+    // lint-allow(thread-unbounded): one-shot helper joined by the caller before shutdown
+    std::thread::spawn(work);
+}

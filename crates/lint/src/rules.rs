@@ -59,6 +59,10 @@ pub const RULES: &[(&str, &str)] = &[
         "lock guard held across a filesystem/network call; drop the guard first",
     ),
     (
+        "thread-unbounded",
+        "raw std::thread::spawn outside crates/parallel; route work through the deterministic pool (or std::thread::Builder for named service threads)",
+    ),
+    (
         "suppress-reason",
         "lint-allow annotation without a reason, or naming a rule that does not exist",
     ),
@@ -110,6 +114,7 @@ pub fn run_all(cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
     relaxed_ok(cx, out);
     no_static_mut(cx, out);
     lock_across_io(cx, out);
+    thread_unbounded(cx, out);
     suppress_reason(cx, out);
 }
 
@@ -532,6 +537,46 @@ fn lock_across_io(cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Raw `thread::spawn` in non-test code outside `crates/parallel`.
+///
+/// Unbounded ad-hoc threads bypass the deterministic worker pool (and its
+/// nested-region serialisation), so every production spawn should go through
+/// `crates/parallel` — the one crate allowed to own OS threads. The pattern
+/// deliberately does *not* match `std::thread::Builder::new().spawn(..)`:
+/// a Builder spawn names its thread and handles spawn failure, which is the
+/// sanctioned escape hatch for long-lived service threads (server accept
+/// loops, shard workers).
+fn thread_unbounded(cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if cx.crate_name == "parallel" {
+        return;
+    }
+    for i in 3..cx.slen() {
+        if cx.stext(i) != "spawn" {
+            continue;
+        }
+        // Match the `thread :: spawn` path (two adjacent `:` puncts).
+        if !(cx.stext(i - 1) == ":"
+            && cx.stext(i - 2) == ":"
+            && adjacent(cx, i - 2)
+            && cx.stext(i - 3) == "thread")
+        {
+            continue;
+        }
+        let t = cx.stok(i);
+        if cx.in_test_code(t.start) {
+            continue;
+        }
+        out.push(diag(
+            cx,
+            "thread-unbounded",
+            t.line,
+            "raw thread::spawn bypasses the deterministic pool; use crates/parallel \
+             (or a named std::thread::Builder for a service thread)"
+                .to_string(),
+        ));
+    }
+}
+
 // ------------------------------------------------------------ suppression
 
 /// Audit the `lint-allow` comments themselves.
@@ -715,6 +760,28 @@ mod tests {
     fn lock_across_io_temporary_guard_scoped_to_statement() {
         let src = "pub fn f(m: &std::sync::Mutex<u32>, p: &str) -> std::io::Result<String> {\n    *m.lock().unwrap_or_else(|e| e.into_inner()) += 1;\n    std::fs::read_to_string(p)\n}";
         assert!(check("crates/serve/src/f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn thread_unbounded_fires_on_raw_spawn_outside_parallel() {
+        let src = "pub fn f() { std::thread::spawn(|| {}); }";
+        assert_eq!(
+            rules_of(&check("crates/serve/src/f.rs", src)),
+            vec!["thread-unbounded"]
+        );
+        // The pool crate itself is the sanctioned owner of OS threads.
+        assert!(check("crates/parallel/src/lib.rs", src).is_empty());
+        // Test code is exempt, like the other hygiene rules.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { std::thread::spawn(|| {}); }\n}";
+        assert!(check("crates/serve/src/f.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn thread_unbounded_quiet_on_builder_and_scoped_spawns() {
+        let builder = "pub fn f() {\n    let _ = std::thread::Builder::new().name(\"svc\".into()).spawn(|| {});\n}";
+        assert!(check("crates/serve/src/f.rs", builder).is_empty());
+        let scoped = "pub fn f(s: &crossbeam::thread::Scope<'_>) { s.spawn(|_| {}); }";
+        assert!(check("crates/serve/src/f.rs", scoped).is_empty());
     }
 
     #[test]

@@ -92,6 +92,20 @@ fn accumulate(grads: &mut [Option<Tensor>], id: NodeId, g: Tensor) {
 }
 
 // ---------- raw matmul kernels (ikj loop order for cache locality) ----------
+//
+// All three kernels (and conv1d below) parallelise over *output rows*: every
+// output element is computed by exactly one worker with the same inner-loop
+// accumulation order as the serial code, so results are bit-identical at any
+// worker count — the determinism contract `crates/parallel` documents.
+
+/// Minimum fused multiply-adds per worker before a kernel goes parallel;
+/// below this, thread spawn latency exceeds the arithmetic saved.
+const PAR_MIN_WORK: usize = 1 << 17;
+
+/// Ambient parallelism gated by the kernel's total work.
+fn kernel_par(work: usize) -> parallel::Parallelism {
+    parallel::ambient().for_work(work, PAR_MIN_WORK)
+}
 
 fn matmul_raw(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
@@ -105,42 +119,47 @@ fn matmul_raw(a: &Tensor, b: &Tensor) -> Tensor {
     );
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+    parallel::fill_rows(kernel_par(m * n * k), &mut out, n, |rows, chunk| {
+        for (i, orow) in rows.zip(chunk.chunks_mut(n)) {
+            let arow = &ad[i * k..(i + 1) * k];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(&[m, n], out)
 }
 
-/// `Aᵀ × B` without materialising the transpose.
+/// `Aᵀ × B` without materialising the transpose. Row-major over the output
+/// (i outer) with `kk` ascending inside: every `out[i, j]` accumulates its
+/// `kk` terms in the same order as the historical kk-outer loop, so the
+/// reordering is exact.
 fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2);
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
-    for kk in 0..k {
-        let arow = &ad[kk * m..(kk + 1) * m];
-        let brow = &bd[kk * n..(kk + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+    parallel::fill_rows(kernel_par(m * n * k), &mut out, n, |rows, chunk| {
+        for (i, orow) in rows.zip(chunk.chunks_mut(n)) {
+            for kk in 0..k {
+                let av = ad[kk * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(&[m, n], out)
 }
 
@@ -151,17 +170,19 @@ fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2);
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in arow.iter().zip(brow) {
-                acc += x * y;
+    parallel::fill_rows(kernel_par(m * n * k), &mut out, n, |rows, chunk| {
+        for (i, orow) in rows.zip(chunk.chunks_mut(n)) {
+            let arow = &ad[i * k..(i + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *o = acc;
             }
-            out[i * n + j] = acc;
         }
-    }
+    });
     Tensor::from_vec(&[m, n], out)
 }
 
@@ -710,9 +731,12 @@ impl Graph {
             let wv = self.values[w].data();
             let bv = self.values[b].data();
             let mut out = vec![0.0f32; bsz * cout * l];
-            for bi in 0..bsz {
-                for co in 0..cout {
-                    let orow = &mut out[(bi * cout + co) * l..(bi * cout + co + 1) * l];
+            // Every output row (bi, co) depends only on the inputs, so the
+            // rows parallelise with bit-identical results (see kernel_par).
+            let par = kernel_par(bsz * cout * cin * k * l);
+            parallel::fill_rows(par, &mut out, l, |rows, chunk| {
+                for (row, orow) in rows.zip(chunk.chunks_mut(l)) {
+                    let (bi, co) = (row / cout, row % cout);
                     orow.fill(bv[co]);
                     for ci in 0..cin {
                         let xrow = &xv[(bi * cin + ci) * l..(bi * cin + ci + 1) * l];
@@ -731,7 +755,7 @@ impl Graph {
                         }
                     }
                 }
-            }
+            });
             Tensor::from_vec(&[bsz, cout, l], out)
         };
 
@@ -745,30 +769,85 @@ impl Graph {
                     let mut gx = Tensor::zeros(vals[x].shape());
                     let mut gw = Tensor::zeros(vals[w].shape());
                     let mut gb = Tensor::zeros(vals[b].shape());
-                    for bi in 0..bsz {
-                        for co in 0..cout {
-                            let grow = &gv[(bi * cout + co) * l..(bi * cout + co + 1) * l];
-                            gb.data_mut()[co] += grow.iter().sum::<f32>();
-                            for ci in 0..cin {
-                                let xrow = &xv[(bi * cin + ci) * l..(bi * cin + ci + 1) * l];
-                                let wrow = &wv[(co * cin + ci) * k..(co * cin + ci + 1) * k];
-                                let gxrow = &mut gx.data_mut()
-                                    [(bi * cin + ci) * l..(bi * cin + ci + 1) * l];
-                                let gwrow = &mut gw.data_mut()
-                                    [(co * cin + ci) * k..(co * cin + ci + 1) * k];
-                                for kk in 0..k {
-                                    let shift = kk * dilation;
-                                    let t_lo = half.saturating_sub(shift);
-                                    let t_hi = (l + half).saturating_sub(shift).min(l);
-                                    let wk = wrow[kk];
-                                    let mut wacc = 0.0f32;
-                                    for t in t_lo..t_hi {
-                                        let xi = t + shift - half;
-                                        gxrow[xi] += wk * grow[t];
-                                        wacc += xrow[xi] * grow[t];
+                    let par = kernel_par(2 * bsz * cout * cin * k * l);
+                    if par.is_serial() {
+                        // Fused single pass: gx/gw/gb write disjoint tensors,
+                        // so this produces exactly the same values as the
+                        // split passes below — only the loop is shared.
+                        for bi in 0..bsz {
+                            for co in 0..cout {
+                                let grow = &gv[(bi * cout + co) * l..(bi * cout + co + 1) * l];
+                                gb.data_mut()[co] += grow.iter().sum::<f32>();
+                                for ci in 0..cin {
+                                    let xrow = &xv[(bi * cin + ci) * l..(bi * cin + ci + 1) * l];
+                                    let wrow = &wv[(co * cin + ci) * k..(co * cin + ci + 1) * k];
+                                    let gxrow = &mut gx.data_mut()
+                                        [(bi * cin + ci) * l..(bi * cin + ci + 1) * l];
+                                    let gwrow = &mut gw.data_mut()
+                                        [(co * cin + ci) * k..(co * cin + ci + 1) * k];
+                                    for kk in 0..k {
+                                        let shift = kk * dilation;
+                                        let t_lo = half.saturating_sub(shift);
+                                        let t_hi = (l + half).saturating_sub(shift).min(l);
+                                        let wk = wrow[kk];
+                                        let mut wacc = 0.0f32;
+                                        for t in t_lo..t_hi {
+                                            let xi = t + shift - half;
+                                            gxrow[xi] += wk * grow[t];
+                                            wacc += xrow[xi] * grow[t];
+                                        }
+                                        gwrow[kk] += wacc;
                                     }
-                                    gwrow[kk] += wacc;
                                 }
+                            }
+                        }
+                    } else {
+                        // Split passes over disjoint outputs. Each keeps the
+                        // fused loop's per-element accumulation order (co→kk
+                        // for gx rows, bi-ascending for gw/gb), so the split
+                        // and the parallel row partition are both exact.
+                        parallel::fill_rows(par, gx.data_mut(), l, |rows, chunk| {
+                            for (row, gxrow) in rows.zip(chunk.chunks_mut(l)) {
+                                let (bi, ci) = (row / cin, row % cin);
+                                for co in 0..cout {
+                                    let grow = &gv[(bi * cout + co) * l..(bi * cout + co + 1) * l];
+                                    let wrow = &wv[(co * cin + ci) * k..(co * cin + ci + 1) * k];
+                                    for (kk, &wk) in wrow.iter().enumerate() {
+                                        let shift = kk * dilation;
+                                        let t_lo = half.saturating_sub(shift);
+                                        let t_hi = (l + half).saturating_sub(shift).min(l);
+                                        for t in t_lo..t_hi {
+                                            gxrow[t + shift - half] += wk * grow[t];
+                                        }
+                                    }
+                                }
+                            }
+                        });
+                        parallel::fill_rows(par, gw.data_mut(), k, |rows, chunk| {
+                            for (row, gwrow) in rows.zip(chunk.chunks_mut(k)) {
+                                let (co, ci) = (row / cin, row % cin);
+                                for bi in 0..bsz {
+                                    let grow = &gv[(bi * cout + co) * l..(bi * cout + co + 1) * l];
+                                    let xrow = &xv[(bi * cin + ci) * l..(bi * cin + ci + 1) * l];
+                                    for (kk, gwv) in gwrow.iter_mut().enumerate() {
+                                        let shift = kk * dilation;
+                                        let t_lo = half.saturating_sub(shift);
+                                        let t_hi = (l + half).saturating_sub(shift).min(l);
+                                        let mut wacc = 0.0f32;
+                                        for t in t_lo..t_hi {
+                                            wacc += xrow[t + shift - half] * grow[t];
+                                        }
+                                        *gwv += wacc;
+                                    }
+                                }
+                            }
+                        });
+                        for co in 0..cout {
+                            for bi in 0..bsz {
+                                gb.data_mut()[co] += gv
+                                    [(bi * cout + co) * l..(bi * cout + co + 1) * l]
+                                    .iter()
+                                    .sum::<f32>();
                             }
                         }
                     }

@@ -92,6 +92,10 @@ pub struct ModelRegistry {
     clock: AtomicU64,
     capacity: usize,
     metrics: Arc<Metrics>,
+    /// Worker-thread count applied to every model this registry hands out
+    /// (0 = auto). A pure performance knob — detections are bit-identical
+    /// at any value — so it is registry-wide, not persisted per model.
+    threads: usize,
 }
 
 /// `<name>.triad` under the models directory.
@@ -149,7 +153,14 @@ impl ModelRegistry {
             clock: AtomicU64::new(1),
             capacity: capacity.max(1),
             metrics,
+            threads: 0,
         })
+    }
+
+    /// Worker-thread count applied to models as they are loaded or saved
+    /// (0 = auto; already-cached instances keep their setting).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
     }
 
     pub fn dir(&self) -> &Path {
@@ -166,8 +177,9 @@ impl ModelRegistry {
 
     /// Persist a freshly fitted model under `name` (atomic rename) and cache
     /// the live instance. Overwrites any previous model of the same name.
-    pub fn save_fitted(&mut self, name: &str, fitted: FittedTriad) -> Result<(), String> {
+    pub fn save_fitted(&mut self, name: &str, mut fitted: FittedTriad) -> Result<(), String> {
         validate_name(name)?;
+        fitted.set_threads(self.threads);
         let final_path = self.dir.join(format!("{name}.{MODEL_EXT}"));
         let tmp_path = self.dir.join(format!(".{name}.{MODEL_EXT}.tmp"));
         persist::save_file(&tmp_path, &fitted).map_err(|e| format!("save {name}: {e}"))?;
@@ -219,8 +231,9 @@ impl ModelRegistry {
             inc(&self.metrics.cache_hits);
         } else {
             inc(&self.metrics.cache_misses);
-            let fitted =
+            let mut fitted =
                 persist::load_file(&slot.path).map_err(|e| format!("load {}: {e}", slot.name))?;
+            fitted.set_threads(self.threads);
             *guard = Some(SendModel(fitted));
         }
         self.touch(slot);

@@ -40,6 +40,11 @@ pub struct ServeConfig {
     pub models_dir: PathBuf,
     /// Connection worker threads.
     pub workers: usize,
+    /// Worker threads *inside* each detection (the deterministic parallel
+    /// runtime; 0 = auto). Orthogonal to `workers`/`executors`: those decide
+    /// how many requests run at once, this decides how many cores one
+    /// request uses. Results are bit-identical at any value.
+    pub threads: usize,
     /// Batch executor threads.
     pub executors: usize,
     /// Detect batch closes at this many requests…
@@ -67,6 +72,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".into(),
             models_dir: PathBuf::from("models"),
             workers: 4,
+            threads: 0,
             executors: 2,
             max_batch: 16,
             max_delay_ms: 20,
@@ -162,7 +168,9 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let metrics = Arc::new(Metrics::new());
-    let registry = ModelRegistry::open(&cfg.models_dir, cfg.cache_capacity, Arc::clone(&metrics))?;
+    let mut registry =
+        ModelRegistry::open(&cfg.models_dir, cfg.cache_capacity, Arc::clone(&metrics))?;
+    registry.set_threads(cfg.threads);
     let policy = BatchPolicy {
         max_batch: cfg.max_batch.max(1),
         max_delay: Duration::from_millis(cfg.max_delay_ms),
@@ -173,9 +181,15 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
     // instances cannot cross into a shard). `fit` saves to disk before it
     // replies, so a fit→stream.open sequence always sees the file.
     let models_dir = cfg.models_dir.clone();
+    let detect_threads = cfg.threads;
     let loader: triad_stream::ModelLoader = Arc::new(move |name: &str| {
         let path = models_dir.join(format!("{name}.triad"));
-        persist::load_file(&path).map_err(|e| format!("load model {name:?}: {e}"))
+        persist::load_file(&path)
+            .map(|mut m| {
+                m.set_threads(detect_threads);
+                m
+            })
+            .map_err(|e| format!("load model {name:?}: {e}"))
     });
     let streams = StreamManager::new(
         ManagerConfig {

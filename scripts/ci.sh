@@ -10,11 +10,31 @@ cargo fmt --all --check
 echo "== cargo build --release"
 cargo build --workspace --release
 
-echo "== cargo test"
-cargo test --workspace -q
+echo "== cargo test (TRIAD_THREADS=1: serial everywhere)"
+TRIAD_THREADS=1 cargo test --workspace -q
+
+echo "== cargo test (TRIAD_THREADS=4: same suite through the parallel runtime)"
+TRIAD_THREADS=4 cargo test --workspace -q
 
 echo "== stream soak (high-rate replay, kill-and-restore mid-run)"
 cargo test --release -q --test stream_soak -- --ignored
+
+echo "== triad bench --smoke (fixed-seed workloads at 1/2/4/8 threads)"
+BENCH_DIR=$(mktemp -d)
+trap 'rm -rf "$BENCH_DIR"' EXIT
+cargo run -q --release -p triad-cli --bin triad -- bench --smoke --out-dir "$BENCH_DIR"
+for stage in train detect stream discord; do
+    f="$BENCH_DIR/BENCH_$stage.json"
+    [ -s "$f" ] || { echo "ERROR: missing $f" >&2; exit 1; }
+    for key in '"stage"' '"workload"' '"runs"' '"threads"' '"wall_ms"' \
+               '"speedup_vs_serial"' '"checksum"' '"bit_identical": true'; do
+        grep -q "$key" "$f" || {
+            echo "ERROR: $f missing $key" >&2
+            exit 1
+        }
+    done
+done
+echo "   BENCH_{train,detect,stream,discord}.json schema-complete"
 
 echo "== triad-lint --deny (workspace must be clean)"
 cargo run -q -p triad-lint -- --deny

@@ -1,0 +1,164 @@
+//! Shared fixtures for the cross-crate integration tests.
+//!
+//! Each test binary compiles this module independently (`mod common;`), so
+//! helpers here must not assume which subset a given test uses — hence the
+//! file-level `dead_code` allowance.
+//!
+//! Two rules keep these tests honest and fast:
+//!
+//! * **No fixed sleeps for readiness.** Anything that waits for a server or
+//!   a stream goes through a bounded poll ([`wait_until`], [`wait_for_seq`])
+//!   that returns as soon as the condition holds and panics loudly at the
+//!   deadline instead of hanging CI.
+//! * **One source of truth for fixtures.** The quick training config, the
+//!   archive-dataset lookup, and the ephemeral-server scaffolding live here
+//!   so serve/stream/determinism tests can't drift apart.
+
+#![allow(dead_code)]
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use triad_core::TriadConfig;
+use triad_serve::{Client, ServeConfig, ServerHandle, Value};
+use ucrgen::anomaly::AnomalyKind;
+use ucrgen::archive::generate_dataset;
+use ucrgen::UcrDataset;
+
+/// Generous cap for client calls: the assertion deadline is the poll loop's,
+/// not the socket's.
+pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Every anomaly kind the synthetic archive generates — the smoke matrix.
+pub const KINDS: [AnomalyKind; 6] = [
+    AnomalyKind::Noise,
+    AnomalyKind::Duration,
+    AnomalyKind::Seasonal,
+    AnomalyKind::Trend,
+    AnomalyKind::LevelShift,
+    AnomalyKind::Contextual,
+];
+
+/// The quick training config the integration tests fit with: small enough
+/// to train in seconds, big enough that detection works on archive data.
+pub fn quick_cfg(seed: u64) -> TriadConfig {
+    TriadConfig {
+        epochs: 2,
+        depth: 2,
+        hidden: 8,
+        batch: 4,
+        merlin_step: 4,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Find an archive dataset of a given anomaly kind.
+pub fn dataset_of(kind: AnomalyKind) -> UcrDataset {
+    (0..120)
+        .map(|id| generate_dataset(3, id))
+        .find(|d| d.kind == kind)
+        .expect("kind present in archive")
+}
+
+/// An easy archive dataset: a level-shift event in a clean periodic signal.
+pub fn easy_dataset() -> UcrDataset {
+    dataset_of(AnomalyKind::LevelShift)
+}
+
+/// A fresh (removed, not yet created) temp dir namespaced by test + pid.
+pub fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("triad_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Like [`tmp_dir`] but created, for servers that expect the dir to exist.
+pub fn tmp_dir_created(tag: &str) -> PathBuf {
+    let d = tmp_dir(tag);
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+/// Base config for an in-test server: ephemeral port, given model dir.
+/// Tests override the rest with struct-update syntax.
+pub fn ephemeral_serve_cfg(models: &Path) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        models_dir: models.to_path_buf(),
+        ..Default::default()
+    }
+}
+
+/// Start a server and return the handle plus its bound address. `start`
+/// only returns once the listener is bound, so no readiness sleep is
+/// needed before connecting.
+pub fn spawn_server(cfg: ServeConfig) -> (ServerHandle, String) {
+    let handle = triad_serve::start(cfg).expect("server start");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+pub fn connect(addr: &str) -> Client {
+    Client::connect(addr, CLIENT_TIMEOUT).expect("connect")
+}
+
+/// Bounded poll-until-ready: run `ready` every few milliseconds until it
+/// returns true or `deadline` elapses. Replaces fixed sleeps so tests run
+/// at condition speed and fail with `what` instead of hanging.
+pub fn wait_until(what: &str, deadline: Duration, mut ready: impl FnMut() -> bool) {
+    let start = Instant::now();
+    loop {
+        if ready() {
+            return;
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "timed out after {deadline:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Poll a stream until its ingested sequence number reaches `want`;
+/// returns the final status response.
+pub fn wait_for_seq(ctl: &mut Client, stream: &str, want: u64) -> Value {
+    let mut last = Value::Null;
+    wait_until(
+        &format!("stream {stream} to reach seq {want}"),
+        Duration::from_secs(60),
+        || {
+            last = ctl.stream_poll(stream).expect("stream.poll");
+            last.get("seq").and_then(Value::as_u64) >= Some(want)
+        },
+    );
+    last
+}
+
+/// Push every chunk at full speed, resending whenever the shard queue sheds
+/// it (explicit backpressure). Returns how many sends were shed at least
+/// once.
+pub fn push_with_retry(ctl: &mut Client, stream: &str, points: &[f64], chunk: usize) -> u64 {
+    let mut resent = 0u64;
+    for piece in points.chunks(chunk) {
+        let mut tries = 0u32;
+        loop {
+            let resp = ctl.stream_push(stream, piece).expect("stream.push");
+            if resp.get("queued").and_then(Value::as_bool) == Some(true) {
+                break;
+            }
+            resent += 1;
+            tries += 1;
+            assert!(tries < 10_000, "shard queue for {stream} stayed full");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    resent
+}
+
+/// Read a `u64` counter out of a `stats` response.
+pub fn stat_counter(stats: &Value, key: &str) -> u64 {
+    stats
+        .get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("stats missing {key}: {stats}"))
+}

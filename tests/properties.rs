@@ -3,6 +3,20 @@
 
 use proptest::prelude::*;
 
+/// A periodic test signal with deterministic jitter — cheap to generate,
+/// rich enough for the pipeline to find a period and for MERLIN to have
+/// non-trivial nearest-neighbour structure.
+fn jittered_sine(n: usize, period: usize, phase: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = 2.0 * std::f64::consts::PI * i as f64 / period as f64;
+            t.sin()
+                + 0.4 * (2.0 * t).cos()
+                + 0.05 * (((i as u64 * 37 + phase * 13) % 97) as f64 / 97.0 - 0.5)
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -197,5 +211,79 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+// Determinism of the parallel runtime (crates/parallel) under arbitrary
+// configurations. These complement the fixed matrix in
+// tests/parallel_determinism.rs with randomized shard/thread/seed choices.
+// Case counts are low because each case trains a model.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Parallel gradient accumulation is **exact**, not approximate: for a
+    /// random seed, shard count, and worker count, a fit equals the serial
+    /// fit bit-for-bit — persisted TRIAD2 bytes and the full loss trace.
+    #[test]
+    fn parallel_fit_equals_serial_exactly(
+        seed in 0u64..1000,
+        grad_shards in 1usize..5,
+        threads in 2usize..9,
+    ) {
+        let series = jittered_sine(384, 24, seed);
+        let cfg = triad_core::TriadConfig {
+            epochs: 1,
+            depth: 2,
+            hidden: 8,
+            batch: 4,
+            merlin_step: 4,
+            period_override: Some(24),
+            seed,
+            grad_shards,
+            threads: 1,
+            ..Default::default()
+        };
+        let fit_bytes = |threads: usize| -> (Vec<u8>, Vec<f64>) {
+            let cfg = triad_core::TriadConfig { threads, ..cfg.clone() };
+            let fitted = triad_core::TriAd::new(cfg).fit(&series).expect("fit");
+            let mut bytes = Vec::new();
+            triad_core::persist::save(&mut bytes, &fitted).expect("persist");
+            (bytes, fitted.report().epoch_losses.clone())
+        };
+        let (serial_bytes, serial_losses) = fit_bytes(1);
+        let (par_bytes, par_losses) = fit_bytes(threads);
+        prop_assert_eq!(serial_losses, par_losses);
+        prop_assert_eq!(serial_bytes, par_bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The parallel per-length MERLIN sweep returns the **same discord set**
+    /// regardless of worker count, for arbitrary series and length ranges.
+    #[test]
+    fn merlin_is_worker_count_invariant(
+        n in 80usize..400,
+        period in 8usize..40,
+        phase in 0u64..1000,
+        min_sel in 4usize..12,
+        span in 0usize..40,
+        step in 1usize..5,
+        threads in 2usize..9,
+    ) {
+        let mut series = jittered_sine(n, period, phase);
+        // Plant a small disturbance so the discord is non-degenerate.
+        let at = n / 2;
+        for (off, v) in series[at..(at + 6).min(n)].iter_mut().enumerate() {
+            *v += 1.5 + 0.2 * off as f64;
+        }
+        let min_len = min_sel;
+        let max_len = (min_len + span).min(n / 2);
+        prop_assume!(max_len >= min_len);
+        let cfg = discord::merlin::MerlinConfig::new(min_len, max_len).with_step(step);
+        let serial = parallel::with_ambient(1, || discord::merlin::merlin(&series, cfg));
+        let par = parallel::with_ambient(threads, || discord::merlin::merlin(&series, cfg));
+        prop_assert_eq!(serial, par);
     }
 }

@@ -7,27 +7,12 @@
 //! points of the ground-truth event, bit-for-bit identical responses across
 //! evict/reload, and a graceful shutdown that drains an in-flight request.
 
+mod common;
+
+use common::{easy_dataset, spawn_server, stat_counter, wait_until, CLIENT_TIMEOUT};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 use triad_serve::{Client, ServeConfig, Value};
-use ucrgen::anomaly::AnomalyKind;
-use ucrgen::archive::generate_dataset;
-
-const CLIENT_TIMEOUT: Duration = Duration::from_secs(300);
-
-fn tmp_models_dir() -> std::path::PathBuf {
-    let d = std::env::temp_dir().join(format!("triad_serve_e2e_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    d
-}
-
-/// An easy archive dataset: a level-shift event in a clean periodic signal.
-fn easy_dataset() -> ucrgen::UcrDataset {
-    (0..120)
-        .map(|id| generate_dataset(3, id))
-        .find(|d| d.kind == AnomalyKind::LevelShift)
-        .expect("level-shift dataset in archive")
-}
 
 fn range_of(v: &Value, key: &str) -> (usize, usize) {
     let arr = v.get(key).and_then(Value::as_arr).unwrap_or_else(|| {
@@ -41,10 +26,8 @@ fn range_of(v: &Value, key: &str) -> (usize, usize) {
 
 #[test]
 fn serve_fit_batch_detect_evict_shutdown() {
-    let models_dir = tmp_models_dir();
-    let handle = triad_serve::start(ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        models_dir: models_dir.clone(),
+    let models_dir = common::tmp_dir("serve_e2e");
+    let (handle, addr) = spawn_server(ServeConfig {
         workers: 10,
         // One executor makes the batching assertion deterministic: requests
         // arriving while it runs the first batch must coalesce.
@@ -54,10 +37,8 @@ fn serve_fit_batch_detect_evict_shutdown() {
         request_timeout_ms: 120_000,
         idle_timeout_ms: 120_000,
         cache_capacity: 4,
-        ..Default::default()
-    })
-    .expect("server start");
-    let addr = handle.addr().to_string();
+        ..common::ephemeral_serve_cfg(&models_dir)
+    });
 
     let ds = easy_dataset();
     let anomaly = ds.anomaly_in_test();
@@ -111,12 +92,7 @@ fn serve_fit_batch_detect_evict_shutdown() {
     }
 
     let stats = ctl.stats().expect("stats");
-    let counter = |k: &str| {
-        stats
-            .get(k)
-            .and_then(Value::as_u64)
-            .unwrap_or_else(|| panic!("stats missing {k}: {stats}"))
-    };
+    let counter = |k: &str| stat_counter(&stats, k);
     assert_eq!(counter("detect_total"), n_clients as u64);
     assert!(
         counter("batches_multi") >= 1,
@@ -170,6 +146,7 @@ fn serve_fit_batch_detect_evict_shutdown() {
     );
 
     // --- graceful shutdown drains an in-flight detect -----------------------
+    let base_requests = stat_counter(&ctl.stats().expect("stats"), "requests_total");
     let inflight = {
         let addr = addr.clone();
         let test = test.clone();
@@ -178,9 +155,18 @@ fn serve_fit_batch_detect_evict_shutdown() {
             c.detect("ucr-level-shift", &test)
         })
     };
-    // Give the in-flight request time to hit the wire, then ask for shutdown
-    // on a separate connection.
-    std::thread::sleep(Duration::from_millis(30));
+    // Wait until the in-flight detect's request line has actually been read
+    // by the server — requests_total must move past the baseline plus our
+    // own stats polls — then ask for shutdown on a separate connection.
+    let mut polls = 0u64;
+    wait_until(
+        "in-flight detect to reach the server",
+        Duration::from_secs(30),
+        || {
+            polls += 1;
+            stat_counter(&ctl.stats().expect("stats"), "requests_total") > base_requests + polls
+        },
+    );
     let bye = ctl.shutdown().expect("shutdown verb");
     assert_eq!(bye.get("draining").and_then(Value::as_bool), Some(true));
     let drained = inflight

@@ -6,39 +6,12 @@
 //! engine is killed mid-series, checkpointed, and restored from bytes at a
 //! deliberately off-stride cut.
 
-use triad_core::{TriAd, TriadConfig, TriadDetection};
+mod common;
+
+use common::{dataset_of, quick_cfg, KINDS};
+use triad_core::{TriAd, TriadDetection};
 use triad_stream::{checkpoint, StreamConfig, StreamEngine};
 use ucrgen::anomaly::AnomalyKind;
-use ucrgen::archive::generate_dataset;
-
-fn quick_cfg(seed: u64) -> TriadConfig {
-    TriadConfig {
-        epochs: 2,
-        depth: 2,
-        hidden: 8,
-        batch: 4,
-        merlin_step: 4,
-        seed,
-        ..Default::default()
-    }
-}
-
-/// Find an archive dataset of a given anomaly kind.
-fn dataset_of(kind: AnomalyKind) -> ucrgen::UcrDataset {
-    (0..120)
-        .map(|id| generate_dataset(3, id))
-        .find(|d| d.kind == kind)
-        .expect("kind present in archive")
-}
-
-const KINDS: [AnomalyKind; 6] = [
-    AnomalyKind::Noise,
-    AnomalyKind::Duration,
-    AnomalyKind::Seasonal,
-    AnomalyKind::Trend,
-    AnomalyKind::LevelShift,
-    AnomalyKind::Contextual,
-];
 
 fn replay(engine: &mut StreamEngine, fitted: &triad_core::FittedTriad, points: &[f64]) {
     for &x in points {

@@ -10,28 +10,18 @@
 //! * a final detection on close byte-equal to the offline `detect` over the
 //!   same series.
 
-use std::path::{Path, PathBuf};
-use std::time::Duration;
-use triad_core::{persist, TriAd, TriadConfig};
-use triad_serve::{proto, Client, ServeConfig, Value};
-use ucrgen::anomaly::AnomalyKind;
-use ucrgen::archive::generate_dataset;
+mod common;
 
-const CLIENT_TIMEOUT: Duration = Duration::from_secs(300);
+use common::{easy_dataset, push_with_retry, spawn_server, wait_for_seq, CLIENT_TIMEOUT};
+use std::path::Path;
+use triad_core::{persist, TriAd};
+use triad_serve::{proto, Client, ServeConfig, Value};
+
 const STREAMS: [&str; 3] = ["soak-a", "soak-b", "soak-c"];
 const CHUNK: usize = 23; // deliberately off-stride
 
-fn tmp_dir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("triad_stream_soak_{tag}_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).expect("mkdir");
-    d
-}
-
 fn serve_cfg(models: &Path, ckpt: &Path) -> ServeConfig {
     ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        models_dir: models.to_path_buf(),
         workers: 4,
         executors: 1,
         stream_shards: 2,
@@ -39,39 +29,8 @@ fn serve_cfg(models: &Path, ckpt: &Path) -> ServeConfig {
         // backpressure; the pusher resends shed chunks.
         stream_queue: 8,
         stream_checkpoint_dir: Some(ckpt.to_path_buf()),
-        ..Default::default()
+        ..common::ephemeral_serve_cfg(models)
     }
-}
-
-/// Push every chunk at full speed, resending whenever the shard queue sheds
-/// it. Returns how many sends were shed at least once.
-fn push_with_retry(ctl: &mut Client, stream: &str, points: &[f64]) -> u64 {
-    let mut resent = 0u64;
-    for chunk in points.chunks(CHUNK) {
-        let mut tries = 0u32;
-        loop {
-            let resp = ctl.stream_push(stream, chunk).expect("stream.push");
-            if resp.get("queued").and_then(Value::as_bool) == Some(true) {
-                break;
-            }
-            resent += 1;
-            tries += 1;
-            assert!(tries < 10_000, "shard queue for {stream} stayed full");
-            std::thread::sleep(Duration::from_millis(1));
-        }
-    }
-    resent
-}
-
-fn wait_for_seq(ctl: &mut Client, stream: &str, want: u64) -> Value {
-    for _ in 0..6000 {
-        let status = ctl.stream_poll(stream).expect("stream.poll");
-        if status.get("seq").and_then(Value::as_u64) >= Some(want) {
-            return status;
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    panic!("stream {stream} never reached seq {want}");
 }
 
 /// Canonical render of a poll response: every status field, none of the
@@ -116,38 +75,27 @@ fn checkpoint_failures(ctl: &mut Client) -> u64 {
 #[test]
 #[ignore = "soak test: run explicitly (CI does) with --ignored"]
 fn soak_replay_kill_restore_matches_offline() {
-    let models = tmp_dir("models");
-    let ckpts = tmp_dir("ckpts");
+    let models = common::tmp_dir_created("soak_models");
+    let ckpts = common::tmp_dir_created("soak_ckpts");
 
     // Ground truth: a quickly fitted model over an archive dataset, saved
     // where the server's model loader will find it.
-    let ds = (0..120)
-        .map(|id| generate_dataset(3, id))
-        .find(|d| d.kind == AnomalyKind::LevelShift)
-        .expect("level-shift dataset in archive");
-    let fitted = TriAd::new(TriadConfig {
-        epochs: 2,
-        depth: 2,
-        hidden: 8,
-        batch: 4,
-        merlin_step: 4,
-        ..Default::default()
-    })
-    .fit(ds.train())
-    .expect("fit");
+    let ds = easy_dataset();
+    let fitted = TriAd::new(common::quick_cfg(0))
+        .fit(ds.train())
+        .expect("fit");
     persist::save_file(&models.join("soak.triad"), &fitted).expect("save model");
     let test = ds.test().to_vec();
     let offline = fitted.detect(&test);
     let cut = test.len() / 2 + 3; // off-stride
 
     // --- server 1: open streams, replay the first half at high rate -------
-    let handle = triad_serve::start(serve_cfg(&models, &ckpts)).expect("server 1");
-    let addr = handle.addr().to_string();
+    let (handle, addr) = spawn_server(serve_cfg(&models, &ckpts));
     let mut ctl = Client::connect(&addr, CLIENT_TIMEOUT).expect("connect");
     let mut resent_total = 0u64;
     for name in STREAMS {
         ctl.stream_open(name, "soak").expect("stream.open");
-        resent_total += push_with_retry(&mut ctl, name, &test[..cut]);
+        resent_total += push_with_retry(&mut ctl, name, &test[..cut], CHUNK);
     }
     let mut snapshots = Vec::new();
     for name in STREAMS {
@@ -170,8 +118,7 @@ fn soak_replay_kill_restore_matches_offline() {
     handle.wait();
 
     // --- server 2 over the same directories: restore, finish, close -------
-    let handle = triad_serve::start(serve_cfg(&models, &ckpts)).expect("server 2");
-    let addr = handle.addr().to_string();
+    let (handle, addr) = spawn_server(serve_cfg(&models, &ckpts));
     let mut ctl = Client::connect(&addr, CLIENT_TIMEOUT).expect("connect");
     let listed = ctl.stream_list().expect("stream.list");
     let names: Vec<&str> = listed
@@ -200,7 +147,7 @@ fn soak_replay_kill_restore_matches_offline() {
         .map(|name| proto::detection_fields(name, &offline).to_string())
         .collect();
     for name in STREAMS {
-        resent_total += push_with_retry(&mut ctl, name, &test[cut..]);
+        resent_total += push_with_retry(&mut ctl, name, &test[cut..], CHUNK);
     }
     for (name, expected) in STREAMS.iter().zip(&expected_det) {
         wait_for_seq(&mut ctl, name, test.len() as u64);
