@@ -21,6 +21,8 @@
 
 #![forbid(unsafe_code)]
 
+mod trace_cmd;
+
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 use triad_core::{persist, FittedTriad, TriAd, TriadConfig};
@@ -103,6 +105,7 @@ USAGE:
   triad stream --addr HOST:PORT --model NAME --test FILE
                [--stream NAME] [--chunk N]
   triad bench  [--smoke] [--out-dir DIR] [--stages LIST]
+  triad trace  [--smoke] [--out-dir DIR] [--seed N] [--threads N]
 
 Series files hold one sample per line (UCR archive format accepted).
 `detect` prints the flagged region; with --labels it also prints metrics.
@@ -123,6 +126,12 @@ at any thread count.
 workloads at 1/2/4/8 threads) and writes one BENCH_<stage>.json per stage
 into --out-dir (default `.`); --smoke shrinks the workloads for CI and
 --stages narrows to a comma-separated subset.
+`trace` records a fixed-seed fit/detect/stream workload with structured
+tracing on, writes TRACE.jsonl and TRACE_chrome.json (loadable in
+chrome://tracing / Perfetto) into --out-dir, validates both, and prints a
+per-stage p50/p95/p99 summary with the critical path; --smoke shrinks the
+workload and additionally asserts the five pipeline stages are present and
+root spans cover ≥ 95% of the trace extent.
 "
     .to_string()
 }
@@ -159,6 +168,7 @@ pub fn run(cli: &Cli) -> Result<Vec<String>, String> {
         "client" => cmd_client(cli),
         "stream" => cmd_stream(cli),
         "bench" => cmd_bench(cli),
+        "trace" => trace_cmd::cmd_trace(cli),
         "help" | "--help" | "-h" => Ok(vec![usage()]),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }

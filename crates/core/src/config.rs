@@ -60,6 +60,12 @@ pub struct TriadConfig {
     /// so this is a pure performance knob and is *not* persisted with the
     /// model.
     pub threads: usize,
+    /// Force structured tracing on (`obs`): `fit`/`detect` open per-stage
+    /// spans readable via `triad trace`. `false` defers to the
+    /// `TRIAD_TRACE` environment variable. Tracing never changes detection
+    /// output (bit-identical on or off), so like `threads` this is a pure
+    /// observability knob and is *not* persisted with the model.
+    pub trace: bool,
     /// Gradient-accumulation shards per training batch. The batch is split
     /// into this many fixed contiguous sub-batches; each shard's
     /// contrastive loss is backpropagated independently and the gradients
@@ -103,6 +109,7 @@ impl Default for TriadConfig {
             merlin_step: 1,
             seed: 0,
             threads: 0,
+            trace: false,
             grad_shards: 1,
             use_temporal: true,
             use_frequency: true,

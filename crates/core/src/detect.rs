@@ -330,6 +330,9 @@ fn run_detect(
     // Scope the deterministic worker pool to this detection; everything
     // inside is thread-count invariant (see crates/parallel).
     parallel::with_ambient(cfg.threads, || {
+        obs::enable_from_config(cfg.trace);
+        let mut root = obs::span("detect");
+        root.add_field("n_test", test.len());
         let n = test.len();
         // Segment the test split; a split shorter than one window becomes a
         // single clamped window.
@@ -343,9 +346,19 @@ fn run_detect(
         let z = cfg.top_z.max(1);
         let mut rankings = Vec::with_capacity(model.encoders.len());
         for (d, _) in &model.encoders {
-            let rows = model.embed_windows_par(cfg, fx, &slices, *d);
-            let scores = similarity_scores(&rows);
-            rankings.push(ranking_from_scores(*d, scores, z));
+            let rows = {
+                let mut s = obs::span("featurize");
+                s.add_field("domain", format!("{d:?}"));
+                s.add_field("windows", slices.len());
+                model.embed_windows_par(cfg, fx, &slices, *d)
+            };
+            let ranking = {
+                let mut s = obs::span("rank");
+                s.add_field("domain", format!("{d:?}"));
+                let scores = similarity_scores(&rows);
+                ranking_from_scores(*d, scores, z)
+            };
+            rankings.push(ranking);
         }
 
         detect_from_rankings(cfg, train, test, &windows, rankings)
@@ -371,6 +384,7 @@ pub fn detect_from_rankings(
     // pool is (re-)scoped here as well; nesting under `run_detect` is a
     // no-op since the request is the same.
     parallel::with_ambient(cfg.threads, move || {
+        obs::enable_from_config(cfg.trace);
         detect_from_rankings_inner(cfg, train, test, windows, rankings)
     })
 }
@@ -392,14 +406,18 @@ fn detect_from_rankings_inner(
     let candidates: Vec<Range<usize>> = cand_idx.iter().map(|&i| windows.range(i)).collect();
 
     // --- Stage 2: single-window selection against the training split ---
-    let selected_window = candidates
-        .iter()
-        .max_by(|a, b| {
-            nearest_normal_distance(train, &test[(*a).clone()])
-                .total_cmp(&nearest_normal_distance(train, &test[(*b).clone()]))
-        })
-        .cloned()
-        .unwrap_or(0..n.min(windows.len));
+    let selected_window = {
+        let mut s = obs::span("narrow");
+        s.add_field("candidates", candidates.len());
+        candidates
+            .iter()
+            .max_by(|a, b| {
+                nearest_normal_distance(train, &test[(*a).clone()])
+                    .total_cmp(&nearest_normal_distance(train, &test[(*b).clone()]))
+            })
+            .cloned()
+            .unwrap_or(0..n.min(windows.len))
+    };
 
     // --- Stage 3: MERLIN around the selected window ---
     let l = selected_window.len();
@@ -412,14 +430,21 @@ fn detect_from_rankings_inner(
     let max_len = cfg.merlin_max_len.min(l.max(cfg.merlin_min_len));
     let sweep = MerlinConfig::new(cfg.merlin_min_len.min(max_len).max(2), max_len)
         .with_step(cfg.merlin_step);
-    let discords: Vec<Discord> = merlin(region, sweep)
-        .into_iter()
-        .map(|d| Discord {
-            index: d.index + region_start,
-            ..d
-        })
-        .collect();
+    let discords: Vec<Discord> = {
+        let mut s = obs::span("discord");
+        s.add_field("region_len", region.len());
+        let found: Vec<Discord> = merlin(region, sweep)
+            .into_iter()
+            .map(|d| Discord {
+                index: d.index + region_start,
+                ..d
+            })
+            .collect();
+        s.add_field("discords", found.len());
+        found
+    };
 
+    let mut vote_span = obs::span("vote");
     // --- Stage 4: voting (Eq. 8) ---
     // Plain mode: every source contributes one vote, exactly Eq. 8. Weighted
     // mode (the paper's Sec. III-D3 future-work scoring): discord votes are
@@ -468,6 +493,8 @@ fn detect_from_rankings_inner(
             *p = true;
         }
     }
+    vote_span.add_field("used_fallback", used_fallback);
+    drop(vote_span);
 
     TriadDetection {
         votes,

@@ -32,6 +32,10 @@ impl TriAd {
     /// Train on an anomaly-free series; keeps a copy of the training split
     /// for the single-window-selection stage.
     pub fn fit(self, train: &[f64]) -> Result<FittedTriad, String> {
+        obs::enable_from_config(self.cfg.trace);
+        let mut span = obs::span("fit");
+        span.add_field("n_train", train.len());
+        span.add_field("epochs", self.cfg.epochs);
         let trained = fit(&self.cfg, train)?;
         Ok(FittedTriad {
             cfg: self.cfg,

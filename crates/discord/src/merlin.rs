@@ -155,6 +155,9 @@ pub(crate) fn merlin_with(
         lengths.push(w);
         w += cfg.step;
     }
+    let mut span = obs::span("merlin-sweep");
+    span.add_field("n", series.len());
+    span.add_field("lengths", lengths.len());
     let Some((&first_len, rest_lens)) = lengths.split_first() else {
         return Vec::new();
     };

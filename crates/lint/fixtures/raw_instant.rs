@@ -1,0 +1,21 @@
+//@ path: crates/serve/src/fixture.rs
+//@ expect: raw-instant
+// Seeded violation: a raw Instant::now() next to the sanctioned obs
+// wrappers and a suppressed call with a recorded reason.
+
+pub fn stopwatch_start() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn trace_aligned_start() -> std::time::Instant {
+    obs::now_instant()
+}
+
+pub fn trace_aligned_ns() -> u64 {
+    obs::now_ns()
+}
+
+pub fn justified() -> std::time::Instant {
+    // lint-allow(raw-instant): comparing against a pre-epoch Instant captured by a dependency
+    std::time::Instant::now()
+}

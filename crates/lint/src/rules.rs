@@ -63,6 +63,10 @@ pub const RULES: &[(&str, &str)] = &[
         "raw std::thread::spawn outside crates/parallel; route work through the deterministic pool (or std::thread::Builder for named service threads)",
     ),
     (
+        "raw-instant",
+        "direct std::time::Instant::now() outside crates/obs and crates/bench; use obs::now_instant()/now_ns() so timestamps share the trace clock",
+    ),
+    (
         "suppress-reason",
         "lint-allow annotation without a reason, or naming a rule that does not exist",
     ),
@@ -115,6 +119,7 @@ pub fn run_all(cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
     no_static_mut(cx, out);
     lock_across_io(cx, out);
     thread_unbounded(cx, out);
+    raw_instant(cx, out);
     suppress_reason(cx, out);
 }
 
@@ -577,6 +582,46 @@ fn thread_unbounded(cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Raw `Instant::now()` in non-test code outside the observability layer.
+///
+/// The tracing subsystem derives every timestamp from one process-wide
+/// monotonic epoch (`obs::clock`); an ad-hoc `Instant::now()` produces
+/// times that cannot be aligned with trace spans. Production code should
+/// call `obs::now_instant()` (for deadline math on `Instant`s) or
+/// `obs::now_ns()` (for durations destined for metrics/spans). `crates/obs`
+/// owns the one sanctioned call; `crates/bench` is a measurement harness
+/// with its own stopwatch discipline and is exempt.
+fn raw_instant(cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if cx.crate_name == "obs" || cx.crate_name == "bench" {
+        return;
+    }
+    for i in 3..cx.slen() {
+        if cx.stext(i) != "now" {
+            continue;
+        }
+        // Match the `Instant :: now` path (two adjacent `:` puncts).
+        if !(cx.stext(i - 1) == ":"
+            && cx.stext(i - 2) == ":"
+            && adjacent(cx, i - 2)
+            && cx.stext(i - 3) == "Instant")
+        {
+            continue;
+        }
+        let t = cx.stok(i);
+        if cx.in_test_code(t.start) {
+            continue;
+        }
+        out.push(diag(
+            cx,
+            "raw-instant",
+            t.line,
+            "Instant::now() bypasses the shared trace clock; use obs::now_instant() \
+             or obs::now_ns()"
+                .to_string(),
+        ));
+    }
+}
+
 // ------------------------------------------------------------ suppression
 
 /// Audit the `lint-allow` comments themselves.
@@ -782,6 +827,40 @@ mod tests {
         assert!(check("crates/serve/src/f.rs", builder).is_empty());
         let scoped = "pub fn f(s: &crossbeam::thread::Scope<'_>) { s.spawn(|_| {}); }";
         assert!(check("crates/serve/src/f.rs", scoped).is_empty());
+    }
+
+    #[test]
+    fn raw_instant_fires_outside_obs_and_bench() {
+        let src = "pub fn f() -> std::time::Instant { std::time::Instant::now() }";
+        assert_eq!(
+            rules_of(&check("crates/serve/src/f.rs", src)),
+            vec!["raw-instant"]
+        );
+        // Bare-path spelling is the same token sequence.
+        let bare = "use std::time::Instant;\npub fn f() -> Instant { Instant::now() }";
+        assert_eq!(
+            rules_of(&check("crates/stream/src/f.rs", bare)),
+            vec!["raw-instant"]
+        );
+    }
+
+    #[test]
+    fn raw_instant_exempts_clock_owner_harness_and_tests() {
+        let src = "pub fn f() -> std::time::Instant { std::time::Instant::now() }";
+        // The obs clock owns the one sanctioned call site.
+        assert!(check("crates/obs/src/clock.rs", src).is_empty());
+        // The bench harness keeps its own stopwatch.
+        assert!(check("crates/bench/src/perf.rs", src).is_empty());
+        // Test code is exempt, like the other hygiene rules.
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn f() { let _ = std::time::Instant::now(); }\n}";
+        assert!(check("crates/serve/src/f.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn raw_instant_quiet_on_sanctioned_wrappers() {
+        let src = "pub fn f() -> u64 {\n    let _t = obs::now_instant();\n    obs::now_ns()\n}";
+        assert!(check("crates/serve/src/f.rs", src).is_empty());
     }
 
     #[test]

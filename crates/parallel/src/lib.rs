@@ -175,6 +175,11 @@ where
     let ranges = split_ranges(n, w);
     // lint-allow(no-unwrap): split_ranges returns exactly w >= 2 ranges here
     let (own, spawned) = ranges.split_first().expect("w >= 1 ranges");
+    let mut region = obs::span("parallel-region");
+    region.add_field("kind", "map_indexed");
+    region.add_field("workers", w);
+    region.add_field("items", n);
+    let region_id = region.id();
     let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
     let f = &f;
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -183,6 +188,8 @@ where
             let tx = tx.clone();
             s.spawn(move |_| {
                 let _pool = PoolGuard::enter();
+                let mut worker = obs::span_with_parent("worker", region_id);
+                worker.add_field("items", range.len());
                 for i in range {
                     // A send only fails when the receiver is gone, i.e. the
                     // caller side already panicked; results are moot then.
@@ -193,6 +200,8 @@ where
         drop(tx);
         {
             let _pool = PoolGuard::enter();
+            let mut worker = obs::span_with_parent("worker", region_id);
+            worker.add_field("items", own.len());
             for i in own.clone() {
                 slots[i] = Some(f(i, &items[i]));
             }
@@ -226,6 +235,11 @@ where
     let ranges = split_ranges(n, w);
     // lint-allow(no-unwrap): split_ranges returns exactly w >= 2 ranges here
     let (own, spawned) = ranges.split_first().expect("w >= 1 ranges");
+    let mut region = obs::span("parallel-region");
+    region.add_field("kind", "map_ranges");
+    region.add_field("workers", w);
+    region.add_field("items", n);
+    let region_id = region.id();
     let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
     let f = &f;
     let mut slots: Vec<Option<R>> = (0..w).map(|_| None).collect();
@@ -234,12 +248,16 @@ where
             let tx = tx.clone();
             s.spawn(move |_| {
                 let _pool = PoolGuard::enter();
+                let mut worker = obs::span_with_parent("worker", region_id);
+                worker.add_field("items", range.len());
                 let _ = tx.send((k + 1, f(range)));
             });
         }
         drop(tx);
         {
             let _pool = PoolGuard::enter();
+            let mut worker = obs::span_with_parent("worker", region_id);
+            worker.add_field("items", own.len());
             slots[0] = Some(f(own.clone()));
         }
         while let Ok((k, r)) = rx.recv() {
@@ -282,6 +300,11 @@ where
         rest = tail;
     }
     let f = &f;
+    let mut region = obs::span("parallel-region");
+    region.add_field("kind", "fill_rows");
+    region.add_field("workers", w);
+    region.add_field("items", rows);
+    let region_id = region.id();
     check_scope(crossbeam::scope(|s| {
         let mut iter = parts.into_iter();
         // lint-allow(no-unwrap): parts has exactly w >= 2 entries by construction
@@ -289,10 +312,14 @@ where
         for (range, chunk) in iter {
             s.spawn(move |_| {
                 let _pool = PoolGuard::enter();
+                let mut worker = obs::span_with_parent("worker", region_id);
+                worker.add_field("items", range.len());
                 f(range, chunk);
             });
         }
         let _pool = PoolGuard::enter();
+        let mut worker = obs::span_with_parent("worker", region_id);
+        worker.add_field("items", own.0.len());
         f(own.0, own.1);
     }));
 }

@@ -48,6 +48,10 @@ impl Default for BatchPolicy {
 pub struct DetectJob {
     pub series: Vec<f64>,
     pub enqueued: Instant,
+    /// Span open on the submitting thread (0 = tracing off): the executor
+    /// parents its `registry`/`detect` spans here so a request's trace is
+    /// one connected tree even though the pipeline runs on another thread.
+    pub trace_parent: u64,
     pub reply: mpsc::Sender<Result<Value, String>>,
 }
 
@@ -96,7 +100,8 @@ impl Batcher {
         let (tx, rx) = mpsc::channel();
         let job = DetectJob {
             series,
-            enqueued: Instant::now(),
+            enqueued: obs::now_instant(),
+            trace_parent: obs::current_span_id(),
             reply: tx,
         };
         let mut st = self.lock_state();
@@ -123,7 +128,7 @@ impl Batcher {
     fn next_batch(&self) -> Option<(String, Vec<DetectJob>)> {
         let mut st = self.lock_state();
         loop {
-            let now = Instant::now();
+            let now = obs::now_instant();
             let mut due: Option<String> = None;
             let mut next_deadline: Option<Instant> = None;
             for (name, jobs) in st.pending.iter() {
@@ -163,7 +168,7 @@ impl Batcher {
 
             let wait = match next_deadline {
                 Some(dl) => {
-                    let now = Instant::now();
+                    let now = obs::now_instant();
                     if dl <= now {
                         continue;
                     }
@@ -235,7 +240,10 @@ impl Batcher {
         }
 
         // Resolve the slot with a brief registry read lock, then release it
-        // before the (potentially long) pipeline run.
+        // before the (potentially long) pipeline run. The span parents to
+        // the first live request so the batch shows up in its trace tree.
+        let mut registry_span = obs::span_with_parent("registry", live[0].trace_parent);
+        registry_span.add_field("model", model);
         let slot = match registry.read() {
             Ok(reg) => reg.slot(model),
             Err(_) => None,
@@ -276,6 +284,7 @@ impl Batcher {
             }
             return;
         };
+        drop(registry_span);
 
         // Group identical payloads: one pipeline run per distinct series.
         let mut groups: Vec<(u64, Vec<DetectJob>)> = Vec::new();
@@ -294,12 +303,17 @@ impl Batcher {
         }
 
         for (_, gjobs) in groups {
+            let mut detect_span = obs::span_with_parent("detect", gjobs[0].trace_parent);
+            detect_span.add_field("model", model);
+            detect_span.add_field("n", gjobs[0].series.len());
+            detect_span.add_field("fanout", gjobs.len());
             // try_detect: a hostile payload (empty / NaN series) must come
             // back as an error envelope, not kill the executor thread.
             let result = fitted
                 .try_detect(&gjobs[0].series)
                 .map(|det| detection_fields(model, &det))
                 .map_err(|e| e.to_string());
+            drop(detect_span);
             for job in gjobs {
                 metrics
                     .detect_latency_us

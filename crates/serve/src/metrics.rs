@@ -5,16 +5,19 @@
 //! `stats` verb snapshots everything into JSON; [`Metrics::render_text`]
 //! produces the plain-text dump.
 //!
-//! The histogram type is [`triad_stream::Histogram`] (shared with the
-//! streaming layer's per-shard metrics), which derives p50/p95/p99
-//! estimates from its bucket counts; both the JSON snapshot and the text
-//! exposition include those quantiles alongside the raw buckets.
+//! The histogram type is [`obs::Histogram`] (one shared implementation for
+//! the whole workspace; the streaming layer's per-shard metrics use the
+//! same type), which derives p50/p95/p99 estimates from its bucket counts;
+//! both the JSON snapshot and the text exposition include those quantiles
+//! alongside the raw buckets. The snapshot also surfaces the tracing
+//! subsystem's span/drop tallies so a production `stats` call shows whether
+//! (and how completely) tracing is recording.
 
 use crate::json::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-pub use triad_stream::{Histogram, HistogramSnapshot};
+pub use obs::{Histogram, HistogramSnapshot};
 
 /// JSON snapshot of one histogram: raw buckets (`le_*` / `inf`), count,
 /// sum, mean, and bucket-derived p50/p95/p99.
@@ -86,7 +89,7 @@ macro_rules! metrics_struct {
                     queue_wait_us: Histogram::new(&[100, 1_000, 10_000, 100_000, 1_000_000]),
                     fit_latency_ms: Histogram::new(&[10, 100, 1_000, 10_000, 60_000]),
                     batch_size: Histogram::new(&[1, 2, 4, 8, 16, 32]),
-                    started: Instant::now(),
+                    started: obs::now_instant(),
                 }
             }
 
@@ -99,6 +102,11 @@ macro_rules! metrics_struct {
                 ];
                 fields.push(("uptime_ms".into(),
                     Value::Num(self.started.elapsed().as_millis() as f64)));
+                fields.push(("trace_enabled".into(), Value::Bool(obs::enabled())));
+                fields.push(("trace_spans_recorded".into(),
+                    Value::Num(obs::spans_recorded() as f64)));
+                fields.push(("trace_spans_dropped".into(),
+                    Value::Num(obs::spans_dropped() as f64)));
                 for (name, h) in [
                     ("detect_latency_us", &self.detect_latency_us),
                     ("queue_wait_us", &self.queue_wait_us),
@@ -124,6 +132,9 @@ macro_rules! metrics_struct {
                     );
                 )*
                 let _ = writeln!(out, "triad_uptime_ms {}", self.started.elapsed().as_millis());
+                let _ = writeln!(out, "triad_trace_enabled {}", obs::enabled() as u64);
+                let _ = writeln!(out, "triad_trace_spans_recorded {}", obs::spans_recorded());
+                let _ = writeln!(out, "triad_trace_spans_dropped {}", obs::spans_dropped());
                 render_histogram(&self.detect_latency_us, "triad_detect_latency_us", "_us", &mut out);
                 render_histogram(&self.queue_wait_us, "triad_queue_wait_us", "_us", &mut out);
                 render_histogram(&self.fit_latency_ms, "triad_fit_latency_ms", "_ms", &mut out);

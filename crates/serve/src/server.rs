@@ -27,7 +27,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use triad_core::{persist, TriAd, TriadConfig};
 use triad_stream::{ManagerConfig, ShardMetrics, StreamManager};
 
@@ -226,6 +226,9 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
                     }
                     match stream {
                         Ok(s) => {
+                            // Marks the handoff of an accepted socket to the
+                            // worker pool in the trace timeline.
+                            let _accept = obs::span("accept");
                             if conn_tx.send(s).is_err() {
                                 break;
                             }
@@ -312,17 +315,32 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
             continue;
         }
         inc(&shared.metrics.requests_total);
-        let (response, wants_shutdown) = handle_request(shared, line.trim());
+        let mut req_span = obs::span("request");
+        req_span.add_field("bytes", line.trim().len());
+        let (mut response, wants_shutdown) = handle_request(shared, line.trim());
         if response.get("ok").and_then(Value::as_bool) == Some(false) {
             inc(&shared.metrics.errors_total);
         }
+        // Echo the request's span id so a client can find its trace. Only
+        // injected while tracing is live: with tracing off the envelope is
+        // byte-identical to an uninstrumented server.
+        if req_span.id() != 0 {
+            if let Value::Obj(fields) = &mut response {
+                fields.push(("trace_id".into(), Value::Num(req_span.id() as f64)));
+            }
+        }
         let out = response.to_string();
-        if writer
-            .write_all(out.as_bytes())
-            .and_then(|_| writer.write_all(b"\n"))
-            .and_then(|_| writer.flush())
-            .is_err()
-        {
+        let write_failed = {
+            let mut respond_span = obs::span("respond");
+            respond_span.add_field("bytes", out.len());
+            writer
+                .write_all(out.as_bytes())
+                .and_then(|_| writer.write_all(b"\n"))
+                .and_then(|_| writer.flush())
+                .is_err()
+        };
+        drop(req_span);
+        if write_failed {
             break;
         }
         inc(&shared.metrics.responses_total);
@@ -340,6 +358,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
 /// Dispatch one request line. Returns the response and whether the verb
 /// asked the whole server to shut down.
 fn handle_request(shared: &Arc<Shared>, line: &str) -> (Value, bool) {
+    let parse_span = obs::span("parse");
     let req = match json::parse(line) {
         Ok(v @ Value::Obj(_)) => v,
         Ok(_) => {
@@ -350,6 +369,7 @@ fn handle_request(shared: &Arc<Shared>, line: &str) -> (Value, bool) {
         }
         Err(e) => return (err_response("?", None, &format!("bad JSON: {e}")), false),
     };
+    drop(parse_span);
     let id = req.get("id").cloned();
     let id = id.as_ref();
     let Some(verb) = req.get("verb").and_then(Value::as_str) else {
@@ -486,7 +506,7 @@ fn handle_fit(shared: &Arc<Shared>, req: &Value, id: Option<&Value>) -> Value {
         return err_response("fit", id, &format!("bad config: {e}"));
     }
 
-    let t0 = Instant::now();
+    let t0 = obs::now_instant();
     let fitted = match TriAd::new(cfg).fit(&train) {
         Ok(f) => f,
         Err(e) => return err_response("fit", id, &format!("fit failed: {e}")),
@@ -541,7 +561,11 @@ fn handle_detect(shared: &Arc<Shared>, req: &Value, id: Option<&Value>) -> Value
     // Queue budget is `request_timeout` (enforced by the batcher); on top of
     // that allow generous pipeline time before giving up on the reply.
     let wait = shared.request_timeout + Duration::from_secs(120);
-    match rx.recv_timeout(wait) {
+    let received = {
+        let _wait_span = obs::span("batch-wait");
+        rx.recv_timeout(wait)
+    };
+    match received {
         Ok(Ok(body)) => detect_response(id, body),
         Ok(Err(e)) => err_response("detect", id, &e),
         Err(_) => err_response("detect", id, "detect timed out"),

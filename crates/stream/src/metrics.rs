@@ -1,142 +1,15 @@
 //! Lock-free per-shard observability.
 //!
 //! Same discipline as `triad-serve`'s metrics: every hot-path update is one
-//! relaxed atomic op, snapshots tolerate torn reads. The [`Histogram`] here
-//! additionally derives quantile estimates (p50/p95/p99) from its bucket
-//! counts — `triad-serve` re-exports it so tail latency is visible in the
-//! `stats` verb, not just counts and means.
+//! relaxed atomic op, snapshots tolerate torn reads. The histogram used for
+//! score latency lives in `obs` ([`obs::Histogram`]) — one shared
+//! implementation for the whole workspace — and is re-exported here (and by
+//! `triad-serve`) so existing callers and the `stats` verb keep their exact
+//! shape.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Fixed-bucket histogram with bucket-derived quantile estimates.
-pub struct Histogram {
-    /// Upper bounds, ascending; values beyond the last bound land in a final
-    /// overflow bucket.
-    bounds: &'static [u64],
-    counts: Vec<AtomicU64>,
-    sum: AtomicU64,
-    total: AtomicU64,
-}
-
-impl Histogram {
-    pub fn new(bounds: &'static [u64]) -> Self {
-        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
-        Histogram {
-            bounds,
-            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
-            sum: AtomicU64::new(0),
-            total: AtomicU64::new(0),
-        }
-    }
-
-    pub fn observe(&self, value: u64) {
-        let idx = self
-            .bounds
-            .iter()
-            .position(|&b| value <= b)
-            .unwrap_or(self.bounds.len());
-        // relaxed-ok: independent monotone counters; no cross-counter ordering
-        // is observable and snapshot readers tolerate torn totals.
-        self.counts[idx].fetch_add(1, Ordering::Relaxed);
-        // relaxed-ok: same monotone-tally argument as the bucket above.
-        self.sum.fetch_add(value, Ordering::Relaxed);
-        // relaxed-ok: same monotone-tally argument as the bucket above.
-        self.total.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub fn count(&self) -> u64 {
-        // relaxed-ok: monitoring read of one counter; staleness is fine.
-        self.total.load(Ordering::Relaxed)
-    }
-
-    pub fn mean(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            // relaxed-ok: approximate snapshot; sum/count may be torn by a
-            // concurrent observe, which only perturbs the reported mean.
-            self.sum.load(Ordering::Relaxed) as f64 / n as f64
-        }
-    }
-
-    /// Bucket-derived quantile estimate for `q ∈ [0, 1]`: linear
-    /// interpolation inside the bucket holding the target rank; the
-    /// overflow bucket reports the last finite bound (the classic
-    /// `histogram_quantile` convention). 0.0 when empty.
-    pub fn quantile(&self, q: f64) -> f64 {
-        self.snapshot().quantile(q)
-    }
-
-    /// Consistent-enough copy of the current state for rendering.
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            bounds: self.bounds,
-            counts: self
-                .counts
-                .iter()
-                // relaxed-ok: stats snapshot; buckets may be torn vs. totals.
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            // relaxed-ok: stats snapshot, same as the buckets above.
-            sum: self.sum.load(Ordering::Relaxed),
-            // relaxed-ok: stats snapshot, same as the buckets above.
-            total: self.total.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// Plain-data copy of a [`Histogram`] at one instant.
-#[derive(Debug, Clone, PartialEq)]
-pub struct HistogramSnapshot {
-    /// Bucket upper bounds; `counts` has one extra overflow entry.
-    pub bounds: &'static [u64],
-    pub counts: Vec<u64>,
-    pub sum: u64,
-    pub total: u64,
-}
-
-impl HistogramSnapshot {
-    pub fn mean(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.total as f64
-        }
-    }
-
-    /// See [`Histogram::quantile`].
-    pub fn quantile(&self, q: f64) -> f64 {
-        let total: u64 = self.counts.iter().sum();
-        if total == 0 {
-            return 0.0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        // Rank of the target observation, 1-based, at least 1.
-        let rank = (q * total as f64).ceil().max(1.0);
-        let mut cum = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            let next = cum + c;
-            if (next as f64) >= rank && c > 0 {
-                let lo = if i == 0 {
-                    0.0
-                } else {
-                    self.bounds[i - 1] as f64
-                };
-                if i >= self.bounds.len() {
-                    // Overflow bucket has no upper bound: report the last
-                    // finite bound rather than inventing one.
-                    return lo;
-                }
-                let hi = self.bounds[i] as f64;
-                let into = (rank - cum as f64) / c as f64;
-                return lo + (hi - lo) * into;
-            }
-            cum = next;
-        }
-        self.bounds.last().copied().unwrap_or(0) as f64
-    }
-}
+pub use obs::{Histogram, HistogramSnapshot};
 
 /// Per-shard counters for the multi-stream manager.
 pub struct ShardMetrics {
@@ -207,64 +80,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quantiles_interpolate_within_buckets() {
-        let h = Histogram::new(&[10, 100, 1000]);
-        // 100 observations spread evenly through (10, 100].
-        for _ in 0..100 {
-            h.observe(50);
-        }
-        let p50 = h.quantile(0.5);
-        // Rank 50 of 100, all in bucket (10, 100]: 10 + 90·(50/100) = 55.
-        assert!((p50 - 55.0).abs() < 1e-9, "p50 {p50}");
-        let p99 = h.quantile(0.99);
-        assert!((p99 - (10.0 + 90.0 * 0.99)).abs() < 1e-9, "p99 {p99}");
-    }
-
-    #[test]
-    fn quantiles_cross_buckets_and_overflow() {
-        let h = Histogram::new(&[10, 100]);
-        for _ in 0..50 {
-            h.observe(5); // bucket ≤10
-        }
-        for _ in 0..40 {
-            h.observe(60); // bucket (10, 100]
-        }
-        for _ in 0..10 {
-            h.observe(5000); // overflow
-        }
-        assert!(h.quantile(0.25) <= 10.0);
-        let p80 = h.quantile(0.8);
-        assert!(p80 > 10.0 && p80 <= 100.0, "p80 {p80}");
-        // Overflow bucket reports the last finite bound.
-        assert!((h.quantile(0.999) - 100.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn quantile_empty_and_extremes() {
-        let h = Histogram::new(&[10]);
-        assert_eq!(h.quantile(0.5), 0.0);
-        h.observe(3);
-        assert!(h.quantile(0.0) >= 0.0);
-        assert!(h.quantile(1.0) <= 10.0);
-        assert_eq!(h.count(), 1);
-        assert!((h.mean() - 3.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn snapshot_matches_live_state() {
-        let h = Histogram::new(&[10, 100]);
-        for v in [1, 11, 12, 500] {
-            h.observe(v);
-        }
-        let s = h.snapshot();
-        assert_eq!(s.total, 4);
-        assert_eq!(s.sum, 524);
-        assert_eq!(s.counts, vec![1, 2, 1]);
-        assert!((s.mean() - 131.0).abs() < 1e-9);
-        assert!((s.quantile(0.5) - h.quantile(0.5)).abs() < 1e-12);
-    }
-
-    #[test]
     fn shard_metrics_counters() {
         let m = ShardMetrics::new();
         ShardMetrics::add(&m.ingested, 10);
@@ -274,5 +89,13 @@ mod tests {
         assert_eq!(ShardMetrics::get(&m.open_streams), 3);
         m.score_latency_us.observe(42);
         assert_eq!(m.score_latency_us.count(), 1);
+    }
+
+    #[test]
+    fn histogram_reexport_is_the_obs_type() {
+        // The dedupe contract: serve/stream histograms ARE obs histograms.
+        let h: obs::Histogram = Histogram::new(&[10]);
+        h.observe(4);
+        assert_eq!(h.count(), 1);
     }
 }

@@ -27,7 +27,6 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 use std::sync::Arc;
-use std::time::Instant;
 use triad_core::{FittedTriad, TriadDetection};
 
 /// Builds a fitted model by name, on the shard thread that will own it.
@@ -423,6 +422,8 @@ impl ShardState {
     /// Write `<stream>.ckpt` via a temp file + rename so a crash mid-write
     /// never leaves a torn checkpoint where a good one stood.
     fn write_checkpoint(&self, stream: &str, open: &OpenStream) -> Result<(), StreamError> {
+        let mut span = obs::span("shard-checkpoint");
+        span.add_field("stream", stream);
         let Some(path) = self.ckpt_path(stream) else {
             return Err(StreamError::Checkpoint(triad_core::PersistError::Format(
                 "no checkpoint directory configured".into(),
@@ -485,6 +486,8 @@ fn shard_main(
                 model,
                 reply,
             } => {
+                let mut open_span = obs::span("shard-open");
+                open_span.add_field("stream", &stream);
                 let result = if st.streams.contains_key(&stream) {
                     Err(StreamError::DuplicateStream(stream))
                 } else {
@@ -506,16 +509,22 @@ fn shard_main(
                 let Some(fitted) = st.models.get(&open.model).map(Rc::clone) else {
                     continue;
                 };
+                let mut ingest_span = obs::span("shard-ingest");
+                ingest_span.add_field("stream", &stream);
+                ingest_span.add_field("points", points.len());
                 let events_before = open.engine.events().len();
                 for &x in &points {
-                    let t0 = Instant::now();
+                    let t0 = obs::now_ns();
                     match open.engine.push(&fitted, x) {
                         Ok(outcome) => {
                             if outcome.completed_window.is_some() {
+                                let end = obs::now_ns();
                                 ShardMetrics::add(&st.metrics.windows_scored, 1);
-                                st.metrics.score_latency_us.observe(
-                                    t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
-                                );
+                                st.metrics.score_latency_us.observe((end - t0) / 1_000);
+                                // A completed window ran the stage-1 scorer:
+                                // that interval (not every cheap buffering
+                                // push) is the span worth attributing.
+                                obs::record_span("shard-score", t0, end, Vec::new());
                             }
                         }
                         Err(_) => ShardMetrics::add(&st.metrics.dropped_nonfinite, 1),

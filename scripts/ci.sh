@@ -21,7 +21,8 @@ cargo test --release -q --test stream_soak -- --ignored
 
 echo "== triad bench --smoke (fixed-seed workloads at 1/2/4/8 threads)"
 BENCH_DIR=$(mktemp -d)
-trap 'rm -rf "$BENCH_DIR"' EXIT
+TRACE_DIR=$(mktemp -d)
+trap 'rm -rf "$BENCH_DIR" "$TRACE_DIR"' EXIT
 cargo run -q --release -p triad-cli --bin triad -- bench --smoke --out-dir "$BENCH_DIR"
 for stage in train detect stream discord; do
     f="$BENCH_DIR/BENCH_$stage.json"
@@ -35,6 +36,38 @@ for stage in train detect stream discord; do
     done
 done
 echo "   BENCH_{train,detect,stream,discord}.json schema-complete"
+
+echo "== triad trace --smoke (fixed-seed traced workload; exports must validate)"
+# The verb itself validates both exports (unique ids, parent links, nesting,
+# per-thread monotone timestamps), asserts the five pipeline stages are
+# attributed, and requires >= 95% root-span coverage. The shell checks below
+# are a redundant schema gate over the written JSONL.
+cargo run -q --release -p triad-cli --bin triad -- trace --smoke --out-dir "$TRACE_DIR"
+TRACE_FILE="$TRACE_DIR/TRACE.jsonl"
+[ -s "$TRACE_FILE" ] || { echo "ERROR: missing $TRACE_FILE" >&2; exit 1; }
+[ -s "$TRACE_DIR/TRACE_chrome.json" ] || { echo "ERROR: missing TRACE_chrome.json" >&2; exit 1; }
+for key in '"id"' '"parent"' '"tid"' '"name"' '"start_ns"' '"end_ns"'; do
+    grep -q "$key" "$TRACE_FILE" || {
+        echo "ERROR: $TRACE_FILE missing field $key" >&2
+        exit 1
+    }
+done
+for stage in featurize rank narrow discord vote; do
+    grep -q "\"name\":\"$stage\"" "$TRACE_FILE" || {
+        echo "ERROR: $TRACE_FILE missing pipeline stage $stage" >&2
+        exit 1
+    }
+done
+# Every non-zero parent id must itself appear as a span id (no orphans).
+awk -F'"id":' '{ split($2, a, ","); print a[1] }' "$TRACE_FILE" | sort -u > "$TRACE_DIR/ids"
+awk -F'"parent":' '{ split($2, a, ","); if (a[1] != "0") print a[1] }' "$TRACE_FILE" \
+    | sort -u > "$TRACE_DIR/parents"
+ORPHANS=$(comm -13 "$TRACE_DIR/ids" "$TRACE_DIR/parents")
+[ -z "$ORPHANS" ] || {
+    echo "ERROR: $TRACE_FILE has orphan parent ids: $ORPHANS" >&2
+    exit 1
+}
+echo "   TRACE.jsonl schema-complete, five stages attributed, no orphan parents"
 
 echo "== triad-lint --deny (workspace must be clean)"
 cargo run -q -p triad-lint -- --deny

@@ -1,0 +1,124 @@
+//! Cross-crate integration: trace a real detect workload, export it in
+//! both formats, and check the invariants the exporters promise — spans
+//! round-trip exactly, parent links resolve, timestamps are monotone per
+//! thread, and all five pipeline stages are individually attributable.
+//!
+//! This file runs as its own process (root `tests/`), so enabling tracing
+//! globally here cannot leak into other test binaries.
+
+use std::collections::HashSet;
+use std::f64::consts::PI;
+use triad_core::{TriAd, TriadConfig};
+
+const STAGES: &[&str] = &["featurize", "rank", "narrow", "discord", "vote"];
+
+fn series() -> (Vec<f64>, Vec<f64>) {
+    let p = 32.0;
+    let (n_train, n_test) = (640usize, 480usize);
+    let mut full: Vec<f64> = (0..n_train + n_test)
+        .map(|i| {
+            (2.0 * PI * i as f64 / p).sin()
+                + 0.3 * (4.0 * PI * i as f64 / p).sin()
+                + 0.02 * (((i * 37) % 97) as f64 / 97.0 - 0.5)
+        })
+        .collect();
+    for i in n_train + 220..n_train + 280 {
+        full[i] = (8.0 * PI * i as f64 / p).sin();
+    }
+    let test = full.split_off(n_train);
+    (full, test)
+}
+
+/// One traced fit+detect at 4 threads; returns the drained records.
+fn traced_workload() -> Vec<obs::SpanRecord> {
+    obs::set_enabled(true);
+    let cfg = TriadConfig {
+        epochs: 3,
+        depth: 3,
+        hidden: 12,
+        batch: 4,
+        merlin_step: 4,
+        threads: 4,
+        trace: true,
+        ..TriadConfig::default()
+    };
+    let (train, test) = series();
+    let fitted = TriAd::new(cfg).fit(&train).expect("fit");
+    let _ = fitted.detect(&test);
+    obs::flush_thread();
+    let records = obs::take_records();
+    obs::set_enabled(false);
+    records
+}
+
+#[test]
+fn exports_round_trip_validate_and_cover_all_stages() {
+    let records = traced_workload();
+    assert!(!records.is_empty(), "traced workload recorded nothing");
+
+    // JSONL round-trip: parse back to exactly the recorded spans.
+    let jsonl = obs::to_jsonl(&records);
+    let parsed = obs::parse_jsonl(&jsonl).expect("parse TRACE.jsonl");
+    assert_eq!(parsed.len(), records.len());
+    for (r, p) in records.iter().zip(&parsed) {
+        assert_eq!((r.id, r.parent, r.tid), (p.id, p.parent, p.tid));
+        assert_eq!(r.name, p.name);
+        assert_eq!((r.start_ns, r.end_ns), (p.start_ns, p.end_ns));
+    }
+
+    // Chrome round-trip: same span set at nanosecond resolution.
+    let chrome = obs::to_chrome(&records);
+    let chrome_parsed = obs::parse_chrome(&chrome).expect("parse Chrome trace");
+    assert_eq!(chrome_parsed.len(), records.len());
+    for (r, p) in records.iter().zip(&chrome_parsed) {
+        assert_eq!(r.id, p.id, "span {} lost identity", r.id);
+        assert_eq!((r.start_ns, r.end_ns), (p.start_ns, p.end_ns));
+    }
+
+    // Structural invariants: unique ids, resolvable parents, nesting, and
+    // per-thread monotone completion times.
+    obs::validate(&parsed, 0).expect("JSONL trace validates");
+    obs::validate(&chrome_parsed, 0).expect("Chrome trace validates");
+
+    // Parent links resolve (validate checks this too; assert it directly so
+    // a future validate() relaxation cannot silently drop the guarantee).
+    let ids: HashSet<u64> = parsed.iter().map(|s| s.id).collect();
+    for s in &parsed {
+        assert!(
+            s.parent == 0 || ids.contains(&s.parent),
+            "span {} has orphan parent {}",
+            s.id,
+            s.parent
+        );
+    }
+
+    // Timestamps monotone per thread, in file order.
+    let mut last_end: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for s in &parsed {
+        let prev = last_end.entry(s.tid).or_insert(0);
+        assert!(
+            s.end_ns >= *prev,
+            "thread {} went backwards: {} after {}",
+            s.tid,
+            s.end_ns,
+            prev
+        );
+        *prev = s.end_ns;
+    }
+
+    // All five pipeline stages individually attributable.
+    for stage in STAGES {
+        assert!(
+            parsed.iter().any(|s| s.name == *stage),
+            "missing pipeline stage {stage:?}"
+        );
+    }
+
+    // The summary sees them too, and the detect root dominates its stages.
+    let summary = obs::summarize(&parsed);
+    for stage in STAGES {
+        assert!(summary.stages.iter().any(|s| &s.name == stage));
+    }
+    assert!(summary.wall_ns > 0);
+    assert!(summary.coverage > 0.0);
+}

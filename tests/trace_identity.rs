@@ -1,0 +1,83 @@
+//! Cross-crate integration: structured tracing (`obs`) is a pure observer.
+//! Detection output must be bit-identical with tracing on vs off, at both
+//! serial and parallel thread counts.
+//!
+//! This file runs as its own process, so flipping the global trace switch
+//! here cannot leak into other test binaries.
+
+use std::f64::consts::PI;
+use std::sync::Mutex;
+use triad_core::{TriAd, TriadConfig, TriadDetection};
+
+/// Both tests toggle the process-global trace switch; serialize them.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn series() -> (Vec<f64>, Vec<f64>) {
+    let p = 32.0;
+    let (n_train, n_test) = (640usize, 480usize);
+    let mut full: Vec<f64> = (0..n_train + n_test)
+        .map(|i| {
+            (2.0 * PI * i as f64 / p).sin()
+                + 0.3 * (4.0 * PI * i as f64 / p).sin()
+                + 0.02 * (((i * 37) % 97) as f64 / 97.0 - 0.5)
+        })
+        .collect();
+    for i in n_train + 220..n_train + 280 {
+        full[i] = (8.0 * PI * i as f64 / p).sin();
+    }
+    let test = full.split_off(n_train);
+    (full, test)
+}
+
+fn run(threads: usize, trace: bool) -> TriadDetection {
+    obs::set_enabled(trace);
+    let cfg = TriadConfig {
+        epochs: 3,
+        depth: 3,
+        hidden: 12,
+        batch: 4,
+        merlin_step: 4,
+        threads,
+        trace,
+        ..TriadConfig::default()
+    };
+    let (train, test) = series();
+    let det = TriAd::new(cfg).fit(&train).expect("fit").detect(&test);
+    // Leave no state behind for the next configuration.
+    obs::flush_thread();
+    let _ = obs::take_records();
+    obs::set_enabled(false);
+    det
+}
+
+#[test]
+fn detection_is_bit_identical_with_tracing_on_or_off() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for threads in [1usize, 4] {
+        let untraced = run(threads, false);
+        let traced = run(threads, true);
+        assert_eq!(
+            traced, untraced,
+            "tracing changed the detection at {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
+fn traced_run_actually_records_and_untraced_run_does_not() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_enabled(false);
+    let _ = obs::take_records();
+    let before = obs::spans_recorded();
+    let _ = run(1, false);
+    assert_eq!(
+        obs::spans_recorded(),
+        before,
+        "spans recorded while tracing was off"
+    );
+    let _ = run(1, true);
+    assert!(
+        obs::spans_recorded() > before,
+        "no spans recorded while tracing was on"
+    );
+}
