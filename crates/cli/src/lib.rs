@@ -105,6 +105,10 @@ USAGE:
   triad stream --addr HOST:PORT --model NAME --test FILE
                [--stream NAME] [--chunk N]
   triad bench  [--smoke] [--out-dir DIR] [--stages LIST]
+  triad evalbed [--smoke] [--out-dir DIR] [--datasets SPEC] [--methods LIST]
+               [--metrics LIST] [--epochs N] [--seed N] [--archive-seed N]
+               [--threads N] [--resume] [--no-cache] [--models DIR]
+               [--stride-sweep] [--check FILE] [--tolerance X]
   triad trace  [--smoke] [--out-dir DIR] [--seed N] [--threads N]
 
 Series files hold one sample per line (UCR archive format accepted).
@@ -126,6 +130,16 @@ at any thread count.
 workloads at 1/2/4/8 threads) and writes one BENCH_<stage>.json per stage
 into --out-dir (default `.`); --smoke shrinks the workloads for CI and
 --stages narrows to a comma-separated subset.
+`evalbed` runs the archive-scale evaluation testbed: every selected method ×
+every selected dataset × the full evalkit metric suite, scheduled over the
+deterministic parallel runtime (bit-identical summaries at any thread
+count). Results land as CRC'd JSONL rows in --out-dir (default
+`evalbed_out`); --resume skips tasks whose rows are already intact, fitted
+TriAD models are cached under --models (default `<out-dir>/models`),
+--datasets takes ids and ranges (`1-10,40`), --stride-sweep adds the TriAD
+windowing variants, and --check FILE diffs the fresh summary against a
+committed baseline — ranking flips or metric drops beyond --tolerance fail
+the command. --smoke shrinks everything for CI.
 `trace` records a fixed-seed fit/detect/stream workload with structured
 tracing on, writes TRACE.jsonl and TRACE_chrome.json (loadable in
 chrome://tracing / Perfetto) into --out-dir, validates both, and prints a
@@ -168,6 +182,7 @@ pub fn run(cli: &Cli) -> Result<Vec<String>, String> {
         "client" => cmd_client(cli),
         "stream" => cmd_stream(cli),
         "bench" => cmd_bench(cli),
+        "evalbed" => cmd_evalbed(cli),
         "trace" => trace_cmd::cmd_trace(cli),
         "help" | "--help" | "-h" => Ok(vec![usage()]),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
@@ -555,6 +570,69 @@ fn cmd_bench(cli: &Cli) -> Result<Vec<String>, String> {
         stages,
     };
     bench::perf::run_bench(&opts)
+}
+
+/// Run the archive-scale evaluation testbed (`crates/evalbed`).
+fn cmd_evalbed(cli: &Cli) -> Result<Vec<String>, String> {
+    let out_dir = PathBuf::from(cli.get("out-dir").unwrap_or("evalbed_out"));
+    let mut opts = if cli.get("smoke").is_some() {
+        evalbed::EvalbedOptions::smoke(out_dir)
+    } else {
+        evalbed::EvalbedOptions::full(out_dir)
+    };
+    if let Some(spec) = cli.get("datasets") {
+        opts.datasets = evalbed::parse_dataset_spec(spec, 250)?;
+    }
+    if let Some(spec) = cli.get("methods") {
+        opts.methods = evalbed::parse_name_list(spec);
+    }
+    if let Some(spec) = cli.get("metrics") {
+        opts.metrics = evalbed::parse_name_list(spec);
+    }
+    opts.epochs = cli.get_num("epochs", opts.epochs)?;
+    opts.seed = cli.get_num("seed", opts.seed)?;
+    opts.archive_seed = cli.get_num("archive-seed", opts.archive_seed)?;
+    opts.threads = cli.get_num("threads", 0usize)?;
+    opts.tolerance = cli.get_num("tolerance", opts.tolerance)?;
+    opts.resume = cli.get("resume").is_some();
+    opts.no_cache = cli.get("no-cache").is_some();
+    opts.stride_sweep = cli.get("stride-sweep").is_some();
+    opts.models_dir = cli.get("models").map(PathBuf::from);
+    opts.check = cli.get("check").map(PathBuf::from);
+
+    let outcome = evalbed::run(&opts)?;
+    let mut out = vec![
+        format!(
+            "evalbed : {} methods × {} datasets — {} executed, {} resumed, {} cached fits reused",
+            outcome.summary.methods.len(),
+            outcome.summary.dataset_ids.len(),
+            outcome.executed,
+            outcome.resumed,
+            outcome.models_reused
+        ),
+        format!("rows    : {}", outcome.rows_path.display()),
+        format!("summary : {}", outcome.summary_path.display()),
+        format!("report  : {}", outcome.markdown_path.display()),
+        format!("ranking : {}", outcome.summary.ranking.join(" > ")),
+    ];
+    if outcome.skipped_lines > 0 {
+        out.push(format!(
+            "warning : skipped {} damaged/duplicate result lines",
+            outcome.skipped_lines
+        ));
+    }
+    if let Some(baseline) = &opts.check {
+        if outcome.regressions.is_empty() {
+            out.push(format!("gate    : PASS vs {}", baseline.display()));
+        } else {
+            return Err(format!(
+                "regression gate FAILED vs {}:\n  {}",
+                baseline.display(),
+                outcome.regressions.join("\n  ")
+            ));
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

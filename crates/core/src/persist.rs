@@ -69,6 +69,13 @@ fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
     crc
 }
 
+/// One-shot CRC-32 (IEEE, the same polynomial as the TRIAD2/TRIADS1 file
+/// trailers). Public so sibling record formats — the evalbed JSONL result
+/// rows — checksum with the identical algorithm instead of re-deriving it.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(0xFFFF_FFFF, bytes)
+}
+
 /// Writer shim that checksums everything passing through it; [`finish`]
 /// appends the trailer.
 ///

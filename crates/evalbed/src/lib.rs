@@ -1,0 +1,114 @@
+//! triad-evalbed: the archive-scale evaluation testbed.
+//!
+//! Runs {TriAD + every `baselines::Detector`} × the synthetic UCR archive
+//! × the full `evalkit` metric suite as a deterministic work queue over
+//! `crates/parallel`, with:
+//!
+//! - **bit-identical results at any thread count** — scheduling order,
+//!   append order and aggregation order are fixed by the task list;
+//! - **crash-resumable output** — append-only JSONL rows, each carrying its
+//!   own CRC-32, so `--resume` re-runs exactly the tasks whose rows did not
+//!   land intact ([`rows`]);
+//! - **model caching** — fitted TriAD models persist through the
+//!   `triad-serve` registry, so re-runs and resumes skip training
+//!   ([`methods`]);
+//! - **a CI regression gate** — the canonical summary
+//!   (`EVALBED_summary.json`) is diffed against a committed baseline:
+//!   ranking flips and metric drops beyond tolerance fail the build
+//!   ([`summary`]).
+//!
+//! The CLI front end is `triad evalbed` (see `crates/cli`).
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod methods;
+pub mod metrics;
+pub mod rows;
+pub mod summary;
+
+pub use engine::{run, EvalbedOptions, RunOutcome};
+pub use metrics::{HEADLINE, METRIC_NAMES};
+pub use rows::{load_rows, ResultRow, SCHEMA_VERSION};
+pub use summary::{compare, Summary};
+
+/// Parse a `--datasets` spec: comma-separated ids and inclusive ranges,
+/// e.g. `"1-10,40,45-50"`. Ids are 1-based archive numbers; the result is
+/// sorted and deduplicated.
+pub fn parse_dataset_spec(spec: &str, max: usize) -> Result<Vec<usize>, String> {
+    let mut ids = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (lo, hi) = match part.split_once('-') {
+            Some((a, b)) => (
+                a.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad dataset range start {a:?}"))?,
+                b.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad dataset range end {b:?}"))?,
+            ),
+            None => {
+                let id = part
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad dataset id {part:?}"))?;
+                (id, id)
+            }
+        };
+        if lo == 0 || hi < lo || hi > max {
+            return Err(format!(
+                "dataset range {part:?} out of bounds (valid ids are 1-{max})"
+            ));
+        }
+        ids.extend(lo..=hi);
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.is_empty() {
+        return Err(format!("empty dataset spec {spec:?}"));
+    }
+    Ok(ids)
+}
+
+/// Parse a comma-separated name list (`--methods`, `--metrics`).
+pub fn parse_name_list(spec: &str) -> Vec<String> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_spec_parsing() {
+        assert_eq!(
+            parse_dataset_spec("1-3,7", 250).as_deref(),
+            Ok(&[1, 2, 3, 7][..])
+        );
+        assert_eq!(
+            parse_dataset_spec("5,3,4-5", 250).as_deref(),
+            Ok(&[3, 4, 5][..])
+        );
+        assert!(parse_dataset_spec("0", 250).is_err());
+        assert!(parse_dataset_spec("5-3", 250).is_err());
+        assert!(parse_dataset_spec("251", 250).is_err());
+        assert!(parse_dataset_spec("", 250).is_err());
+        assert!(parse_dataset_spec("x", 250).is_err());
+    }
+
+    #[test]
+    fn name_list_parsing() {
+        assert_eq!(
+            parse_name_list("triad, usad,"),
+            vec!["triad".to_string(), "usad".to_string()]
+        );
+        assert!(parse_name_list("").is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! The metric bundle one evalbed task produces: every `evalkit` family
+//! evaluated on one (method, dataset) pair.
+//!
+//! The bundle is a flat fixed-order vector of named f64 columns so the
+//! engine, the JSONL rows, the summary aggregator and the CI gate all agree
+//! on one schema without bespoke per-metric plumbing. `--metrics` filters
+//! select columns by name; aggregation is a plain per-column mean.
+
+/// Column names, in canonical order. This order is part of the JSONL and
+/// summary schema: adding a column bumps [`crate::rows::SCHEMA_VERSION`].
+pub const METRIC_NAMES: [&str; 16] = [
+    "pw_p",
+    "pw_r",
+    "pw_f1",
+    "pa_f1",
+    "pak_p_auc",
+    "pak_r_auc",
+    "pak_f1_auc",
+    "range_p",
+    "range_r",
+    "range_f1",
+    "aff_p",
+    "aff_r",
+    "aff_f1",
+    "roc_auc",
+    "avg_prec",
+    "event_hit",
+];
+
+/// The headline column: method ranking and the win/loss matrix use it.
+/// PA%K F1-AUC is the paper's own headline (Table III).
+pub const HEADLINE: &str = "pak_f1_auc";
+
+/// One metric bundle: values aligned with [`METRIC_NAMES`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSet {
+    pub values: [f64; METRIC_NAMES.len()],
+}
+
+impl MetricSet {
+    /// Evaluate every family from raw scores plus binarised predictions.
+    ///
+    /// `scores` feed the threshold-free columns (ROC-AUC / average
+    /// precision); `pred` feeds everything point/segment-based. All outputs
+    /// are finite and in `[0, 1]` — `evalkit`'s degenerate-labeling
+    /// conventions (no anomalies, all-anomalous, empty splits) are tested in
+    /// `crates/evalkit/tests/degenerate.rs`.
+    pub fn evaluate(scores: &[f64], pred: &[bool], labels: &[bool]) -> MetricSet {
+        let pw = evalkit::pointwise::prf(pred, labels);
+        let pa = evalkit::pa::prf_pa(pred, labels);
+        let pak = evalkit::pak::pak_auc(pred, labels);
+        let range = evalkit::range_pr::range_prf(pred, labels);
+        let aff = evalkit::affiliation::affiliation_prf(pred, labels);
+        let roc = evalkit::auc::roc_auc(scores, labels);
+        let ap = evalkit::auc::average_precision(scores, labels);
+        let event_hit = event_hit(pred, labels);
+        MetricSet {
+            values: [
+                pw.precision,
+                pw.recall,
+                pw.f1,
+                pa.f1,
+                pak.precision_auc,
+                pak.recall_auc,
+                pak.f1_auc,
+                range.precision,
+                range.recall,
+                range.f1,
+                aff.precision,
+                aff.recall,
+                aff.f1,
+                roc,
+                ap,
+                event_hit,
+            ],
+        }
+    }
+
+    /// Value of a named column (`None` for unknown names).
+    pub fn get(&self, name: &str) -> Option<f64> {
+        METRIC_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| self.values[i])
+    }
+
+    /// All values are finite and within `[0, 1]` (every family is a
+    /// probability-like quantity).
+    pub fn is_sane(&self) -> bool {
+        self.values
+            .iter()
+            .all(|v| v.is_finite() && (0.0..=1.0).contains(v))
+    }
+}
+
+/// Event-wise hit under the MERLIN++ ±100-point protocol: 1.0 when the hull
+/// of the positive predictions lands within the margin of *every* true
+/// event (the archive has exactly one), else 0.0.
+fn event_hit(pred: &[bool], labels: &[bool]) -> f64 {
+    let events = evalkit::segments(labels);
+    if events.is_empty() {
+        return 0.0;
+    }
+    let first = pred.iter().position(|&b| b);
+    let last = pred.iter().rposition(|&b| b);
+    let (Some(first), Some(last)) = (first, last) else {
+        return 0.0;
+    };
+    let hull = first..last + 1;
+    let hits = events
+        .iter()
+        .filter(|ev| {
+            evalkit::eventwise::event_detected(&hull, ev, evalkit::eventwise::DEFAULT_MARGIN)
+        })
+        .count();
+    hits as f64 / events.len() as f64
+}
+
+/// Validate a `--metrics` filter: every requested name must be a known
+/// column. An empty filter means "all columns".
+pub fn validate_filter(filter: &[String]) -> Result<(), String> {
+    for name in filter {
+        if !METRIC_NAMES.contains(&name.as_str()) {
+            return Err(format!(
+                "unknown metric {name:?} (expected one of {METRIC_NAMES:?})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Does `name` pass the filter?
+pub fn selected(filter: &[String], name: &str) -> bool {
+    filter.is_empty() || filter.iter().any(|f| f == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_perfect_prediction() {
+        let labels = vec![false, false, true, true, false];
+        let scores = vec![0.0, 0.0, 1.0, 1.0, 0.0];
+        let m = MetricSet::evaluate(&scores, &labels, &labels);
+        assert!(m.is_sane());
+        assert_eq!(m.get("pw_f1"), Some(1.0));
+        assert_eq!(m.get("roc_auc"), Some(1.0));
+        assert_eq!(m.get("event_hit"), Some(1.0));
+        assert_eq!(m.get("bogus"), None);
+    }
+
+    #[test]
+    fn evaluate_empty_prediction_is_sane() {
+        let labels = vec![false, true, true, false];
+        let pred = vec![false; 4];
+        let scores = vec![0.0; 4];
+        let m = MetricSet::evaluate(&scores, &pred, &labels);
+        assert!(m.is_sane());
+        assert_eq!(m.get("pw_f1"), Some(0.0));
+        assert_eq!(m.get("event_hit"), Some(0.0));
+    }
+
+    #[test]
+    fn event_hit_respects_margin() {
+        let mut labels = vec![false; 400];
+        for l in labels[200..210].iter_mut() {
+            *l = true;
+        }
+        let mut near = vec![false; 400];
+        near[150] = true; // within 100 points of the event
+        let mut far = vec![false; 400];
+        far[20] = true; // not within 100 points
+        assert_eq!(event_hit(&near, &labels), 1.0);
+        assert_eq!(event_hit(&far, &labels), 0.0);
+    }
+
+    #[test]
+    fn filter_validation() {
+        assert!(validate_filter(&["pw_f1".into(), "roc_auc".into()]).is_ok());
+        assert!(validate_filter(&["nope".into()]).is_err());
+        assert!(selected(&[], "pw_f1"));
+        assert!(selected(&["pw_f1".into()], "pw_f1"));
+        assert!(!selected(&["pw_f1".into()], "pa_f1"));
+    }
+}

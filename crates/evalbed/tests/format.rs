@@ -1,0 +1,193 @@
+//! Property tests over the evalbed JSONL result format: bit-exact field
+//! round-trips, truncation/damage detection, and the resume invariant —
+//! a crash-torn file never double-counts a completed pair and never drops
+//! one whose row landed intact.
+
+use evalbed::metrics::MetricSet;
+use evalbed::rows::{append_rows, load_rows, ResultRow};
+use evalbed::METRIC_NAMES;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Method names with hostile characters, exercising the string escaping.
+const METHOD_POOL: [&str; 6] = [
+    "triad",
+    "lstm_ae_random",
+    "quo\"te",
+    "line\nbreak",
+    "tab\there",
+    "back\\slash",
+];
+
+fn make_row(
+    method_pick: usize,
+    dataset: usize,
+    n_test: usize,
+    values: &[f64],
+    wall_ms: f64,
+) -> ResultRow {
+    let mut metrics = [0.0f64; METRIC_NAMES.len()];
+    for (slot, v) in metrics.iter_mut().zip(values) {
+        *slot = *v;
+    }
+    ResultRow {
+        method: METHOD_POOL[method_pick % METHOD_POOL.len()].to_string(),
+        dataset,
+        dataset_name: format!("{dataset:03}_sine_noise"),
+        anomaly_kind: "Noise".to_string(),
+        n_test,
+        metrics: MetricSet { values: metrics },
+        wall_ms,
+    }
+}
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "evalbed_fmt_{tag}_{}_{n}.jsonl",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Serialize → parse reproduces every field exactly; floats bit-for-bit.
+    #[test]
+    fn round_trip_is_field_exact(
+        method_pick in 0usize..6,
+        dataset in 1usize..=250,
+        n_test in 1usize..10_000,
+        values in prop::collection::vec(0.0f64..1.0, 16..17),
+        wall_ms in 0.0f64..1e6,
+    ) {
+        let row = make_row(method_pick, dataset, n_test, &values, wall_ms);
+        let line = row.to_line();
+        let back = ResultRow::parse_line(&line).expect("intact line parses");
+        prop_assert_eq!(&back.method, &row.method);
+        prop_assert_eq!(back.dataset, row.dataset);
+        prop_assert_eq!(&back.dataset_name, &row.dataset_name);
+        prop_assert_eq!(&back.anomaly_kind, &row.anomaly_kind);
+        prop_assert_eq!(back.n_test, row.n_test);
+        for (a, b) in row.metrics.values.iter().zip(&back.metrics.values) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(row.wall_ms.to_bits(), back.wall_ms.to_bits());
+    }
+
+    /// Any strict prefix of a line fails to parse — a torn final line can
+    /// never masquerade as a completed task.
+    #[test]
+    fn every_truncation_is_rejected(
+        method_pick in 0usize..6,
+        dataset in 1usize..=250,
+        values in prop::collection::vec(0.0f64..1.0, 16..17),
+        frac in 0.0f64..1.0,
+    ) {
+        let row = make_row(method_pick, dataset, 640, &values, 3.25);
+        let line = row.to_line();
+        let cut = ((line.len() as f64 * frac) as usize).min(line.len() - 1);
+        prop_assert!(ResultRow::parse_line(&line[..cut]).is_err(), "cut {cut}");
+    }
+
+    /// Mutating any single byte of the line is caught — by the CRC over the
+    /// body, or by the trailer grammar for bytes inside the CRC hex itself.
+    #[test]
+    fn single_byte_damage_is_rejected(
+        method_pick in 0usize..6,
+        dataset in 1usize..=250,
+        values in prop::collection::vec(0.0f64..1.0, 16..17),
+        pos_frac in 0.0f64..1.0,
+        delta in 1u8..255,
+    ) {
+        let row = make_row(method_pick, dataset, 640, &values, 3.25);
+        let line = row.to_line();
+        let mut bytes = line.clone().into_bytes();
+        let pos = ((bytes.len() as f64 * pos_frac) as usize).min(bytes.len() - 1);
+        bytes[pos] = bytes[pos].wrapping_add(delta);
+        match String::from_utf8(bytes) {
+            // Invalid UTF-8 never reaches the parser in the real loader
+            // (read_to_string rejects the file) — counts as rejected.
+            Err(_) => {}
+            Ok(damaged) => {
+                if damaged != line {
+                    prop_assert!(ResultRow::parse_line(&damaged).is_err(), "pos {pos}");
+                }
+            }
+        }
+    }
+
+    /// The resume invariant on a crash-shaped file: intact rows are all
+    /// recovered exactly once (first wins for duplicate keys), the torn tail
+    /// is dropped, and what's missing is exactly what a resume re-runs.
+    #[test]
+    fn torn_file_recovery_never_drops_or_double_counts(
+        datasets in prop::collection::vec(1usize..250, 1..12),
+        seeds in prop::collection::vec(0.0f64..1.0, 1..12),
+        dup_first in any::<bool>(),
+        tear in 1usize..64,
+    ) {
+        // Distinct keys: one row per distinct dataset id.
+        let mut ids: Vec<usize> = datasets.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        let rows: Vec<ResultRow> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                let v = seeds[i % seeds.len()];
+                let values: Vec<f64> = (0..16).map(|j| (v + j as f64 / 16.0) % 1.0).collect();
+                make_row(i, id, 100 + id, &values, v * 100.0)
+            })
+            .collect();
+
+        let path = tmp_path("torn");
+        append_rows(&path, &rows).expect("append");
+        if dup_first {
+            // A re-run that appended one duplicate before dying.
+            append_rows(&path, &rows[..1]).expect("append dup");
+        }
+        // Tear the end of the file mid-line, as a kill would.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let torn_len = text.len().saturating_sub(tear).max(1);
+        std::fs::write(&path, &text[..torn_len]).expect("tear");
+
+        let loaded = load_rows(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        // No key appears twice.
+        let mut seen = HashSet::new();
+        for r in &loaded.rows {
+            prop_assert!(seen.insert(r.key()), "double-counted {:?}", r.key());
+        }
+        // Every recovered row is value-faithful to its original.
+        for r in &loaded.rows {
+            let original = rows.iter().find(|o| o.key() == r.key()).expect("known key");
+            prop_assert_eq!(&original.method, &r.method);
+            for (a, b) in original.metrics.values.iter().zip(&r.metrics.values) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Rows whose line the tear did not reach must all be present — only
+        // the torn suffix may be missing.
+        let recovered: HashSet<_> = loaded.rows.iter().map(ResultRow::key).collect();
+        let mut offset = 0usize;
+        for row in &rows {
+            let line_end = offset + row.to_line().len() + 1; // +\n
+            if line_end <= torn_len {
+                prop_assert!(
+                    recovered.contains(&row.key()),
+                    "intact row {:?} was dropped", row.key()
+                );
+            }
+            offset = line_end;
+        }
+    }
+}
+
+#[test]
+fn metric_names_match_schema_width() {
+    // The fixed-width value vectors above must track the schema.
+    assert_eq!(METRIC_NAMES.len(), 16);
+}

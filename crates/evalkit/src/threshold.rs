@@ -14,10 +14,15 @@ pub fn apply(scores: &[f64], thr: f64) -> Vec<bool> {
     scores.iter().map(|&s| s > thr).collect()
 }
 
-/// The `q`-quantile of the scores (`q ∈ [0,1]`, nearest-rank).
+/// The `q`-quantile of the scores (`q` clamped to `[0,1]`, nearest-rank).
+/// Empty scores yield 0.0 — a defined value, matching the degenerate-input
+/// convention of the metric families (an empty score stream has nothing to
+/// threshold, and `apply(&[], 0.0)` is the empty prediction).
 pub fn quantile(scores: &[f64], q: f64) -> f64 {
-    assert!(!scores.is_empty(), "quantile of empty scores");
-    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
     let mut sorted: Vec<f64> = scores.to_vec();
     sorted.sort_by(f64::total_cmp);
     let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
@@ -93,8 +98,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn quantile_empty_panics() {
-        quantile(&[], 0.5);
+    fn quantile_degenerate_inputs_are_defined() {
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(quantile(&s, -0.5), 1.0); // q clamped to 0
+        assert_eq!(quantile(&s, 1.5), 3.0); // q clamped to 1
     }
 }

@@ -1,0 +1,160 @@
+//! Degenerate-labeling hardening: every metric family must return defined,
+//! finite values in `[0, 1]` — never NaN, never a panic — on the inputs an
+//! archive-scale sweep will eventually feed it: labelings with no
+//! anomalies, all-anomalous labelings, single-point segments, and empty
+//! splits. These are exactly the conventions `evalbed` relies on when it
+//! asserts `MetricSet::is_sane()` over every (method, dataset) pair.
+
+use evalkit::Prf;
+
+fn assert_prf_sane(m: &Prf, ctx: &str) {
+    for (name, v) in [
+        ("precision", m.precision),
+        ("recall", m.recall),
+        ("f1", m.f1),
+    ] {
+        assert!(
+            v.is_finite() && (0.0..=1.0).contains(&v),
+            "{ctx}: {name} = {v}"
+        );
+    }
+}
+
+/// Every family × one (pred, labels) case.
+fn assert_all_families_sane(pred: &[bool], labels: &[bool], ctx: &str) {
+    assert_prf_sane(&evalkit::pointwise::prf(pred, labels), &format!("{ctx}/pw"));
+    assert_prf_sane(&evalkit::pa::prf_pa(pred, labels), &format!("{ctx}/pa"));
+    let pak = evalkit::pak::pak_auc(pred, labels);
+    for (name, v) in [
+        ("p_auc", pak.precision_auc),
+        ("r_auc", pak.recall_auc),
+        ("f1_auc", pak.f1_auc),
+    ] {
+        assert!(
+            v.is_finite() && (0.0..=1.0).contains(&v),
+            "{ctx}/pak: {name} = {v}"
+        );
+    }
+    assert_prf_sane(
+        &evalkit::range_pr::range_prf(pred, labels),
+        &format!("{ctx}/range"),
+    );
+    assert_prf_sane(
+        &evalkit::affiliation::affiliation_prf(pred, labels),
+        &format!("{ctx}/aff"),
+    );
+    // Scores derived from the prediction exercise the AUC pair on the same
+    // degenerate labeling.
+    let scores: Vec<f64> = pred.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    let roc = evalkit::auc::roc_auc(&scores, labels);
+    let ap = evalkit::auc::average_precision(&scores, labels);
+    assert!(
+        roc.is_finite() && (0.0..=1.0).contains(&roc),
+        "{ctx}/roc = {roc}"
+    );
+    assert!(
+        ap.is_finite() && (0.0..=1.0).contains(&ap),
+        "{ctx}/ap = {ap}"
+    );
+}
+
+#[test]
+fn no_anomalies_in_labels() {
+    let labels = vec![false; 64];
+    for (name, pred) in [
+        ("quiet", vec![false; 64]),
+        ("noisy", (0..64).map(|i| i % 7 == 0).collect::<Vec<bool>>()),
+        ("all_pos", vec![true; 64]),
+    ] {
+        assert_all_families_sane(&pred, &labels, &format!("no_anom/{name}"));
+        // With no true anomalies, recall-like quantities are 0 by the
+        // 0-denominator convention, so F1 is 0 too.
+        assert_eq!(evalkit::pointwise::prf(&pred, &labels).f1, 0.0);
+        assert_eq!(evalkit::pak::pak_auc(&pred, &labels).f1_auc, 0.0);
+        assert_eq!(
+            evalkit::affiliation::affiliation_prf(&pred, &labels).f1,
+            0.0
+        );
+    }
+}
+
+#[test]
+fn all_anomalous_labels() {
+    let labels = vec![true; 64];
+    for (name, pred) in [
+        ("quiet", vec![false; 64]),
+        ("half", (0..64).map(|i| i < 32).collect::<Vec<bool>>()),
+        ("all_pos", vec![true; 64]),
+    ] {
+        assert_all_families_sane(&pred, &labels, &format!("all_anom/{name}"));
+    }
+    // Perfect prediction on an all-anomalous labeling is a perfect score.
+    let all = vec![true; 64];
+    assert_eq!(evalkit::pointwise::prf(&all, &labels).f1, 1.0);
+    assert_eq!(evalkit::pa::prf_pa(&all, &labels).f1, 1.0);
+    assert_eq!(evalkit::range_pr::range_prf(&all, &labels).f1, 1.0);
+}
+
+#[test]
+fn single_point_segments() {
+    // Isolated one-point events, including at both boundaries.
+    let mut labels = vec![false; 32];
+    labels[0] = true;
+    labels[15] = true;
+    labels[31] = true;
+    for (name, pred) in [
+        ("exact", labels.clone()),
+        ("missed", vec![false; 32]),
+        ("near", {
+            let mut p = vec![false; 32];
+            p[1] = true; // adjacent to the boundary event
+            p[16] = true; // adjacent to the middle event
+            p
+        }),
+    ] {
+        assert_all_families_sane(&pred, &labels, &format!("single_pt/{name}"));
+    }
+    // An exact hit on every single-point event is perfect under PA%K at
+    // every K (coverage is 100% > K for all K < 100).
+    let pak = evalkit::pak::pak_auc(&labels, &labels);
+    assert_eq!(pak.f1_auc, 1.0);
+}
+
+#[test]
+fn empty_split() {
+    let empty_b: Vec<bool> = Vec::new();
+    let empty_f: Vec<f64> = Vec::new();
+    assert_all_families_sane(&empty_b, &empty_b, "empty");
+    assert_eq!(evalkit::auc::roc_auc(&empty_f, &empty_b), 0.5);
+    assert_eq!(evalkit::auc::average_precision(&empty_f, &empty_b), 0.0);
+    assert_eq!(evalkit::threshold::quantile(&empty_f, 0.5), 0.0);
+    assert!(evalkit::threshold::apply(&empty_f, 0.0).is_empty());
+    let (_, m) = evalkit::threshold::best_f1(&empty_f, &empty_b);
+    assert_prf_sane(&m, "empty/best_f1");
+    assert!(evalkit::segments(&empty_b).is_empty());
+}
+
+#[test]
+fn single_sample_series() {
+    for label in [false, true] {
+        for pred in [false, true] {
+            assert_all_families_sane(&[pred], &[label], &format!("n1/{label}/{pred}"));
+        }
+    }
+    // A one-sample hit is a perfect detection.
+    assert_eq!(evalkit::pointwise::prf(&[true], &[true]).f1, 1.0);
+    assert_eq!(evalkit::range_pr::range_prf(&[true], &[true]).f1, 1.0);
+}
+
+#[test]
+fn constant_scores_have_defined_auc() {
+    let labels: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+    let scores = vec![0.5f64; 10];
+    // All-tied scores are exactly chance under the midrank convention.
+    assert!((evalkit::auc::roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    let ap = evalkit::auc::average_precision(&scores, &labels);
+    assert!(ap.is_finite() && (0.0..=1.0).contains(&ap));
+    // best_f1 over constant scores: flag everything or nothing, defined.
+    let (_, m) = evalkit::threshold::best_f1(&scores, &labels);
+    assert_prf_sane(&m, "const/best_f1");
+}

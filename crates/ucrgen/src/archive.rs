@@ -100,16 +100,21 @@ pub fn generate_dataset(master_seed: u64, id: usize) -> UcrDataset {
 }
 
 /// Generate the full archive.
+///
+/// Runs over the ambient parallel runtime: each dataset is a pure function
+/// of `(master_seed, id, cfg)` with its own RNG stream, and `map_indexed`
+/// reassembles in id order, so the output is bit-identical to the serial
+/// loop at any thread count (`tests/archive_parallel.rs` pins this).
 pub fn generate_archive(master_seed: u64, cfg: &ArchiveConfig) -> Vec<UcrDataset> {
-    (1..=cfg.count)
-        .map(|id| {
-            let mut rng =
-                StdRng::seed_from_u64(master_seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15));
-            let family = SignalFamily::ALL[id % SignalFamily::ALL.len()];
-            let kind = AnomalyKind::ALL[(id / SignalFamily::ALL.len()) % AnomalyKind::ALL.len()];
-            build(&mut rng, id, family, kind, cfg)
-        })
-        .collect()
+    let ids: Vec<usize> = (1..=cfg.count).collect();
+    let par = parallel::ambient().for_work(ids.len(), 4);
+    parallel::map_indexed(par, &ids, |_, &id| {
+        let mut rng =
+            StdRng::seed_from_u64(master_seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let family = SignalFamily::ALL[id % SignalFamily::ALL.len()];
+        let kind = AnomalyKind::ALL[(id / SignalFamily::ALL.len()) % AnomalyKind::ALL.len()];
+        build(&mut rng, id, family, kind, cfg)
+    })
 }
 
 fn build(

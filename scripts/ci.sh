@@ -69,6 +69,19 @@ ORPHANS=$(comm -13 "$TRACE_DIR/ids" "$TRACE_DIR/parents")
 }
 echo "   TRACE.jsonl schema-complete, five stages attributed, no orphan parents"
 
+echo "== triad evalbed --smoke (regression gate vs the committed baseline)"
+# The gated summary must be byte-stable: same ranking, same metric means
+# (within tolerance), same dataset/method sets as the committed baseline —
+# at both thread counts. A ranking flip or metric drop fails the build.
+for t in 1 4; do
+    EVALBED_DIR=$(mktemp -d)
+    cargo run -q --release -p triad-cli --bin triad -- evalbed --smoke \
+        --out-dir "$EVALBED_DIR" --threads "$t" \
+        --check evalbed_out/EVALBED_smoke.json
+    rm -rf "$EVALBED_DIR"
+done
+echo "   evalbed smoke gate PASS at threads 1 and 4"
+
 echo "== triad-lint --deny (workspace must be clean)"
 cargo run -q -p triad-lint -- --deny
 

@@ -1,0 +1,127 @@
+//! End-to-end contracts of the evaluation testbed (`crates/evalbed`):
+//!
+//! 1. the gated summary is **byte-identical** at thread counts 1 and 4;
+//! 2. a mid-run kill (simulated by tearing the results file) resumes
+//!    without recomputing intact tasks and converges to the same summary;
+//! 3. fitted TriAD models round-trip through the serve registry cache, so
+//!    re-runs skip training.
+
+use evalbed::{run, EvalbedOptions};
+use std::path::PathBuf;
+
+fn opts(tag: &str, threads: usize) -> EvalbedOptions {
+    let out = std::env::temp_dir().join(format!("evalbed_e2e_{tag}_{}", std::process::id()));
+    EvalbedOptions {
+        datasets: vec![1, 2],
+        methods: vec!["triad".to_string(), "random".to_string()],
+        epochs: 2,
+        threads,
+        ..EvalbedOptions::smoke(out)
+    }
+}
+
+fn cleanup(dir: &PathBuf) {
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn gated_summary_is_byte_identical_across_thread_counts() {
+    let o1 = opts("t1", 1);
+    let o4 = opts("t4", 4);
+    let r1 = run(&o1).expect("threads=1 run");
+    let r4 = run(&o4).expect("threads=4 run");
+    // Byte-level equality of the canonical gated serialization — not just
+    // value-level agreement.
+    assert_eq!(r1.summary.to_json(true), r4.summary.to_json(true));
+    // The full files differ only in the timing section.
+    assert_eq!(r1.summary.ranking, r4.summary.ranking);
+    assert_eq!(r1.summary.wins, r4.summary.wins);
+    cleanup(&o1.out_dir);
+    cleanup(&o4.out_dir);
+}
+
+#[test]
+fn torn_results_file_resumes_to_the_same_summary() {
+    let o = opts("resume", 2);
+    let first = run(&o).expect("first run");
+    assert_eq!(first.executed, 4);
+
+    // Simulate a kill mid-append: drop one complete row and tear the last
+    // line in half.
+    let text = std::fs::read_to_string(&first.rows_path).expect("rows");
+    let mut lines: Vec<&str> = text.lines().collect();
+    let torn = lines.pop().expect("at least one row");
+    let torn = &torn[..torn.len() / 2];
+    lines.pop(); // lose one complete row entirely
+    let mut damaged = lines.join("\n");
+    damaged.push('\n');
+    damaged.push_str(torn);
+    std::fs::write(&first.rows_path, damaged).expect("tear");
+
+    let resumed = run(&EvalbedOptions {
+        resume: true,
+        ..o.clone()
+    })
+    .expect("resumed run");
+    // Exactly the two damaged tasks re-ran; the intact two were not.
+    assert_eq!(resumed.executed, 2);
+    assert_eq!(resumed.resumed, 2);
+    assert_eq!(resumed.skipped_lines, 1); // the torn line
+                                          // And the final summary is byte-identical to the uninterrupted run.
+    assert_eq!(first.summary.to_json(true), resumed.summary.to_json(true));
+    cleanup(&o.out_dir);
+}
+
+#[test]
+fn fitted_models_are_reused_from_the_registry_cache() {
+    let o = opts("cache", 2);
+    let first = run(&o).expect("first run");
+    assert_eq!(first.models_reused, 0);
+
+    // Fresh (non-resume) re-run with the same parameters: every TriAD task
+    // must load its fit from the registry instead of training.
+    let second = run(&o).expect("second run");
+    assert_eq!(second.executed, 4);
+    assert_eq!(second.models_reused, 2); // one per TriAD × dataset task
+    assert_eq!(first.summary.to_json(true), second.summary.to_json(true));
+
+    // The cache is keyed on the fit parameters: a different seed refits.
+    let third = run(&EvalbedOptions {
+        seed: 1,
+        ..o.clone()
+    })
+    .expect("third run");
+    assert_eq!(third.models_reused, 0);
+
+    // With the cache disabled nothing is reused either.
+    let fourth = run(&EvalbedOptions {
+        no_cache: true,
+        ..o.clone()
+    })
+    .expect("fourth run");
+    assert_eq!(fourth.models_reused, 0);
+    assert_eq!(first.summary.to_json(true), fourth.summary.to_json(true));
+    cleanup(&o.out_dir);
+}
+
+#[test]
+fn stride_sweep_adds_triad_variants() {
+    let o = EvalbedOptions {
+        datasets: vec![1],
+        methods: vec!["triad".to_string()],
+        stride_sweep: true,
+        ..opts("sweep", 2)
+    };
+    let outcome = run(&o).expect("sweep run");
+    let names: Vec<&str> = outcome
+        .summary
+        .methods
+        .iter()
+        .map(|m| m.name.as_str())
+        .collect();
+    assert_eq!(names, vec!["triad", "triad-s50", "triad-s100"]);
+    // The markdown report carries the sweep table.
+    let md = std::fs::read_to_string(&outcome.markdown_path).expect("md");
+    assert!(md.contains("Stride/overlap sweep"), "{md}");
+    cleanup(&o.out_dir);
+}
