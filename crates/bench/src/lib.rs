@@ -194,43 +194,18 @@ impl Args {
     }
 }
 
-/// Parallel map over items with crossbeam scoped threads (bounded by
-/// available parallelism; order-preserving).
+/// Parallel map over items (order-preserving), delegating to the
+/// deterministic pool: the thread count comes from `parallel::ambient()`
+/// (TRIAD_THREADS / `with_ambient`), not a private `available_parallelism`
+/// read, so bench runs honor the same single source of truth as the rest
+/// of the workspace.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if n_threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let out_cells: Vec<std::sync::Mutex<&mut Option<U>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
-    crossbeam::scope(|s| {
-        for _ in 0..n_threads {
-            s.spawn(|_| loop {
-                // relaxed-ok: the fetch_add is itself a total order on the
-                // work index; results are published via the per-cell mutexes,
-                // not through this counter.
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let v = f(&items[i]);
-                **out_cells[i].lock().unwrap() = Some(v);
-            });
-        }
-    })
-    .expect("worker panicked");
-    drop(out_cells);
-    out.into_iter().map(|v| v.expect("slot filled")).collect()
+    parallel::map_indexed(parallel::ambient(), items, |_, item| f(item))
 }
 
 /// Fixed-width table printer.

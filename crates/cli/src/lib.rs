@@ -110,6 +110,8 @@ USAGE:
                [--threads N] [--resume] [--no-cache] [--models DIR]
                [--stride-sweep] [--check FILE] [--tolerance X]
   triad trace  [--smoke] [--out-dir DIR] [--seed N] [--threads N]
+  triad lint   [--root DIR] [--json | --sarif] [--deny] [--baseline FILE]
+               [--include-vendor] [--fixture]
 
 Series files hold one sample per line (UCR archive format accepted).
 `detect` prints the flagged region; with --labels it also prints metrics.
@@ -146,6 +148,13 @@ chrome://tracing / Perfetto) into --out-dir, validates both, and prints a
 per-stage p50/p95/p99 summary with the critical path; --smoke shrinks the
 workload and additionally asserts the five pipeline stages are present and
 root spans cover ≥ 95% of the trace extent.
+`lint` runs the workspace static analyzer (triad-lint): numeric-safety,
+panic-hygiene, concurrency, and syntax-aware determinism rules
+(nondet-iter, float-reduce-order, ambient-entropy, shadowed-threads) plus
+stale-suppression auditing. --deny exits nonzero on any finding, --baseline
+FILE drops fingerprinted pre-existing findings so CI fails only on new
+ones, --json / --sarif select machine-readable output, and --fixture runs
+the seeded-violation self-test instead of a workspace scan.
 "
     .to_string()
 }
@@ -183,6 +192,7 @@ pub fn run(cli: &Cli) -> Result<Vec<String>, String> {
         "stream" => cmd_stream(cli),
         "bench" => cmd_bench(cli),
         "evalbed" => cmd_evalbed(cli),
+        "lint" => cmd_lint(cli),
         "trace" => trace_cmd::cmd_trace(cli),
         "help" | "--help" | "-h" => Ok(vec![usage()]),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
@@ -635,6 +645,72 @@ fn cmd_evalbed(cli: &Cli) -> Result<Vec<String>, String> {
     Ok(out)
 }
 
+/// Workspace root for `lint`: `--root` wins; otherwise the current
+/// directory when it looks like the workspace (`cargo run` puts us there),
+/// otherwise the compile-time manifest's grandparent (installed binary).
+fn lint_root(cli: &Cli) -> PathBuf {
+    if let Some(r) = cli.get("root") {
+        return PathBuf::from(r);
+    }
+    let cwd = PathBuf::from(".");
+    if cwd.join("Cargo.toml").exists() && cwd.join("crates").exists() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(|p| p.to_path_buf())
+        .unwrap_or(cwd)
+}
+
+fn cmd_lint(cli: &Cli) -> Result<Vec<String>, String> {
+    if cli.get("json").is_some() && cli.get("sarif").is_some() {
+        return Err("--json and --sarif are mutually exclusive".to_string());
+    }
+
+    if cli.get("fixture").is_some() {
+        let dir = lint_root(cli).join("crates/lint/fixtures");
+        let outcome = triad_lint::fixture_self_test(&dir)
+            .map_err(|e| format!("fixture self-test failed to run: {e}"))?;
+        if !outcome.passed {
+            return Err(outcome.report);
+        }
+        return Ok(vec![outcome.report.trim_end().to_string()]);
+    }
+
+    let root = lint_root(cli);
+    let opts = triad_lint::Options {
+        include_vendor: cli.get("include-vendor").is_some(),
+    };
+    let mut reports = triad_lint::run(&root, &opts)
+        .map_err(|e| format!("failed to lint {}: {e}", root.display()))?;
+
+    if let Some(path) = cli.get("baseline") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+        let set = triad_lint::baseline::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        triad_lint::baseline::apply(&mut reports, &set);
+    }
+
+    let n: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+    let rendered = if cli.get("json").is_some() {
+        triad_lint::engine::render_json(&reports)
+    } else if cli.get("sarif").is_some() {
+        triad_lint::sarif::render(&reports)
+    } else {
+        triad_lint::engine::render_human(&reports)
+    };
+    if cli.get("deny").is_some() && n > 0 {
+        return Err(format!(
+            "{}lint: {} finding{} (--deny)",
+            rendered,
+            n,
+            if n == 1 { "" } else { "s" }
+        ));
+    }
+    Ok(vec![rendered.trim_end().to_string()])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -665,6 +741,18 @@ mod tests {
         let cli = Cli::parse(&argv(&["x", "--smoke", "--out-dir", "d"])).unwrap();
         assert_eq!(cli.get("smoke"), Some(""));
         assert_eq!(cli.get("out-dir"), Some("d"));
+    }
+
+    #[test]
+    fn lint_verb_fixture_pass_and_workspace_clean() {
+        let cli = Cli::parse(&argv(&["lint", "--fixture"])).unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out[0].contains("PASS"), "{}", out[0]);
+        let cli = Cli::parse(&argv(&["lint", "--deny"])).unwrap();
+        let out = run(&cli).expect("workspace lints clean under --deny");
+        assert!(out[0].contains("0 diagnostics"), "{}", out[0]);
+        let cli = Cli::parse(&argv(&["lint", "--json", "--sarif"])).unwrap();
+        assert!(run(&cli).is_err());
     }
 
     #[test]

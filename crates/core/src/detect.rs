@@ -74,12 +74,7 @@ fn similarity_scores(rows: &[Vec<f32>]) -> Vec<f64> {
     let par = parallel::ambient().for_work((m * (m - 1) / 2) * d.max(1), 1 << 15);
     let dots: Vec<Vec<f64>> = parallel::map_indexed(par, rows, |i, ri| {
         ((i + 1)..m)
-            .map(|j| {
-                ri.iter()
-                    .zip(&rows[j])
-                    .map(|(a, b)| (*a as f64) * (*b as f64))
-                    .sum()
-            })
+            .map(|j| parallel::reduce::dot_f32_in_order(ri, &rows[j]))
             .collect()
     });
     let mut scores = vec![0.0f64; m];
@@ -264,7 +259,7 @@ fn nearest_normal_distance(train: &[f64], probe: &[f64]) -> f64 {
             let d2 = if sigma < 1e-12 {
                 l as f64 // constant training segment vs unit-norm probe
             } else {
-                let dot: f64 = z.iter().zip(seg).map(|(a, t)| a * t).sum();
+                let dot = parallel::reduce::sum_in_order(z.iter().zip(seg).map(|(a, t)| a * t));
                 (2.0 * l as f64 - 2.0 * dot / sigma).max(0.0)
             };
             if d2 < best {

@@ -17,7 +17,6 @@ use crate::methods::{self, MethodConfig, SharedRegistry};
 use crate::metrics::MetricSet;
 use crate::rows::{self, ResultRow};
 use crate::summary::{RunMeta, Summary};
-use parallel::Parallelism;
 use std::path::PathBuf;
 use std::sync::{Arc, RwLock};
 use triad_serve::{Metrics, ModelRegistry};
@@ -165,9 +164,8 @@ pub fn run(opts: &EvalbedOptions) -> Result<RunOutcome, String> {
     // Datasets are generated up front (cheap, pure, parallel): each task
     // needs its series and labels, and sharing one copy beats regenerating
     // per task.
-    let par = Parallelism::resolve(opts.threads);
     let datasets: Vec<UcrDataset> = parallel::with_ambient(opts.threads, || {
-        parallel::map_indexed(par, &opts.datasets, |_, &id| {
+        parallel::map_indexed(parallel::ambient(), &opts.datasets, |_, &id| {
             generate_dataset(opts.archive_seed, id)
         })
     });
@@ -243,7 +241,7 @@ pub fn run(opts: &EvalbedOptions) -> Result<RunOutcome, String> {
     for batch in pending.chunks(BATCH) {
         let results: Vec<Result<(ResultRow, bool), String>> =
             parallel::with_ambient(opts.threads, || {
-                parallel::map_indexed(par, batch, |_, task| {
+                parallel::map_indexed(parallel::ambient(), batch, |_, task| {
                     run_task(task, &datasets, &method_cfg, registry.as_ref(), run_span_id)
                 })
             });

@@ -1,0 +1,15 @@
+//@ path: crates/serve/src/fixture.rs
+//@ expect: ambient-entropy
+// Seeded violation: wall clock, the per-process hasher seed, and an
+// environment read outside the sanctioned config layer.
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn fresh_hasher() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::default()
+}
+
+pub fn debug_knob() -> bool {
+    std::env::var("SERVE_DEBUG").is_ok()
+}

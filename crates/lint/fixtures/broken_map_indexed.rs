@@ -1,0 +1,21 @@
+//@ path: crates/core/src/fixture.rs
+//@ expect: float-reduce-order
+// Deliberately broken copy of the similarity kernel's `map_indexed` site:
+// the dot product is re-inlined as a plain `.sum()`, so the reduction
+// order is whatever the closure body happens to do. The shipped kernel
+// routes this through parallel::reduce::dot_f32_in_order.
+pub fn similarity_dots(rows: &[Vec<f32>]) -> Vec<Vec<f64>> {
+    let m = rows.len();
+    let d = rows.first().map_or(0, |r| r.len());
+    let par = parallel::ambient().for_work((m * (m - 1) / 2) * d.max(1), 1 << 15);
+    parallel::map_indexed(par, rows, |i, ri| {
+        ((i + 1)..m)
+            .map(|j| {
+                ri.iter()
+                    .zip(&rows[j])
+                    .map(|(a, b)| (*a as f64) * (*b as f64))
+                    .sum()
+            })
+            .collect()
+    })
+}

@@ -1,0 +1,18 @@
+//@ path: crates/core/src/fixture.rs
+//@ expect: float-reduce-order
+// Seeded violation: two unordered float accumulations inside parallel
+// closures — a turbofish `.sum()` and a `+=` loop. Both must route through
+// parallel::reduce::* so the reduction order is written down.
+pub fn row_sums(par: parallel::Parallelism, rows: &[Vec<f64>]) -> Vec<f64> {
+    parallel::map_indexed(par, rows, |_, r| r.iter().sum::<f64>())
+}
+
+pub fn row_totals(par: parallel::Parallelism, rows: &[Vec<f64>]) -> Vec<f64> {
+    parallel::map_indexed(par, rows, |_, r| {
+        let mut acc = 0.0;
+        for x in r {
+            acc += x;
+        }
+        acc
+    })
+}

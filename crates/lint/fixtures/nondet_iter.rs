@@ -1,0 +1,23 @@
+//@ path: crates/serve/src/fixture.rs
+//@ expect: nondet-iter
+// Seeded violation: hash-order iteration escapes into a reply list (method
+// chain on a struct field) and a bare for-loop over a parameter.
+use std::collections::HashMap;
+
+pub struct Registry {
+    slots: HashMap<String, u64>,
+}
+
+impl Registry {
+    pub fn names(&self) -> Vec<String> {
+        self.slots.keys().cloned().collect()
+    }
+}
+
+pub fn dump(metrics: &HashMap<String, u64>) -> u64 {
+    let mut total = 0;
+    for v in metrics {
+        total += v.1;
+    }
+    total
+}

@@ -1,0 +1,39 @@
+//@ path: crates/neuro/src/fixture.rs
+//@ expect:
+// Sanctioned counterpart to the determinism fixtures: every approved
+// alternative in one file, and none of them may produce a diagnostic.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Stats {
+    by_name: BTreeMap<String, u64>,
+    cache: HashMap<String, u64>,
+}
+
+impl Stats {
+    /// BTreeMap iteration is ordered: sanctioned.
+    pub fn names(&self) -> Vec<String> {
+        self.by_name.keys().cloned().collect()
+    }
+
+    /// Hash iteration laundered through a sorted collect: sanctioned.
+    pub fn cached_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.cache.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Order-insensitive terminal on a hash collection: sanctioned.
+    pub fn all_live(&self) -> bool {
+        self.cache.values().all(|n| *n > 0)
+    }
+}
+
+/// Exact-order reduction inside a parallel region, with the thread count
+/// inherited from the ambient pool rather than re-derived: sanctioned.
+pub fn row_sums(rows: &[Vec<f64>]) -> Vec<f64> {
+    parallel::with_ambient(0, || {
+        parallel::map_indexed(parallel::ambient(), rows, |_, r| {
+            parallel::reduce::sum_in_order(r.iter().copied())
+        })
+    })
+}

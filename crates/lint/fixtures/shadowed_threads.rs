@@ -1,0 +1,15 @@
+//@ path: crates/bench/src/fixture.rs
+//@ expect: shadowed-threads
+// Seeded violation: three private thread-count reads around the pool's
+// plumbing — each re-derives what parallel::ambient() already carries.
+pub fn my_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+pub fn my_resolve(n: usize) -> parallel::Parallelism {
+    parallel::Parallelism::resolve(n)
+}
+
+pub fn my_env() -> bool {
+    std::env::var("TRIAD_THREADS").is_ok()
+}

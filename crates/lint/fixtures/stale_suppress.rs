@@ -1,0 +1,8 @@
+//@ path: crates/core/src/fixture.rs
+//@ expect: stale-suppression
+// Seeded violation: the suppression below outlived the `.unwrap()` it once
+// excused — the call was rewritten to a total method, the comment stayed.
+pub fn head(xs: &[u64]) -> u64 {
+    // lint-allow(no-unwrap): slice is never empty at this call site
+    xs.first().copied().unwrap_or(0)
+}

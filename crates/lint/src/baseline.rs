@@ -1,0 +1,213 @@
+//! Finding fingerprints and the `--baseline` grandfather file.
+//!
+//! A baseline lets CI gate on *new* findings only: `--write-baseline`
+//! records every current finding's fingerprint; `--baseline FILE` then
+//! filters those fingerprints out of later runs, so pre-existing debt does
+//! not block the gate while anything fresh does. (This repo's own baseline
+//! is empty — the workspace was remediated to clean — but the mechanism is
+//! what keeps the gate honest as rules grow.)
+//!
+//! The fingerprint must survive unrelated edits, so it deliberately does
+//! not include the line number. It is FNV-1a 64 over:
+//!
+//! ```text
+//! rule \0 path \0 trim(prev line) \n trim(line) \n trim(next line) [\0 occurrence]
+//! ```
+//!
+//! — whitespace-trimmed context makes it indentation- and line-shift
+//! tolerant; the occurrence index (count of identical contexts earlier in
+//! the same file, in report order) keeps repeated identical findings
+//! distinct. The file is plain JSON, hand-rolled both ways because the
+//! workspace builds offline without serde.
+
+use crate::engine::FileReport;
+use crate::rules::Diagnostic;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fill `fingerprint` on every diagnostic of one file. `diags` must already
+/// be in their final (sorted) order so occurrence indices are stable.
+pub fn assign_fingerprints(diags: &mut [Diagnostic], src: &[u8]) {
+    let text = String::from_utf8_lossy(src);
+    let lines: Vec<&str> = text.lines().collect();
+    let ctx = |line: u32| -> &str {
+        let i = line as usize;
+        if i >= 1 && i <= lines.len() {
+            lines[i - 1].trim()
+        } else {
+            ""
+        }
+    };
+    let mut seen: BTreeMap<u64, u32> = BTreeMap::new();
+    for d in diags.iter_mut() {
+        let mut h = fnv1a(FNV_OFFSET, d.rule.as_bytes());
+        h = fnv1a(h, b"\0");
+        h = fnv1a(h, d.path.as_bytes());
+        h = fnv1a(h, b"\0");
+        h = fnv1a(h, ctx(d.line.saturating_sub(1)).as_bytes());
+        h = fnv1a(h, b"\n");
+        h = fnv1a(h, ctx(d.line).as_bytes());
+        h = fnv1a(h, b"\n");
+        h = fnv1a(h, ctx(d.line + 1).as_bytes());
+        let occ = seen.entry(h).or_insert(0);
+        if *occ > 0 {
+            h = fnv1a(h, b"\0");
+            h = fnv1a(h, occ.to_string().as_bytes());
+        }
+        *occ += 1;
+        d.fingerprint = h;
+    }
+}
+
+/// Serialize the current findings as a baseline file.
+pub fn render(reports: &[FileReport]) -> String {
+    let mut out =
+        String::from("{\n  \"version\": 1,\n  \"tool\": \"triad-lint\",\n  \"findings\": [");
+    let mut first = true;
+    for r in reports {
+        for d in &r.diagnostics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{\"rule\":\"{}\",\"path\":\"{}\",\"hash\":\"{:016x}\"}}",
+                d.rule, d.path, d.fingerprint
+            ));
+        }
+    }
+    out.push_str(if first { "]\n}\n" } else { "\n  ]\n}\n" });
+    out
+}
+
+/// Parse a baseline file into its fingerprint set. Tolerant scanner: every
+/// `"hash":"<16 hex>"` pair counts, nothing else is interpreted — a
+/// hand-edited file with reordered keys still loads.
+pub fn parse(text: &str) -> Result<BTreeSet<u64>, String> {
+    if !text.contains("\"version\"") {
+        return Err("not a triad-lint baseline (missing \"version\")".to_string());
+    }
+    let mut set = BTreeSet::new();
+    let mut rest = text;
+    while let Some(at) = rest.find("\"hash\"") {
+        rest = &rest[at + "\"hash\"".len()..];
+        let Some(q1) = rest.find('"') else { break };
+        let tail = &rest[q1 + 1..];
+        let Some(q2) = tail.find('"') else { break };
+        let hex = &tail[..q2];
+        let v = u64::from_str_radix(hex, 16)
+            .map_err(|_| format!("bad fingerprint `{hex}` in baseline"))?;
+        set.insert(v);
+        rest = &tail[q2..];
+    }
+    Ok(set)
+}
+
+/// Drop every diagnostic whose fingerprint is grandfathered.
+pub fn apply(reports: &mut [FileReport], grandfathered: &BTreeSet<u64>) -> usize {
+    let mut dropped = 0usize;
+    for r in reports.iter_mut() {
+        let before = r.diagnostics.len();
+        r.diagnostics
+            .retain(|d| !grandfathered.contains(&d.fingerprint));
+        dropped += before - r.diagnostics.len();
+    }
+    dropped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(rule: &'static str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: "crates/x/src/f.rs".into(),
+            line,
+            message: "m".into(),
+            fingerprint: 0,
+        }
+    }
+
+    #[test]
+    fn fingerprints_survive_line_shifts() {
+        let a = b"fn f() {\n    x.unwrap();\n}\n";
+        let b = b"// a new leading comment\n\nfn f() {\n    x.unwrap();\n}\n";
+        let mut da = [mk("no-unwrap", 2)];
+        let mut db = [mk("no-unwrap", 4)];
+        assign_fingerprints(&mut da, a);
+        assign_fingerprints(&mut db, b);
+        assert_eq!(da[0].fingerprint, db[0].fingerprint);
+        assert_ne!(da[0].fingerprint, 0);
+    }
+
+    #[test]
+    fn identical_contexts_get_distinct_occurrences() {
+        let src = b"a.unwrap();\na.unwrap();\na.unwrap();\n";
+        // Lines 1 and 3 have different neighbours; craft three identical
+        // contexts instead via repeated middle lines.
+        let src3 = b"x();\na.unwrap();\nx();\na.unwrap();\nx();\na.unwrap();\nx();\n";
+        let mut d = [mk("no-unwrap", 2), mk("no-unwrap", 4), mk("no-unwrap", 6)];
+        assign_fingerprints(&mut d, src3);
+        assert_ne!(d[0].fingerprint, d[1].fingerprint);
+        assert_ne!(d[1].fingerprint, d[2].fingerprint);
+        let _ = src;
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let mut d = vec![mk("no-unwrap", 2), mk("float-cmp", 5)];
+        assign_fingerprints(
+            &mut d,
+            b"a\nb.unwrap();\nc\nd\ne.partial_cmp(f).unwrap();\ng\n",
+        );
+        let reports = vec![FileReport {
+            rel_path: "crates/x/src/f.rs".into(),
+            diagnostics: d.clone(),
+            expected: Vec::new(),
+        }];
+        let text = render(&reports);
+        let set = parse(&text).expect("parses");
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&d[0].fingerprint));
+        assert!(set.contains(&d[1].fingerprint));
+    }
+
+    #[test]
+    fn apply_filters_grandfathered_findings() {
+        let mut d = vec![mk("no-unwrap", 1), mk("no-panic", 2)];
+        assign_fingerprints(&mut d, b"a.unwrap();\npanic!();\n");
+        let keep = d[1].fingerprint;
+        let mut reports = vec![FileReport {
+            rel_path: "crates/x/src/f.rs".into(),
+            diagnostics: d.clone(),
+            expected: Vec::new(),
+        }];
+        let mut grandfathered = BTreeSet::new();
+        grandfathered.insert(d[0].fingerprint);
+        let dropped = apply(&mut reports, &grandfathered);
+        assert_eq!(dropped, 1);
+        assert_eq!(reports[0].diagnostics.len(), 1);
+        assert_eq!(reports[0].diagnostics[0].fingerprint, keep);
+    }
+
+    #[test]
+    fn parse_rejects_non_baselines() {
+        assert!(parse("{}").is_err());
+        assert!(parse("{\"version\":1,\"findings\":[{\"hash\":\"zz\"}]}").is_err());
+        let empty = parse("{\"version\":1,\"tool\":\"triad-lint\",\"findings\":[]}").expect("ok");
+        assert!(empty.is_empty());
+    }
+}

@@ -10,6 +10,8 @@
 //! * the file's **crate class** (kernel / library / binary / test support),
 //!   derived from its workspace-relative path.
 
+use crate::parser::{self, Tree};
+use crate::scope::{self, Symbols};
 use crate::tokenizer::{tokenize, Tok, TokKind};
 use std::collections::HashMap;
 
@@ -65,6 +67,12 @@ pub struct FileContext<'a> {
     pub tokens: Vec<Tok>,
     /// Indices into `tokens` of significant tokens (no whitespace/comments).
     pub sig: Vec<usize>,
+    /// Delimiter tree over `tokens` (see `parser`): bracket matching and
+    /// group structure for the syntax-aware rules.
+    pub tree: Tree,
+    /// Scope/symbol table (see `scope`): field and local-binding types for
+    /// receiver resolution.
+    pub symbols: Symbols,
     /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
     test_regions: Vec<(usize, usize)>,
     /// All suppression annotations found in comments.
@@ -88,6 +96,8 @@ impl<'a> FileContext<'a> {
             .map(|(i, _)| i)
             .collect();
         let (class, crate_name) = classify(rel_path);
+        let tree = parser::parse(&tokens, src);
+        let symbols = scope::analyze(src, &tokens, &sig);
         let test_regions = find_test_regions(src, &tokens, &sig);
         let suppressions = find_suppressions(src, &tokens);
         let mut suppressed_lines: HashMap<String, Vec<(u32, u32)>> = HashMap::new();
@@ -109,6 +119,8 @@ impl<'a> FileContext<'a> {
             crate_name,
             tokens,
             sig,
+            tree,
+            symbols,
             test_regions,
             suppressions,
             suppressed_lines,
@@ -128,6 +140,13 @@ impl<'a> FileContext<'a> {
     /// Number of significant tokens.
     pub fn slen(&self) -> usize {
         self.sig.len()
+    }
+
+    /// Matching closer, in significant-index space, for the opener at
+    /// significant index `i` (`None` for unterminated groups/non-openers).
+    pub fn smatch_close(&self, i: usize) -> Option<usize> {
+        let raw = self.tree.matching_close(self.sig[i])?;
+        self.sig.binary_search(&raw).ok()
     }
 
     /// Is this byte offset inside a `#[cfg(test)]` / `#[test]` item?

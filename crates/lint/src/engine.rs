@@ -1,5 +1,5 @@
-//! Workspace walking, suppression filtering, output formatting and the
-//! fixture self-test.
+//! Workspace walking, suppression filtering, stale-suppression detection,
+//! output formatting and the fixture self-test.
 
 use crate::context::FileContext;
 use crate::rules::{self, Diagnostic};
@@ -8,8 +8,21 @@ use std::path::{Path, PathBuf};
 
 /// Directory names never descended into. `vendor` holds offline stand-ins
 /// for external crates (not ours to lint, like any dependency), `fixtures`
-/// holds seeded violations exercised only by `--fixture`.
-const SKIP_DIRS: &[&str] = &["target", ".git", "vendor", "fixtures"];
+/// holds seeded violations exercised only by `--fixture`, `bench_out` and
+/// `evalbed_out` are run artifacts.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    ".git",
+    "vendor",
+    "fixtures",
+    "bench_out",
+    "evalbed_out",
+];
+
+/// Generated or vendored trees that are never scanned — even when such a
+/// path is passed explicitly as the root. (`fixtures` is deliberately not
+/// here: passing a fixture directory explicitly is how `--fixture` works.)
+const GENERATED_COMPONENTS: &[&str] = &["target", ".git", "vendor", "bench_out", "evalbed_out"];
 
 #[derive(Debug, Clone, Default)]
 pub struct Options {
@@ -28,7 +41,22 @@ pub struct FileReport {
 
 /// Lint every `.rs` file under `root`. Returns per-file reports sorted by
 /// path; diagnostics within a file are sorted by line.
+///
+/// A root inside a generated/vendored tree (`vendor/`, `target/`,
+/// `bench_out/`, `evalbed_out/`) produces no reports: those files are not
+/// ours to lint even when named explicitly (`--include-vendor` restores
+/// `vendor/`, matching the walker's behaviour).
 pub fn run(root: &Path, opts: &Options) -> std::io::Result<Vec<FileReport>> {
+    // Canonicalize so `./vendor/../vendor/x` style spellings cannot slip a
+    // generated tree past the component check.
+    let canon = root.canonicalize().unwrap_or_else(|_| root.to_path_buf());
+    let in_generated = canon.components().any(|c| {
+        let name = c.as_os_str().to_string_lossy();
+        GENERATED_COMPONENTS.contains(&name.as_ref()) && !(opts.include_vendor && name == "vendor")
+    });
+    if in_generated {
+        return Ok(Vec::new());
+    }
     let mut files = Vec::new();
     walk(root, opts, &mut files)?;
     files.sort();
@@ -54,16 +82,62 @@ pub fn lint_one(rel_path: &str, src: &[u8]) -> FileReport {
     let cx = FileContext::new(effective, src);
     let mut raw = Vec::new();
     rules::run_all(&cx, &mut raw);
+    let stale = stale_suppressions(&cx, &raw);
     let mut diagnostics: Vec<Diagnostic> = raw
         .into_iter()
         .filter(|d| !cx.is_suppressed(d.rule, d.line))
         .collect();
+    // Stale findings join *after* the suppression filter: a suppression
+    // cannot vouch for itself, so `stale-suppression` is unsuppressible.
+    diagnostics.extend(stale);
     diagnostics.sort_by_key(|d| (d.line, d.rule));
+    crate::baseline::assign_fingerprints(&mut diagnostics, src);
     FileReport {
         rel_path: rel_path.to_string(),
         diagnostics,
         expected,
     }
+}
+
+/// A reasoned `lint-allow` earns its keep by suppressing something: for
+/// each known rule it names, some *raw* (pre-filter) diagnostic of that
+/// rule must land in the lines it governs. Anything else is stale — the
+/// code was fixed or the annotation drifted — and stale suppressions decay
+/// into silent lies about the code, so they are errors.
+///
+/// Reasonless annotations and unknown rule names are `suppress-reason`'s
+/// beat (they never suppress anything); `stale-suppression` itself is
+/// excluded from the liveness check (it cannot fire at annotation time by
+/// construction, so naming it would always be stale).
+fn stale_suppressions(cx: &FileContext<'_>, raw: &[Diagnostic]) -> Vec<Diagnostic> {
+    let known = rules::rule_ids();
+    let mut out = Vec::new();
+    for s in &cx.suppressions {
+        if !s.has_reason {
+            continue;
+        }
+        for r in &s.rules {
+            if r == "stale-suppression" || !known.contains(&r.as_str()) {
+                continue;
+            }
+            let live = raw
+                .iter()
+                .any(|d| d.rule == *r && d.line >= s.applies_to.0 && d.line <= s.applies_to.1);
+            if !live {
+                out.push(Diagnostic {
+                    rule: "stale-suppression",
+                    path: cx.rel_path.clone(),
+                    line: s.line,
+                    message: format!(
+                        "lint-allow({r}) no longer suppresses anything here; remove it (or fix \
+                         the annotation if the finding moved)"
+                    ),
+                    fingerprint: 0,
+                });
+            }
+        }
+    }
+    out
 }
 
 fn walk(dir: &Path, opts: &Options, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -144,11 +218,12 @@ pub fn render_json(reports: &[FileReport]) -> String {
             }
             first = false;
             out.push_str(&format!(
-                "\n  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                "\n  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"hash\":\"{:016x}\"}}",
                 json_escape(d.rule),
                 json_escape(&r.rel_path),
                 d.line,
-                json_escape(&d.message)
+                json_escape(&d.message),
+                d.fingerprint
             ));
         }
     }
@@ -156,7 +231,7 @@ pub fn render_json(reports: &[FileReport]) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

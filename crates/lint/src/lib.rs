@@ -1,20 +1,29 @@
 //! `triad-lint` — workspace-aware static analysis for the TriAD codebase.
 //!
 //! A self-contained analyzer (no external parser): a hand-rolled byte-level
-//! Rust tokenizer ([`tokenizer`]), per-file analysis context with test-region
+//! Rust tokenizer ([`tokenizer`]), a total delimiter-tree parser over it
+//! ([`parser`]), a scope/symbol pass resolving bindings and method-call
+//! receivers ([`scope`]), per-file analysis context with test-region
 //! detection and `lint-allow` suppressions ([`context`]), a catalog of
-//! numeric-safety / panic-hygiene / concurrency rules ([`rules`]) and a
-//! workspace walker with human/JSON output and a fixture self-test
+//! numeric-safety / panic-hygiene / concurrency / determinism rules
+//! ([`rules`], [`determinism`]) and a workspace walker with human/JSON/SARIF
+//! output, baseline filtering ([`baseline`]) and a fixture self-test
 //! ([`engine`]).
 //!
-//! The binary (`cargo run -p triad-lint`) is the CI entry point; the library
-//! surface exists so integration tests can drive the same engine.
+//! The binary (`cargo run -p triad-lint`) and the `triad lint` CLI verb are
+//! the CI entry points; the library surface exists so integration tests and
+//! `crates/cli` can drive the same engine.
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod context;
+pub mod determinism;
 pub mod engine;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
+pub mod scope;
 pub mod tokenizer;
 
 pub use context::{FileClass, FileContext, Suppression};

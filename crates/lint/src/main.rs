@@ -1,7 +1,8 @@
 //! CLI for `triad-lint`.
 //!
 //! ```text
-//! triad-lint [--root DIR] [--json] [--deny] [--include-vendor]
+//! triad-lint [--root DIR] [--json | --sarif] [--deny] [--include-vendor]
+//!            [--baseline FILE] [--write-baseline FILE]
 //! triad-lint --fixture            # self-test on seeded-violation fixtures
 //! triad-lint --list-rules         # print the rule catalog
 //! ```
@@ -15,20 +16,26 @@ use std::process::ExitCode;
 struct Args {
     root: Option<PathBuf>,
     json: bool,
+    sarif: bool,
     deny: bool,
     fixture: bool,
     include_vendor: bool,
     list_rules: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
         json: false,
+        sarif: false,
         deny: false,
         fixture: false,
         include_vendor: false,
         list_rules: false,
+        baseline: None,
+        write_baseline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -37,7 +44,18 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--root requires a directory argument")?;
                 args.root = Some(PathBuf::from(v));
             }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline requires a file argument")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => {
+                let v = it
+                    .next()
+                    .ok_or("--write-baseline requires a file argument")?;
+                args.write_baseline = Some(PathBuf::from(v));
+            }
             "--json" => args.json = true,
+            "--sarif" => args.sarif = true,
             "--deny" => args.deny = true,
             "--fixture" => args.fixture = true,
             "--include-vendor" => args.include_vendor = true,
@@ -45,20 +63,27 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "triad-lint: workspace static analysis for TriAD\n\n\
-                     USAGE: triad-lint [--root DIR] [--json] [--deny] [--include-vendor]\n\
+                     USAGE: triad-lint [--root DIR] [--json | --sarif] [--deny] [--include-vendor]\n\
+                            \u{20}          [--baseline FILE] [--write-baseline FILE]\n\
                             triad-lint --fixture\n\
                             triad-lint --list-rules\n\n\
-                     --root DIR        lint DIR instead of the workspace root\n\
-                     --json            machine-readable diagnostics on stdout\n\
-                     --deny            exit 1 if any diagnostic is emitted\n\
-                     --fixture         run the seeded-violation self-test\n\
-                     --include-vendor  also lint vendor/ (skipped by default)\n\
-                     --list-rules      print the rule catalog and exit"
+                     --root DIR             lint DIR instead of the workspace root\n\
+                     --json                 machine-readable diagnostics on stdout\n\
+                     --sarif                SARIF 2.1.0 on stdout\n\
+                     --deny                 exit 1 if any diagnostic is emitted\n\
+                     --baseline FILE        drop findings fingerprinted in FILE (CI gates on new ones)\n\
+                     --write-baseline FILE  record current findings as the baseline and exit\n\
+                     --fixture              run the seeded-violation self-test\n\
+                     --include-vendor       also lint vendor/ (skipped by default)\n\
+                     --list-rules           print the rule catalog and exit"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{}` (try --help)", other)),
         }
+    }
+    if args.json && args.sarif {
+        return Err("--json and --sarif are mutually exclusive".to_string());
     }
     Ok(args)
 }
@@ -92,7 +117,7 @@ fn main() -> ExitCode {
 
     if args.list_rules {
         for (id, desc) in triad_lint::RULES {
-            println!("{:<16} {}", id, desc);
+            println!("{:<18} {}", id, desc);
         }
         return ExitCode::SUCCESS;
     }
@@ -123,16 +148,53 @@ fn main() -> ExitCode {
     let opts = triad_lint::Options {
         include_vendor: args.include_vendor,
     };
-    let reports = match triad_lint::run(&root, &opts) {
+    let mut reports = match triad_lint::run(&root, &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("triad-lint: failed to lint {}: {}", root.display(), e);
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = &args.write_baseline {
+        let text = triad_lint::baseline::render(&reports);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("triad-lint: failed to write {}: {}", path.display(), e);
+            return ExitCode::from(2);
+        }
+        let n: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+        println!(
+            "triad-lint: wrote baseline with {} finding{} to {}",
+            n,
+            if n == 1 { "" } else { "s" },
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("triad-lint: failed to read {}: {}", path.display(), e);
+                return ExitCode::from(2);
+            }
+        };
+        let set = match triad_lint::baseline::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("triad-lint: {}: {}", path.display(), e);
+                return ExitCode::from(2);
+            }
+        };
+        triad_lint::baseline::apply(&mut reports, &set);
+    }
+
     let n: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
     if args.json {
         print!("{}", triad_lint::engine::render_json(&reports));
+    } else if args.sarif {
+        print!("{}", triad_lint::sarif::render(&reports));
     } else {
         print!("{}", triad_lint::engine::render_human(&reports));
     }

@@ -1,0 +1,302 @@
+//! A lightweight recursive-descent parser over the token stream.
+//!
+//! The syntax-aware rules need *structure* — which tokens live inside which
+//! delimiter group, where a closure body ends, what the matching `)` of a
+//! call is — but not a full Rust grammar. This module builds a **delimiter
+//! tree**: every token becomes a leaf, and balanced `()` / `[]` / `{}`
+//! pairs become groups whose children are the tokens (and nested groups)
+//! between them. The tree is *total* and *faithful*:
+//!
+//! * any input parses (stray closers become leaves, unterminated groups run
+//!   to EOF with `close: None`);
+//! * an in-order traversal visits every token index exactly once, in order
+//!   — so reassembling the spans reproduces the file byte-for-byte (pinned
+//!   by a proptest and by a round-trip test over every workspace source
+//!   file in `tests/parser_roundtrip.rs`).
+//!
+//! On top of the tree, [`Tree::matching_close`] / [`Tree::matching_open`]
+//! answer bracket-matching queries over *significant-token* indices, which
+//! is how the determinism rules walk method-call chains and closure bodies
+//! without re-counting depth by hand.
+
+use crate::tokenizer::{Tok, TokKind};
+
+/// The three bracket kinds that form groups. Angle brackets are *not*
+/// delimiters (they cannot be balanced without type context) and stay
+/// leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    Paren,
+    Bracket,
+    Brace,
+}
+
+impl Delim {
+    fn of_open(b: u8) -> Option<Delim> {
+        match b {
+            b'(' => Some(Delim::Paren),
+            b'[' => Some(Delim::Bracket),
+            b'{' => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+
+    fn of_close(b: u8) -> Option<Delim> {
+        match b {
+            b')' => Some(Delim::Paren),
+            b']' => Some(Delim::Bracket),
+            b'}' => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+}
+
+/// One node of the delimiter tree. Leaves index into the token vector.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A single non-delimiter token (or a stray closer with no opener).
+    Leaf(usize),
+    /// A balanced (or EOF-truncated) delimiter group.
+    Group(Group),
+}
+
+/// A delimiter group: `open` and `close` are token indices of the
+/// brackets themselves; `children` hold everything in between.
+#[derive(Debug, Clone)]
+pub struct Group {
+    pub delim: Delim,
+    pub open: usize,
+    /// `None` when the group is unterminated (runs to EOF).
+    pub close: Option<usize>,
+    pub children: Vec<Node>,
+}
+
+/// The parsed file: a forest of top-level nodes plus bracket-match tables.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    pub top: Vec<Node>,
+    /// token index of an opener → token index of its matching closer.
+    open_to_close: Vec<(usize, usize)>,
+    /// token index of a closer → token index of its matching opener.
+    close_to_open: Vec<(usize, usize)>,
+}
+
+impl Tree {
+    /// The matching closer's token index for the opener at token index
+    /// `open` (`None` for unterminated groups or non-openers).
+    pub fn matching_close(&self, open: usize) -> Option<usize> {
+        self.open_to_close
+            .binary_search_by_key(&open, |&(o, _)| o)
+            .ok()
+            .map(|i| self.open_to_close[i].1)
+    }
+
+    /// The matching opener's token index for the closer at token index
+    /// `close` (`None` for stray closers or non-closers).
+    pub fn matching_open(&self, close: usize) -> Option<usize> {
+        self.close_to_open
+            .binary_search_by_key(&close, |&(c, _)| c)
+            .ok()
+            .map(|i| self.close_to_open[i].1)
+    }
+
+    /// In-order token indices — the round-trip witness.
+    pub fn token_order(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        fn walk(nodes: &[Node], out: &mut Vec<usize>) {
+            for n in nodes {
+                match n {
+                    Node::Leaf(i) => out.push(*i),
+                    Node::Group(g) => {
+                        out.push(g.open);
+                        walk(&g.children, out);
+                        if let Some(c) = g.close {
+                            out.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        walk(&self.top, &mut out);
+        out
+    }
+}
+
+/// One open frame during parsing.
+struct Frame {
+    delim: Delim,
+    open: usize,
+    children: Vec<Node>,
+}
+
+/// Parse the token stream into a delimiter tree. Total: never fails, and
+/// every token index appears exactly once in the result.
+pub fn parse(tokens: &[Tok], src: &[u8]) -> Tree {
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut top: Vec<Node> = Vec::new();
+    let mut open_to_close: Vec<(usize, usize)> = Vec::new();
+
+    fn push_node(stack: &mut [Frame], top: &mut Vec<Node>, node: Node) {
+        match stack.last_mut() {
+            Some(f) => f.children.push(node),
+            None => top.push(node),
+        }
+    }
+
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokKind::Punct && t.end == t.start + 1 {
+            let b = src[t.start];
+            if let Some(d) = Delim::of_open(b) {
+                stack.push(Frame {
+                    delim: d,
+                    open: i,
+                    children: Vec::new(),
+                });
+                continue;
+            }
+            if let Some(d) = Delim::of_close(b) {
+                if let Some(pos) = stack.iter().rposition(|f| f.delim == d) {
+                    // Close any inner frames the closer skips over (their
+                    // opener never got a match) …
+                    while stack.len() > pos + 1 {
+                        if let Some(f) = stack.pop() {
+                            let node = Node::Group(Group {
+                                delim: f.delim,
+                                open: f.open,
+                                close: None,
+                                children: f.children,
+                            });
+                            push_node(&mut stack, &mut top, node);
+                        }
+                    }
+                    // … then close the matching frame with this token.
+                    if let Some(f) = stack.pop() {
+                        open_to_close.push((f.open, i));
+                        let node = Node::Group(Group {
+                            delim: f.delim,
+                            open: f.open,
+                            close: Some(i),
+                            children: f.children,
+                        });
+                        push_node(&mut stack, &mut top, node);
+                    }
+                    continue;
+                }
+                // Stray closer with no opener anywhere: keep it as a leaf.
+            }
+        }
+        push_node(&mut stack, &mut top, Node::Leaf(i));
+    }
+
+    // Unterminated groups run to EOF.
+    while let Some(f) = stack.pop() {
+        let node = Node::Group(Group {
+            delim: f.delim,
+            open: f.open,
+            close: None,
+            children: f.children,
+        });
+        push_node(&mut stack, &mut top, node);
+    }
+
+    open_to_close.sort_unstable();
+    let mut close_to_open: Vec<(usize, usize)> =
+        open_to_close.iter().map(|&(o, c)| (c, o)).collect();
+    close_to_open.sort_unstable();
+    Tree {
+        top,
+        open_to_close,
+        close_to_open,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn tree_of(src: &str) -> (Vec<Tok>, Tree) {
+        let toks = tokenize(src.as_bytes());
+        let tree = parse(&toks, src.as_bytes());
+        (toks, tree)
+    }
+
+    fn assert_round_trip(src: &[u8]) {
+        let toks = tokenize(src);
+        let tree = parse(&toks, src);
+        let order = tree.token_order();
+        assert_eq!(order.len(), toks.len(), "token count preserved");
+        for (expect, got) in order.iter().enumerate() {
+            assert_eq!(*got, expect, "tokens emitted in order");
+        }
+        let mut rebuilt = Vec::new();
+        for i in order {
+            rebuilt.extend_from_slice(toks[i].bytes(src));
+        }
+        assert_eq!(rebuilt, src, "byte-exact reassembly");
+    }
+
+    #[test]
+    fn nesting_and_matching() {
+        let src = "fn f(a: u32) { g(a, [1, 2]); }";
+        let (toks, tree) = tree_of(src);
+        // Find the token index of the outer `{`.
+        let brace = toks
+            .iter()
+            .position(|t| t.bytes(src.as_bytes()) == b"{")
+            .expect("has a brace");
+        let close = tree.matching_close(brace).expect("brace is matched");
+        assert_eq!(toks[close].bytes(src.as_bytes()), b"}");
+        assert_eq!(tree.matching_open(close), Some(brace));
+    }
+
+    #[test]
+    fn stray_closer_is_a_leaf() {
+        assert_round_trip(b"a ) b");
+        let (_, tree) = tree_of("a ) b");
+        assert!(tree.top.iter().all(|n| matches!(n, Node::Leaf(_))));
+    }
+
+    #[test]
+    fn unterminated_group_runs_to_eof() {
+        assert_round_trip(b"f(a, b");
+        let (_, tree) = tree_of("f(a, b");
+        let group = tree.top.iter().find_map(|n| match n {
+            Node::Group(g) => Some(g),
+            Node::Leaf(_) => None,
+        });
+        assert!(group.is_some_and(|g| g.close.is_none()));
+    }
+
+    #[test]
+    fn mismatched_closer_closes_inner_frames() {
+        // `{ ( }` — the `}` matches the `{`, the `(` is unterminated.
+        assert_round_trip(b"{ ( }");
+        let (toks, tree) = tree_of("{ ( }");
+        let brace = toks
+            .iter()
+            .position(|t| t.bytes(b"{ ( }") == b"{")
+            .expect("brace");
+        assert!(tree.matching_close(brace).is_some());
+    }
+
+    #[test]
+    fn round_trips_on_this_file() {
+        assert_round_trip(include_bytes!("parser.rs"));
+    }
+
+    #[test]
+    fn brackets_inside_strings_do_not_open_groups() {
+        let src = r#"let s = "( not a group ["; f(x);"#;
+        assert_round_trip(src.as_bytes());
+        let (toks, tree) = tree_of(src);
+        // The only group is `f(x)`'s parens.
+        let opens: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| t.kind == TokKind::Punct && tree.matching_close(*i).is_some())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(opens.len(), 1, "{opens:?}");
+    }
+}

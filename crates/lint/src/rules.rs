@@ -1,26 +1,34 @@
 //! The rule catalog.
 //!
-//! Rules are token-stream pattern matchers — no AST, no type information —
-//! so each one is written to keep false positives low enough that a
-//! `lint-allow` on the remainder is a reasonable ask. Three families:
+//! The original rules are token-stream pattern matchers — written to keep
+//! false positives low enough that a `lint-allow` on the remainder is a
+//! reasonable ask. Four families:
 //!
 //! * **numeric safety** — `float-cmp`, `lossy-cast`, `float-div-acc`
 //! * **panic hygiene** — `no-unwrap`, `no-panic`, `index-stampede`
 //! * **concurrency** — `relaxed-ok`, `no-static-mut`, `lock-across-io`
+//! * **determinism** (syntax-aware, in [`crate::determinism`]) —
+//!   `nondet-iter`, `float-reduce-order`, `ambient-entropy`,
+//!   `shadowed-threads`
 //!
 //! plus `suppress-reason`, which audits the suppression comments
 //! themselves (a `lint-allow` without a reason, or naming an unknown rule,
-//! is itself a diagnostic).
+//! is itself a diagnostic), and `stale-suppression`, emitted by the engine
+//! when a reasoned `lint-allow` names a rule that no longer fires at that
+//! site (so the suppression inventory stays honest).
 
 use crate::context::{FileClass, FileContext};
 
-/// One finding, addressed `path:line`.
+/// One finding, addressed `path:line`. The `fingerprint` is filled in by
+/// the engine (it needs the source text): a line-shift-tolerant hash used
+/// by `--baseline` and the SARIF exporter.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
     pub rule: &'static str,
     pub path: String,
     pub line: u32,
     pub message: String,
+    pub fingerprint: u64,
 }
 
 /// (id, one-line description) for every shipped rule, in catalog order.
@@ -67,8 +75,28 @@ pub const RULES: &[(&str, &str)] = &[
         "direct std::time::Instant::now() outside crates/obs and crates/bench; use obs::now_instant()/now_ns() so timestamps share the trace clock",
     ),
     (
+        "nondet-iter",
+        "iteration over a HashMap/HashSet whose per-process order can escape; use a BTree collection, sort a collected Vec, or an order-insensitive terminal",
+    ),
+    (
+        "float-reduce-order",
+        "f32/f64 sum/fold/+= accumulation inside a parallel::map_*/fill_rows closure; route it through parallel::reduce::* (exact serial order)",
+    ),
+    (
+        "ambient-entropy",
+        "SystemTime::now, RandomState, or an env read outside the sanctioned config layer (parallel/obs/neuro)",
+    ),
+    (
+        "shadowed-threads",
+        "thread-count read (available_parallelism, Parallelism::resolve, TRIAD_THREADS) bypassing Parallelism::with_ambient",
+    ),
+    (
         "suppress-reason",
         "lint-allow annotation without a reason, or naming a rule that does not exist",
+    ),
+    (
+        "stale-suppression",
+        "reasoned lint-allow whose rule no longer fires at that site; remove the suppression (this rule cannot be suppressed)",
     ),
 ];
 
@@ -120,22 +148,29 @@ pub fn run_all(cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
     lock_across_io(cx, out);
     thread_unbounded(cx, out);
     raw_instant(cx, out);
+    crate::determinism::run_all(cx, out);
     suppress_reason(cx, out);
 }
 
-fn diag(cx: &FileContext<'_>, rule: &'static str, line: u32, message: String) -> Diagnostic {
+pub(crate) fn diag(
+    cx: &FileContext<'_>,
+    rule: &'static str,
+    line: u32,
+    message: String,
+) -> Diagnostic {
     Diagnostic {
         rule,
         path: cx.rel_path.clone(),
         line,
         message,
+        fingerprint: 0,
     }
 }
 
 /// True when significant tokens `i` and `i+1` touch with no gap — used to
 /// recognise multi-byte operators (`::`, `+=`, `/=`) that the tokenizer
 /// emits as single-byte `Punct`s.
-fn adjacent(cx: &FileContext<'_>, i: usize) -> bool {
+pub(crate) fn adjacent(cx: &FileContext<'_>, i: usize) -> bool {
     i + 1 < cx.slen() && cx.stok(i).end == cx.stok(i + 1).start
 }
 

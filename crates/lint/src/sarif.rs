@@ -1,0 +1,92 @@
+//! Minimal SARIF 2.1.0 exporter.
+//!
+//! Emits the subset CI annotators actually read — one run, the rule
+//! catalog under `tool.driver.rules`, and one `result` per diagnostic with
+//! a `ruleId`, message, physical location, and the baseline fingerprint
+//! under `fingerprints` (`triadLint/v1`, same hash `--baseline` uses, so a
+//! SARIF consumer and the baseline gate agree on finding identity).
+//! Hand-rolled JSON, like the rest of the crate: the workspace builds
+//! offline without serde.
+
+use crate::engine::{json_escape, FileReport};
+use crate::rules::RULES;
+
+pub fn render(reports: &[FileReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [{\n");
+    out.push_str("    \"tool\": {\"driver\": {\n");
+    out.push_str("      \"name\": \"triad-lint\",\n");
+    out.push_str("      \"informationUri\": \"DESIGN.md\",\n");
+    out.push_str("      \"rules\": [");
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            json_escape(id),
+            json_escape(desc)
+        ));
+    }
+    out.push_str("\n      ]\n");
+    out.push_str("    }},\n");
+    out.push_str("    \"results\": [");
+    let mut first = true;
+    for r in reports {
+        for d in &r.diagnostics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n      {{\"ruleId\":\"{}\",\"level\":\"warning\",\"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+                 \"region\":{{\"startLine\":{}}}}}}}],\
+                 \"fingerprints\":{{\"triadLint/v1\":\"{:016x}\"}}}}",
+                json_escape(d.rule),
+                json_escape(&d.message),
+                json_escape(&r.rel_path),
+                d.line,
+                d.fingerprint
+            ));
+        }
+    }
+    out.push_str(if first { "]\n" } else { "\n    ]\n" });
+    out.push_str("  }]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Diagnostic;
+
+    #[test]
+    fn sarif_shape_contains_rules_and_results() {
+        let reports = vec![FileReport {
+            rel_path: "crates/x/src/f.rs".into(),
+            diagnostics: vec![Diagnostic {
+                rule: "nondet-iter",
+                path: "crates/x/src/f.rs".into(),
+                line: 7,
+                message: "hash order escapes".into(),
+                fingerprint: 0xdead_beef_0102_0304,
+            }],
+            expected: Vec::new(),
+        }];
+        let s = render(&reports);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\":\"nondet-iter\""));
+        assert!(s.contains("\"startLine\":7"));
+        assert!(s.contains("deadbeef01020304"));
+        // Every catalog rule is declared in the driver.
+        for (id, _) in RULES {
+            assert!(s.contains(&format!("\"id\":\"{id}\"")), "{id} missing");
+        }
+        // No stray raw quotes from messages.
+        assert!(!render(&[]).is_empty());
+    }
+}

@@ -1,0 +1,481 @@
+//! Scope and symbol resolution for the determinism rules.
+//!
+//! A single pass over the significant-token stream collects every place a
+//! name acquires a type the rules care about:
+//!
+//! * **struct/enum fields** — `name: Type` inside item braces, so
+//!   `self.pending.iter()` (or `st.pending.iter()` through a guard) can be
+//!   resolved to the field's declared collection type;
+//! * **`let` bindings** — from the annotation (`let m: HashMap<..>`) or,
+//!   failing that, inferred from the initializer head (`HashMap::new()`,
+//!   `HashSet::with_capacity(..)`, `…collect::<HashMap<_, _>>()`);
+//! * **function parameters** — `name: &mut HashMap<..>` and friends.
+//!
+//! Types are reduced to a coarse [`TypeTag`]; resolution is deliberately an
+//! *under*-approximation (unknown stays unknown) so the rules it feeds err
+//! toward silence, not noise. Deref-transparent wrappers (`Arc`, `Mutex`,
+//! `RefCell`, …) are pierced, because `m.lock().unwrap().iter()` still
+//! iterates the map inside.
+//!
+//! Shadowing is handled positionally: a use site resolves to the latest
+//! binding declared before it (file order), falling back to the field
+//! table. Block-precise scoping is not modelled — for lint purposes the
+//! last-binding-wins approximation has not produced a false positive on
+//! this workspace, and anything it gets wrong can carry a `lint-allow`.
+
+use crate::tokenizer::{Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// Coarse type classification — just enough for the determinism rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeTag {
+    /// `std::collections::HashMap` (arbitrary iteration order).
+    HashMap,
+    /// `std::collections::HashSet` (arbitrary iteration order).
+    HashSet,
+    /// `BTreeMap` / `BTreeSet` (sorted, deterministic iteration).
+    BTree,
+    /// `f32` / `f64`.
+    Float,
+    /// Anything else we could name but do not track.
+    Other,
+}
+
+/// Wrappers that are transparent for iteration purposes: a receiver typed
+/// `Arc<Mutex<HashMap<..>>>` still iterates a hash map after `.lock()`.
+const WRAPPERS: &[&str] = &[
+    "Arc", "Rc", "Box", "Mutex", "RwLock", "RefCell", "Cell", "Option",
+];
+
+/// Symbol table for one file.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    /// Field name → tag. Conflicting declarations across structs collapse
+    /// to `None` (unknown) so resolution stays an under-approximation.
+    fields: BTreeMap<String, Option<TypeTag>>,
+    /// `(name, tag, declaration byte offset)` for lets and fn params, in
+    /// file order.
+    locals: Vec<(String, TypeTag, usize)>,
+}
+
+impl Symbols {
+    /// Resolve `name` used as a plain local at byte offset `at`: the
+    /// latest prior binding wins; fields are the fallback (method bodies
+    /// often alias `self` through a guard variable).
+    pub fn resolve_local(&self, name: &str, at: usize) -> Option<TypeTag> {
+        self.locals
+            .iter()
+            .rev()
+            .find(|(n, _, decl)| n == name && *decl <= at)
+            .map(|&(_, tag, _)| tag)
+            .or_else(|| self.resolve_field(name))
+    }
+
+    /// Resolve `name` used as a field access (`something.name`).
+    pub fn resolve_field(&self, name: &str) -> Option<TypeTag> {
+        self.fields.get(name).copied().flatten()
+    }
+
+    fn record_field(&mut self, name: String, tag: TypeTag) {
+        match self.fields.get_mut(&name) {
+            None => {
+                self.fields.insert(name, Some(tag));
+            }
+            Some(existing) => {
+                if *existing != Some(tag) {
+                    *existing = None; // conflicting declarations: unknown
+                }
+            }
+        }
+    }
+}
+
+/// Map a type-head identifier to its tag.
+fn tag_of_ident(name: &str) -> TypeTag {
+    match name {
+        "HashMap" => TypeTag::HashMap,
+        "HashSet" => TypeTag::HashSet,
+        "BTreeMap" | "BTreeSet" => TypeTag::BTree,
+        "f32" | "f64" => TypeTag::Float,
+        _ => TypeTag::Other,
+    }
+}
+
+/// Token-stream cursor over significant tokens.
+struct Cur<'a> {
+    src: &'a [u8],
+    tokens: &'a [Tok],
+    sig: &'a [usize],
+}
+
+impl<'a> Cur<'a> {
+    fn text(&self, i: usize) -> std::borrow::Cow<'a, str> {
+        self.tokens[self.sig[i]].text(self.src)
+    }
+
+    fn kind(&self, i: usize) -> TokKind {
+        self.tokens[self.sig[i]].kind
+    }
+
+    fn start(&self, i: usize) -> usize {
+        self.tokens[self.sig[i]].start
+    }
+
+    fn len(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// Are significant tokens `i` and `i+1` byte-adjacent (`::`, `+=` …)?
+    fn adjacent(&self, i: usize) -> bool {
+        if i + 1 >= self.len() {
+            return false;
+        }
+        let a = &self.tokens[self.sig[i]];
+        let b = &self.tokens[self.sig[i + 1]];
+        a.end == b.start
+    }
+
+    /// Is the significant token at `i` the first `:` of a `::`?
+    fn is_path_sep(&self, i: usize) -> bool {
+        i + 1 < self.len() && self.text(i) == ":" && self.text(i + 1) == ":" && self.adjacent(i)
+    }
+
+    /// Is the `:` at `i` a single type-ascription colon (not part of `::`)?
+    fn is_single_colon(&self, i: usize) -> bool {
+        self.text(i) == ":"
+            && !self.is_path_sep(i)
+            && !(i >= 1 && self.text(i - 1) == ":" && self.adjacent(i - 1))
+    }
+}
+
+/// Extract the type head from significant tokens `[from, to)`: pierce
+/// references, lifetimes, path prefixes and transparent wrappers, stop at
+/// the first meaningful type identifier.
+fn type_head(cur: &Cur<'_>, from: usize, to: usize) -> Option<TypeTag> {
+    let mut i = from;
+    let to = to.min(cur.len());
+    let mut budget = 24usize; // types the rules care about are short
+    while i < to && budget > 0 {
+        budget -= 1;
+        match cur.kind(i) {
+            TokKind::Ident => {
+                let name = cur.text(i);
+                if matches!(name.as_ref(), "dyn" | "impl" | "mut" | "const" | "ref") {
+                    i += 1;
+                    continue;
+                }
+                // Path segment (`std::collections::HashMap`): skip to the
+                // segment after the `::`.
+                if i + 2 < to && cur.is_path_sep(i + 1) {
+                    i += 3;
+                    continue;
+                }
+                if WRAPPERS.contains(&name.as_ref()) {
+                    i += 1;
+                    continue; // descend into the wrapper's generics
+                }
+                return Some(tag_of_ident(&name));
+            }
+            TokKind::Lifetime => i += 1,
+            _ => i += 1, // `&`, `<`, `(`, …
+        }
+    }
+    None
+}
+
+/// Infer a tag from an initializer expression starting at significant
+/// index `from` (just after the `=`), ending before `to`.
+fn init_head(cur: &Cur<'_>, from: usize, to: usize) -> TypeTag {
+    let to = to.min(cur.len());
+    let mut i = from;
+    // Skip leading `&` / `mut`.
+    while i < to && matches!(cur.text(i).as_ref(), "&" | "mut") {
+        i += 1;
+    }
+    if i >= to {
+        return TypeTag::Other;
+    }
+    // Float literal head: `0.0`, `1e-3f64` …
+    if cur.kind(i) == TokKind::Num && num_is_float(&cur.text(i)) {
+        return TypeTag::Float;
+    }
+    // Leading path: collect `A :: B :: C` segment idents; any segment that
+    // names a tracked collection decides the tag (`HashMap::new()`,
+    // `std::collections::HashSet::with_capacity(8)`).
+    let mut j = i;
+    while j < to && cur.kind(j) == TokKind::Ident {
+        let tag = tag_of_ident(&cur.text(j));
+        if tag != TypeTag::Other {
+            return tag;
+        }
+        if j + 2 < to && cur.is_path_sep(j + 1) {
+            j += 3;
+        } else {
+            break;
+        }
+    }
+    // `…collect::<HashMap<_, _>>()` anywhere in the initializer.
+    let mut k = i;
+    let scan_end = to.min(i + 80);
+    while k + 3 < scan_end {
+        if cur.text(k) == "collect" && cur.is_path_sep(k + 1) && cur.text(k + 3) == "<" {
+            if let Some(tag) = type_head(cur, k + 4, scan_end) {
+                return tag;
+            }
+        }
+        k += 1;
+    }
+    TypeTag::Other
+}
+
+/// Is this numeric literal float-shaped (`1.5`, `2e-3`, `4f64`)?
+pub fn num_is_float(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0X") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text.contains('e')
+        || text.contains('E')
+}
+
+/// Find the end (exclusive, in significant indices) of the statement
+/// containing `i`: the next `;` at the same nesting depth, or the end of
+/// the enclosing block.
+fn statement_end(cur: &Cur<'_>, i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < cur.len() {
+        match cur.text(j).as_ref() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            ";" if depth == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Build the symbol table for one file.
+pub fn analyze(src: &[u8], tokens: &[Tok], sig: &[usize]) -> Symbols {
+    let cur = Cur { src, tokens, sig };
+    let mut sym = Symbols::default();
+    let n = cur.len();
+    let mut i = 0usize;
+    while i < n {
+        match cur.text(i).as_ref() {
+            // Struct/enum bodies: record `name: Type` pairs at any depth
+            // inside the item braces (enum variant fields included).
+            "struct" | "enum" | "union" => {
+                // Find the body `{` before any terminating `;` (tuple
+                // structs have none).
+                let mut j = i + 1;
+                let mut body = None;
+                while j < n && j < i + 40 {
+                    match cur.text(j).as_ref() {
+                        "{" => {
+                            body = Some(j);
+                            break;
+                        }
+                        ";" => break,
+                        _ => j += 1,
+                    }
+                }
+                if let Some(open) = body {
+                    let mut depth = 0i32;
+                    let mut k = open;
+                    while k < n {
+                        match cur.text(k).as_ref() {
+                            "{" | "(" | "[" => depth += 1,
+                            "}" | ")" | "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {
+                                if cur.kind(k) == TokKind::Ident
+                                    && k + 1 < n
+                                    && cur.is_single_colon(k + 1)
+                                {
+                                    let end = statement_end(&cur, k + 2).min(k + 26);
+                                    if let Some(tag) = type_head(&cur, k + 2, end) {
+                                        sym.record_field(cur.text(k).into_owned(), tag);
+                                    }
+                                }
+                            }
+                        }
+                        k += 1;
+                    }
+                    i = k;
+                }
+                i += 1;
+            }
+            // `let [mut] name [: Type] = init;`
+            "let" => {
+                let mut j = i + 1;
+                if j < n && cur.text(j) == "mut" {
+                    j += 1;
+                }
+                if j < n && cur.kind(j) == TokKind::Ident {
+                    let name = cur.text(j).into_owned();
+                    let decl_at = cur.start(j);
+                    let stmt_end = statement_end(&cur, j + 1);
+                    let mut tag = None;
+                    if j + 1 < n && cur.is_single_colon(j + 1) {
+                        // Annotation runs until the `=` (or statement end).
+                        let mut eq = j + 2;
+                        while eq < stmt_end && cur.text(eq) != "=" {
+                            eq += 1;
+                        }
+                        tag = type_head(&cur, j + 2, eq);
+                        if eq < stmt_end {
+                            // Annotated `Other` can still be sharpened by a
+                            // collection initializer (e.g. `let m: Foo =`
+                            // stays Other; that is fine).
+                        }
+                    } else if j + 1 < n && cur.text(j + 1) == "=" {
+                        tag = Some(init_head(&cur, j + 2, stmt_end));
+                    }
+                    if let Some(tag) = tag {
+                        sym.locals.push((name, tag, decl_at));
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            // `fn name(params…)`: record `name: Type` pairs in the header.
+            "fn" => {
+                let mut j = i + 1;
+                // fn name, optional generics to skip coarsely.
+                while j < n && cur.text(j) != "(" && cur.text(j) != "{" && cur.text(j) != ";" {
+                    j += 1;
+                }
+                if j < n && cur.text(j) == "(" {
+                    let mut depth = 0i32;
+                    let mut k = j;
+                    while k < n {
+                        match cur.text(k).as_ref() {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {
+                                if depth == 1
+                                    && cur.kind(k) == TokKind::Ident
+                                    && k + 1 < n
+                                    && cur.is_single_colon(k + 1)
+                                {
+                                    if let Some(tag) = type_head(&cur, k + 2, (k + 26).min(n)) {
+                                        sym.locals.push((
+                                            cur.text(k).into_owned(),
+                                            tag,
+                                            cur.start(k),
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        k += 1;
+                    }
+                    i = k;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    sym
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn symbols(src: &str) -> (Vec<Tok>, Vec<usize>, Symbols) {
+        let tokens = tokenize(src.as_bytes());
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokKind::Ws | TokKind::LineComment | TokKind::BlockComment
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let sym = analyze(src.as_bytes(), &tokens, &sig);
+        (tokens, sig, sym)
+    }
+
+    #[test]
+    fn struct_fields_resolve() {
+        let src = "struct BatchState { pending: HashMap<String, Vec<Job>>, busy: HashSet<String>, order: BTreeMap<u32, u32>, n: usize }";
+        let (_, _, sym) = symbols(src);
+        assert_eq!(sym.resolve_field("pending"), Some(TypeTag::HashMap));
+        assert_eq!(sym.resolve_field("busy"), Some(TypeTag::HashSet));
+        assert_eq!(sym.resolve_field("order"), Some(TypeTag::BTree));
+        assert_eq!(sym.resolve_field("n"), Some(TypeTag::Other));
+        assert_eq!(sym.resolve_field("missing"), None);
+    }
+
+    #[test]
+    fn conflicting_fields_collapse_to_unknown() {
+        let src = "struct A { m: HashMap<u32, u32> } struct B { m: BTreeMap<u32, u32> }";
+        let (_, _, sym) = symbols(src);
+        assert_eq!(sym.resolve_field("m"), None);
+    }
+
+    #[test]
+    fn let_annotation_and_inference() {
+        let src = "fn f() {\n  let a: HashMap<u32, u32> = make();\n  let b = HashSet::new();\n  let c = std::collections::HashMap::with_capacity(8);\n  let d: Vec<u32> = xs.iter().collect();\n  let e = xs.iter().copied().collect::<HashMap<u32, u32>>();\n  let x = 0.5;\n}";
+        let (_, _, sym) = symbols(src);
+        let at = src.len();
+        assert_eq!(sym.resolve_local("a", at), Some(TypeTag::HashMap));
+        assert_eq!(sym.resolve_local("b", at), Some(TypeTag::HashSet));
+        assert_eq!(sym.resolve_local("c", at), Some(TypeTag::HashMap));
+        assert_eq!(sym.resolve_local("d", at), Some(TypeTag::Other));
+        assert_eq!(sym.resolve_local("e", at), Some(TypeTag::HashMap));
+        assert_eq!(sym.resolve_local("x", at), Some(TypeTag::Float));
+    }
+
+    #[test]
+    fn wrappers_are_pierced() {
+        let src = "struct S { slots: Arc<Mutex<HashMap<String, u32>>> } fn f(m: &mut HashMap<u32, u32>, s: &BTreeSet<u32>) {}";
+        let (_, _, sym) = symbols(src);
+        assert_eq!(sym.resolve_field("slots"), Some(TypeTag::HashMap));
+        assert_eq!(sym.resolve_local("m", src.len()), Some(TypeTag::HashMap));
+        assert_eq!(sym.resolve_local("s", src.len()), Some(TypeTag::BTree));
+    }
+
+    #[test]
+    fn shadowing_resolves_positionally() {
+        let src = "fn f() { let m = HashMap::new(); use_it(&m); let m = BTreeMap::new(); }";
+        let (_, _, sym) = symbols(src);
+        let use_at = src.find("use_it").expect("use site");
+        assert_eq!(sym.resolve_local("m", use_at), Some(TypeTag::HashMap));
+        assert_eq!(sym.resolve_local("m", src.len()), Some(TypeTag::BTree));
+    }
+
+    #[test]
+    fn float_literals_classified() {
+        assert!(num_is_float("0.5"));
+        assert!(num_is_float("1e-3"));
+        assert!(num_is_float("2f64"));
+        assert!(!num_is_float("42"));
+        assert!(!num_is_float("0xFE"));
+    }
+}

@@ -1,0 +1,90 @@
+//! The delimiter tree is faithful: an in-order traversal visits every
+//! token exactly once, so reassembling the spans reproduces the input
+//! byte-for-byte. Pinned here over every workspace source file (the
+//! corpus the linter actually runs on) and over randomized inputs skewed
+//! toward pathological bracket nesting.
+
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use triad_lint::parser;
+use triad_lint::tokenizer;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// Tokenize, parse, and re-emit the file from the tree's token order.
+fn reassemble(bytes: &[u8]) -> Vec<u8> {
+    let toks = tokenizer::tokenize(bytes);
+    let tree = parser::parse(&toks, bytes);
+    let order = tree.token_order();
+    assert_eq!(order.len(), toks.len(), "traversal must visit every token");
+    let mut out = Vec::with_capacity(bytes.len());
+    for i in order {
+        out.extend_from_slice(&bytes[toks[i].start..toks[i].end]);
+    }
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !matches!(
+                name.as_ref(),
+                "target" | ".git" | "bench_out" | "evalbed_out"
+            ) {
+                collect_rs(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_workspace_source_file_round_trips() {
+    let mut files = Vec::new();
+    collect_rs(&workspace_root(), &mut files);
+    // The walk must have found the real corpus, not an empty directory —
+    // vendor/ and fixtures/ are deliberately included: the parser must be
+    // total on them too.
+    assert!(files.len() > 100, "only {} .rs files found", files.len());
+    for path in files {
+        let bytes = std::fs::read(&path).expect("workspace file readable");
+        assert_eq!(
+            reassemble(&bytes),
+            bytes,
+            "parse→reassemble changed {}",
+            path.display()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // Total on arbitrary bytes: never panics, always reassembles exactly.
+    #[test]
+    fn parser_round_trips_arbitrary_bytes(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+        prop_assert_eq!(reassemble(&bytes), bytes);
+    }
+
+    // Skew toward delimiters, strays, and literal-openers: unbalanced
+    // nesting, mismatched closers, and brackets inside strings/comments.
+    #[test]
+    fn parser_round_trips_bracket_heavy_input(raw in prop::collection::vec(0u8..=255, 0..256)) {
+        const ALPHABET: &[u8] = b"(){}[]\"'/*\\\n a0,;<>";
+        let bytes: Vec<u8> = raw.iter().map(|&b| ALPHABET[b as usize % ALPHABET.len()]).collect();
+        prop_assert_eq!(reassemble(&bytes), bytes);
+    }
+}

@@ -175,11 +175,7 @@ fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
             let arow = &ad[i * k..(i + 1) * k];
             for (j, o) in orow.iter_mut().enumerate() {
                 let brow = &bd[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in arow.iter().zip(brow) {
-                    acc += x * y;
-                }
-                *o = acc;
+                *o = parallel::reduce::sum_f32_in_order(arow.iter().zip(brow).map(|(x, y)| x * y));
             }
         }
     });
@@ -833,10 +829,9 @@ impl Graph {
                                         let shift = kk * dilation;
                                         let t_lo = half.saturating_sub(shift);
                                         let t_hi = (l + half).saturating_sub(shift).min(l);
-                                        let mut wacc = 0.0f32;
-                                        for t in t_lo..t_hi {
-                                            wacc += xrow[t + shift - half] * grow[t];
-                                        }
+                                        let wacc = parallel::reduce::sum_f32_in_order(
+                                            (t_lo..t_hi).map(|t| xrow[t + shift - half] * grow[t]),
+                                        );
                                         *gwv += wacc;
                                     }
                                 }

@@ -23,6 +23,8 @@
 //! pick it up with [`ambient`]. Worker threads are flagged so nested
 //! parallel regions degrade to serial instead of oversubscribing.
 
+pub mod reduce;
+
 use std::cell::Cell;
 use std::ops::Range;
 

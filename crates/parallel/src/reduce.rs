@@ -1,0 +1,101 @@
+//! Exact-order reduction helpers — the sanctioned way to fold floats.
+//!
+//! Rule 3 of the determinism contract (see the crate docs) says combinators
+//! only *map*; every floating-point reduction happens at the call site in a
+//! fixed serial order. These helpers are that order, written down once and
+//! given a name, so the `float-reduce-order` lint can tell a deliberate,
+//! reproducible fold from an accidental one: an ad-hoc `.sum()` / `.fold()`
+//! / `+=` inside a `parallel::map_*` closure is flagged; routing the same
+//! arithmetic through this module is the fix.
+//!
+//! Every helper is a strict left fold over the iterator/slice order — the
+//! exact sequence of floating-point operations is a pure function of the
+//! input order, never of thread count or scheduling. Nothing here is
+//! parallel, and nothing here may ever become parallel without a
+//! tolerance-gated `fast` mode (ROADMAP item 1).
+
+/// Left-to-right sum of `f64` terms in iteration order.
+///
+/// Bit-identical to `iter.fold(0.0, |a, x| a + x)`; the name is the
+/// contract — this order is load-bearing and must not be re-associated.
+pub fn sum_in_order(it: impl Iterator<Item = f64>) -> f64 {
+    it.fold(0.0f64, |acc, x| acc + x)
+}
+
+/// Left-to-right sum of `f32` terms in iteration order.
+pub fn sum_f32_in_order(it: impl Iterator<Item = f32>) -> f32 {
+    it.fold(0.0f32, |acc, x| acc + x)
+}
+
+/// Left fold in iteration order; the float analogue of `Iterator::fold`
+/// with the order promise spelled out.
+pub fn fold_in_order<T, A>(it: impl Iterator<Item = T>, init: A, f: impl FnMut(A, T) -> A) -> A {
+    it.fold(init, f)
+}
+
+/// Dot product of two `f32` rows accumulated in `f64`, left to right.
+///
+/// This is the embedding-similarity kernel's inner reduction: each product
+/// is widened to `f64` before the add, and terms accumulate strictly in
+/// index order, so the result is independent of thread count.
+pub fn dot_f32_in_order(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .fold(0.0f64, |acc, (x, y)| acc + (*x as f64) * (*y as f64))
+}
+
+/// Minimum under IEEE total order (`f64::total_cmp`), in iteration order.
+/// Exactly associative: any grouping gives the same answer, NaNs included.
+pub fn min_in_order(it: impl Iterator<Item = f64>) -> Option<f64> {
+    it.reduce(|a, b| if b.total_cmp(&a).is_lt() { b } else { a })
+}
+
+/// Maximum under IEEE total order (`f64::total_cmp`), in iteration order.
+pub fn max_in_order(it: impl Iterator<Item = f64>) -> Option<f64> {
+    it.reduce(|a, b| if b.total_cmp(&a).is_gt() { b } else { a })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_serial_left_fold_bitwise() {
+        let xs = [0.1f64, 0.2, 0.7, 1e-9, -0.3, 4.5e7];
+        let serial = xs.iter().copied().fold(0.0f64, |a, x| a + x);
+        assert_eq!(sum_in_order(xs.iter().copied()).to_bits(), serial.to_bits());
+        let f = [0.5f32, 1.25, -0.125];
+        let serial32 = f.iter().copied().fold(0.0f32, |a, x| a + x);
+        assert_eq!(
+            sum_f32_in_order(f.iter().copied()).to_bits(),
+            serial32.to_bits()
+        );
+    }
+
+    #[test]
+    fn dot_matches_widened_serial_loop() {
+        let a = [0.5f32, -1.5, 2.25, 0.875];
+        let b = [1.0f32, 0.25, -0.5, 3.0];
+        let mut serial = 0.0f64;
+        for i in 0..a.len() {
+            serial += (a[i] as f64) * (b[i] as f64);
+        }
+        assert_eq!(dot_f32_in_order(&a, &b).to_bits(), serial.to_bits());
+    }
+
+    #[test]
+    fn min_max_are_nan_total() {
+        let xs = [1.0f64, f64::NAN, -2.0];
+        // total order puts NaN above every number, so min ignores it and
+        // max selects it — deterministically.
+        assert_eq!(min_in_order(xs.iter().copied()), Some(-2.0));
+        assert!(max_in_order(xs.iter().copied()).is_some_and(|v| v.is_nan()));
+        assert_eq!(min_in_order(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn fold_in_order_is_plain_left_fold() {
+        let got = fold_in_order([1.0f64, 2.0, 4.0].into_iter(), 10.0, |a, x| a * 2.0 + x);
+        assert_eq!(got, ((10.0 * 2.0 + 1.0) * 2.0 + 2.0) * 2.0 + 4.0);
+    }
+}

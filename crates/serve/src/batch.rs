@@ -17,7 +17,7 @@ use crate::json::Value;
 use crate::metrics::{inc, Metrics};
 use crate::proto::detection_fields;
 use crate::registry::ModelRegistry;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -56,8 +56,9 @@ pub struct DetectJob {
 }
 
 struct Queues {
-    /// Pending jobs per model.
-    pending: HashMap<String, Vec<DetectJob>>,
+    /// Pending jobs per model. BTreeMap so the dispatch scan in
+    /// `next_batch` visits models in a stable order.
+    pending: BTreeMap<String, Vec<DetectJob>>,
     /// Models with a batch currently executing (at most one per model).
     busy: HashSet<String>,
 }
@@ -74,7 +75,7 @@ impl Batcher {
     pub fn new(policy: BatchPolicy) -> Self {
         Batcher {
             state: Mutex::new(Queues {
-                pending: HashMap::new(),
+                pending: BTreeMap::new(),
                 busy: HashSet::new(),
             }),
             work: Condvar::new(),

@@ -21,7 +21,7 @@
 //! models in parallel).
 
 use crate::metrics::{inc, Metrics};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -88,7 +88,8 @@ pub struct ModelInfo {
 /// proceed in parallel.
 pub struct ModelRegistry {
     dir: PathBuf,
-    slots: HashMap<String, Arc<ModelSlot>>,
+    /// BTreeMap so eviction scans and listings visit slots in name order.
+    slots: BTreeMap<String, Arc<ModelSlot>>,
     clock: AtomicU64,
     capacity: usize,
     metrics: Arc<Metrics>,
@@ -122,7 +123,7 @@ impl ModelRegistry {
     /// `*.triad` file becomes an unloaded slot.
     pub fn open(dir: &Path, capacity: usize, metrics: Arc<Metrics>) -> io::Result<Self> {
         std::fs::create_dir_all(dir)?;
-        let mut slots = HashMap::new();
+        let mut slots = BTreeMap::new();
         for entry in std::fs::read_dir(dir)? {
             let entry = entry?;
             let path = entry.path();

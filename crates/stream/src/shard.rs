@@ -23,7 +23,7 @@ use crate::engine::{StreamConfig, StreamEngine, StreamStatus};
 use crate::metrics::ShardMetrics;
 use crate::StreamError;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 use std::sync::Arc;
@@ -394,7 +394,8 @@ struct OpenStream {
 }
 
 struct ShardState {
-    streams: HashMap<String, OpenStream>,
+    /// BTreeMap so checkpoint-all and stream listings run in name order.
+    streams: BTreeMap<String, OpenStream>,
     /// Per-shard model cache; `Rc` because several streams on this shard
     /// may share one model (and `FittedTriad` never leaves the thread).
     models: HashMap<String, Rc<FittedTriad>>,
@@ -464,7 +465,7 @@ fn shard_main(
     restore: Vec<PathBuf>,
 ) {
     let mut st = ShardState {
-        streams: HashMap::new(),
+        streams: BTreeMap::new(),
         models: HashMap::new(),
         loader,
         dir,

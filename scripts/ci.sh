@@ -82,16 +82,34 @@ for t in 1 4; do
 done
 echo "   evalbed smoke gate PASS at threads 1 and 4"
 
-echo "== triad-lint --deny (workspace must be clean)"
-cargo run -q -p triad-lint -- --deny
+echo "== triad lint --deny --baseline (no findings beyond the committed baseline)"
+cargo run -q --release -p triad-cli --bin triad -- lint --deny --baseline lint_baseline.json
 
-echo "== triad-lint --fixture (every rule must fire on the seeded fixtures)"
-cargo run -q -p triad-lint -- --fixture
+echo "== triad lint --fixture (every rule must fire on the seeded fixtures)"
+cargo run -q --release -p triad-cli --bin triad -- lint --fixture
 
-echo "== triad-lint --deny on fixtures (must be NONZERO: the rules still bite)"
-if cargo run -q -p triad-lint -- --deny --root crates/lint/fixtures >/dev/null; then
+echo "== triad lint --deny on fixtures (must be NONZERO: the rules still bite)"
+if cargo run -q --release -p triad-cli --bin triad -- lint --deny --root crates/lint/fixtures >/dev/null; then
     echo "ERROR: lint found nothing on the seeded fixtures" >&2
     exit 1
 fi
+
+echo "== stale-suppression gate (a suppression whose rule no longer fires must fail --deny)"
+STALE_DIR=$(mktemp -d)
+mkdir -p "$STALE_DIR/src"
+cat > "$STALE_DIR/src/stale.rs" <<'EOF'
+//@ path: crates/core/src/stale.rs
+pub fn head(xs: &[u64]) -> u64 {
+    // lint-allow(no-unwrap): slice is never empty at this call site
+    xs.first().copied().unwrap_or(0)
+}
+EOF
+if cargo run -q --release -p triad-cli --bin triad -- lint --deny --root "$STALE_DIR" >/dev/null; then
+    echo "ERROR: stale lint-allow was not flagged" >&2
+    rm -rf "$STALE_DIR"
+    exit 1
+fi
+rm -rf "$STALE_DIR"
+echo "   stale suppression correctly rejected"
 
 echo "CI green."
