@@ -16,7 +16,7 @@ use bench::{f3, par_map, print_table, Args};
 use discord::merlin::MerlinConfig;
 use discord::merlin_pp::merlin_pp;
 use evalkit::eventwise::{event_detected, DEFAULT_MARGIN};
-use std::time::Instant;
+use obs::now_instant;
 use triad_core::TriadConfig;
 use ucrgen::archive::{generate_archive, shortest, ArchiveConfig};
 use ucrgen::UcrDataset;
@@ -65,7 +65,7 @@ fn main() {
     );
 
     // --- MERLIN++ over the full test split ---
-    let t0 = Instant::now();
+    let t0 = now_instant();
     let merlin_hits: Vec<bool> = par_map(&cohort, |ds| {
         let max_len = (ds.test().len() / 4).clamp(16, 300);
         let region = merlin_pp_region(ds.test(), max_len);
@@ -77,7 +77,7 @@ fn main() {
     let merlin_acc = merlin_hits.iter().filter(|&&h| h).count() as f64 / cohort.len() as f64;
 
     // --- TriAD windows ---
-    let t0 = Instant::now();
+    let t0 = now_instant();
     let outcomes = par_map(&cohort, |ds| {
         let cfg = TriadConfig {
             epochs,

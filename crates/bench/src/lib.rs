@@ -13,6 +13,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fleet;
 pub mod perf;
 
 use baselines::Detector;

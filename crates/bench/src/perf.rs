@@ -15,8 +15,8 @@
 //! any machine. Speedups are *measured*, never asserted here — they depend
 //! on physical cores (a single-core container reports ~1.0x).
 
+use obs::now_instant;
 use std::path::PathBuf;
-use std::time::Instant;
 
 use discord::merlin::{merlin, MerlinConfig};
 use triad_core::{persist, TriAd, TriadConfig, TriadDetection};
@@ -180,7 +180,7 @@ fn sweep(
         let mut best = f64::INFINITY;
         let mut checksum = 0u64;
         for rep in 0..reps.max(1) {
-            let t0 = Instant::now();
+            let t0 = now_instant();
             let c = run(t)?;
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             if rep == 0 {

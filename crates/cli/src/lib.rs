@@ -98,6 +98,7 @@ USAGE:
   triad serve  [--addr HOST:PORT] [--models DIR] [--workers N] [--executors N]
                [--max-batch N] [--max-delay-ms N] [--cache N] [--threads N]
                [--stream-shards N] [--stream-queue N] [--stream-checkpoints DIR]
+               [--fleet-budget BYTES]
   triad client --verb VERB [--addr HOST:PORT] [--model NAME]
                [--series FILE] [--train FILE] [--epochs N] [--seed N]
   triad stream --test FILE (--model FILE | --train FILE [--epochs N])
@@ -105,6 +106,8 @@ USAGE:
   triad stream --addr HOST:PORT --model NAME --test FILE
                [--stream NAME] [--chunk N]
   triad bench  [--smoke] [--out-dir DIR] [--stages LIST]
+  triad fleet  [--smoke] [--out-dir DIR] [--streams N] [--budget BYTES]
+               [--points N]
   triad evalbed [--smoke] [--out-dir DIR] [--datasets SPEC] [--methods LIST]
                [--metrics LIST] [--epochs N] [--seed N] [--archive-seed N]
                [--threads N] [--resume] [--no-cache] [--models DIR]
@@ -119,7 +122,10 @@ Series files hold one sample per line (UCR archive format accepted).
 `serve` blocks until a client sends the shutdown verb; `client` verbs are
 health, list, stats (add --format text for the plain-text dump), fit,
 detect, evict, shutdown, and the stream.* family — responses print as one
-JSON line.
+JSON line. --fleet-budget BYTES switches the server's stream tier to the
+memory-budgeted fleet: idle streams are LRU-evicted to checkpoints and
+rehydrated bit-identically on the next touch, and sustained drift triggers
+background refits (0 = fleet tier with no byte cap).
 `stream` replays --test as a live feed through the incremental engine in
 --chunk-sized pushes (default 64) and prints hysteresis events plus the
 final offline-equivalent detection. Without --addr it runs in-process
@@ -132,6 +138,13 @@ at any thread count.
 workloads at 1/2/4/8 threads) and writes one BENCH_<stage>.json per stage
 into --out-dir (default `.`); --smoke shrinks the workloads for CI and
 --stages narrows to a comma-separated subset.
+`fleet` soaks the memory-budgeted fleet tier: opens --streams streams (far
+more than --budget resident-engine bytes can hold), pushes an archive-style
+workload with a sustained regime shift through them at each sweep thread
+count, and writes FLEET_soak.json into --out-dir (default `bench_out`).
+Gates: outputs bit-identical across thread counts, published residency
+never above budget, and at least one drift-triggered refit completed per
+run; --smoke shrinks the soak for CI.
 `evalbed` runs the archive-scale evaluation testbed: every selected method ×
 every selected dataset × the full evalkit metric suite, scheduled over the
 deterministic parallel runtime (bit-identical summaries at any thread
@@ -191,6 +204,7 @@ pub fn run(cli: &Cli) -> Result<Vec<String>, String> {
         "client" => cmd_client(cli),
         "stream" => cmd_stream(cli),
         "bench" => cmd_bench(cli),
+        "fleet" => cmd_fleet(cli),
         "evalbed" => cmd_evalbed(cli),
         "lint" => cmd_lint(cli),
         "trace" => trace_cmd::cmd_trace(cli),
@@ -326,6 +340,13 @@ fn cmd_serve(cli: &Cli) -> Result<Vec<String>, String> {
         stream_shards: cli.get_num("stream-shards", 2usize)?,
         stream_queue: cli.get_num("stream-queue", 1024usize)?,
         stream_checkpoint_dir: cli.get("stream-checkpoints").map(PathBuf::from),
+        fleet_budget_bytes: match cli.get("fleet-budget") {
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|e| format!("--fleet-budget {v:?}: {e}"))?,
+            ),
+            None => None,
+        },
         threads: cli.get_num("threads", 0usize)?,
     };
     let models_dir = cfg.models_dir.clone();
@@ -580,6 +601,19 @@ fn cmd_bench(cli: &Cli) -> Result<Vec<String>, String> {
         stages,
     };
     bench::perf::run_bench(&opts)
+}
+
+/// Soak the fleet tier under a byte budget (`crates/bench::fleet`) and
+/// report where `FLEET_soak.json` landed.
+fn cmd_fleet(cli: &Cli) -> Result<Vec<String>, String> {
+    let opts = bench::fleet::FleetOptions {
+        smoke: cli.get("smoke").is_some(),
+        out_dir: PathBuf::from(cli.get("out-dir").unwrap_or("bench_out")),
+        streams: cli.get_num("streams", 0usize)?,
+        budget_bytes: cli.get_num("budget", 0usize)?,
+        points: cli.get_num("points", 0usize)?,
+    };
+    bench::fleet::run_fleet(&opts)
 }
 
 /// Run the archive-scale evaluation testbed (`crates/evalbed`).

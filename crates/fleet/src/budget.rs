@@ -1,0 +1,141 @@
+//! Per-shard byte accounting with logical-clock LRU ordering.
+//!
+//! The ledger tracks the estimated resident bytes of every engine on one
+//! shard (`StreamEngine::estimated_bytes`, a pure function of collection
+//! lengths) and which stream was touched least recently. "Recency" is a
+//! monotonically increasing **logical tick** bumped on every touch — never
+//! a wall clock — so the eviction order for a given command sequence is
+//! identical on every run and at every thread count.
+
+use std::collections::BTreeMap;
+
+/// Byte ledger + LRU index for one shard. See the module docs.
+#[derive(Debug, Default)]
+pub struct BudgetLedger {
+    /// Byte cap for this shard (0 = unlimited).
+    cap: usize,
+    /// Estimated bytes per *resident* stream.
+    resident: BTreeMap<String, usize>,
+    /// Logical touch tick per resident stream (ticks are unique).
+    last_touch: BTreeMap<String, u64>,
+    tick: u64,
+    total: usize,
+}
+
+impl BudgetLedger {
+    pub fn new(cap: usize) -> BudgetLedger {
+        BudgetLedger {
+            cap,
+            ..BudgetLedger::default()
+        }
+    }
+
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Total estimated resident bytes.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Resident stream count.
+    pub fn resident(&self) -> usize {
+        self.resident.len()
+    }
+
+    pub fn is_resident(&self, stream: &str) -> bool {
+        self.resident.contains_key(stream)
+    }
+
+    /// Mark `stream` most-recently used (it must be resident to matter for
+    /// victim selection; touching also registers a new stream at 0 bytes).
+    pub fn touch(&mut self, stream: &str) {
+        self.tick += 1;
+        self.resident.entry(stream.to_string()).or_insert(0);
+        self.last_touch.insert(stream.to_string(), self.tick);
+    }
+
+    /// Record the current byte estimate of a resident stream.
+    pub fn set_bytes(&mut self, stream: &str, bytes: usize) {
+        let slot = self.resident.entry(stream.to_string()).or_insert(0);
+        self.total = self.total - *slot + bytes;
+        *slot = bytes;
+    }
+
+    /// Drop a stream from the ledger (evicted or closed); returns the bytes
+    /// it was holding.
+    pub fn remove(&mut self, stream: &str) -> usize {
+        self.last_touch.remove(stream);
+        match self.resident.remove(stream) {
+            Some(bytes) => {
+                self.total -= bytes;
+                bytes
+            }
+            None => 0,
+        }
+    }
+
+    /// Whether the shard currently exceeds its cap (0 = never).
+    pub fn over_budget(&self) -> bool {
+        self.cap > 0 && self.total > self.cap
+    }
+
+    /// Least-recently touched resident stream other than `protect` (the
+    /// stream being served right now must never be evicted under itself).
+    /// Ticks are unique, so the choice is deterministic.
+    pub fn victim(&self, protect: Option<&str>) -> Option<String> {
+        self.last_touch
+            .iter()
+            .filter(|(name, _)| Some(name.as_str()) != protect)
+            .min_by_key(|(_, tick)| **tick)
+            .map(|(name, _)| name.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_victim_follows_touch_order_not_insertion_order() {
+        let mut b = BudgetLedger::new(100);
+        for name in ["a", "b", "c"] {
+            b.touch(name);
+            b.set_bytes(name, 50);
+        }
+        assert_eq!(b.total(), 150);
+        assert!(b.over_budget());
+        // "a" is oldest… until touched again.
+        assert_eq!(b.victim(None).as_deref(), Some("a"));
+        b.touch("a");
+        assert_eq!(b.victim(None).as_deref(), Some("b"));
+        // The protected stream is never chosen.
+        assert_eq!(b.victim(Some("b")).as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn remove_releases_bytes_and_victims_shrink_to_none() {
+        let mut b = BudgetLedger::new(60);
+        b.touch("x");
+        b.set_bytes("x", 40);
+        b.touch("y");
+        b.set_bytes("y", 40);
+        assert!(b.over_budget());
+        assert_eq!(b.remove("x"), 40);
+        assert!(!b.over_budget());
+        assert_eq!(b.victim(Some("y")), None);
+        assert_eq!(b.resident(), 1);
+        // Re-sizing an existing entry adjusts, not accumulates.
+        b.set_bytes("y", 10);
+        assert_eq!(b.total(), 10);
+    }
+
+    #[test]
+    fn zero_cap_means_unlimited() {
+        let mut b = BudgetLedger::new(0);
+        b.touch("x");
+        b.set_bytes("x", usize::MAX / 2);
+        assert!(!b.over_budget());
+    }
+}

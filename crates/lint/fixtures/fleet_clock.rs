@@ -1,0 +1,15 @@
+//@ path: crates/bench/src/fleet_clock.rs
+//@ expect: ambient-entropy
+// Seeded violation: fleet-soak harness timing off a raw Instant. The bench
+// crate is exempt from `raw-instant`, but its stopwatch must still be the
+// shared trace clock (obs::now_instant) so the soak wall-clock aligns with
+// the fleet-ingest/fleet-score spans it brackets.
+pub fn soak_wall_ms(streams: usize) -> f64 {
+    let t0 = std::time::Instant::now();
+    let mut pushed = 0usize;
+    for _ in 0..streams {
+        pushed += 64;
+    }
+    let _ = pushed;
+    t0.elapsed().as_secs_f64() * 1e3
+}

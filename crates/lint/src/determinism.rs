@@ -19,7 +19,10 @@
 //!   flagged patterns).
 //! * **`ambient-entropy`** — `SystemTime::now`, `RandomState` (the seeded
 //!   per-process hasher), `env::var` reads outside the sanctioned config
-//!   layer (`parallel`, `obs`, `neuro` own the three TRIAD_* knobs).
+//!   layer (`parallel`, `obs`, `neuro` own the three TRIAD_* knobs), and —
+//!   in the `bench` crate, which `raw-instant` exempts wholesale — raw
+//!   `Instant::now` calls that would split harness timing off the shared
+//!   `obs::now_instant`/`now_ns` trace clock.
 //! * **`shadowed-threads`** — reading the thread count around the pool's
 //!   plumbing: `available_parallelism`, `Parallelism::resolve`, or the
 //!   `TRIAD_THREADS` variable outside `crates/parallel`. Regions must
@@ -535,6 +538,22 @@ fn ambient_entropy(cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
                 t.line,
                 "SystemTime::now() injects wall-clock entropy; derive timestamps from \
                  obs::now_ns() (one epoch per process) or take the time as a parameter"
+                    .to_string(),
+            ));
+            continue;
+        }
+        // `raw-instant` exempts the bench harness wholesale (it owns its
+        // stopwatch discipline), but that discipline *is* the shared trace
+        // clock: soak/bench wall-clock must align with the fleet obs spans
+        // it brackets, so a raw Instant there is ambient entropy.
+        if s == "now" && path_prefix(cx, i, "Instant") && cx.crate_name == "bench" {
+            out.push(diag(
+                cx,
+                "ambient-entropy",
+                t.line,
+                "bench harness timing bypasses the shared trace clock; call \
+                 obs::now_instant() (or obs::now_ns()) so soak/bench timings align \
+                 with the fleet obs spans they bracket"
                     .to_string(),
             ));
             continue;

@@ -84,7 +84,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "ambient-entropy",
-        "SystemTime::now, RandomState, or an env read outside the sanctioned config layer (parallel/obs/neuro)",
+        "SystemTime::now, RandomState, an env read outside the sanctioned config layer (parallel/obs/neuro), or bench-harness Instant::now bypassing obs::now_instant",
     ),
     (
         "shadowed-threads",
@@ -884,8 +884,13 @@ mod tests {
         let src = "pub fn f() -> std::time::Instant { std::time::Instant::now() }";
         // The obs clock owns the one sanctioned call site.
         assert!(check("crates/obs/src/clock.rs", src).is_empty());
-        // The bench harness keeps its own stopwatch.
-        assert!(check("crates/bench/src/perf.rs", src).is_empty());
+        // The bench harness is exempt from *this* rule, but its stopwatch
+        // must still be the shared trace clock: `ambient-entropy` takes
+        // over there (so the finding carries the obs::now_instant hint).
+        assert_eq!(
+            rules_of(&check("crates/bench/src/perf.rs", src)),
+            vec!["ambient-entropy"]
+        );
         // Test code is exempt, like the other hygiene rules.
         let test_src =
             "#[cfg(test)]\nmod tests {\n    fn f() { let _ = std::time::Instant::now(); }\n}";

@@ -29,7 +29,10 @@ use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use triad_core::{persist, TriAd, TriadConfig};
-use triad_stream::{ManagerConfig, ShardMetrics, StreamManager};
+use triad_fleet::{FleetConfig, FleetManager, FleetStats, RefitRequest, Refitter};
+use triad_stream::{
+    CloseReport, ManagerConfig, PushTicket, ShardMetrics, StreamError, StreamManager, StreamStatus,
+};
 
 /// Server tunables. `Default` suits tests and local runs.
 #[derive(Debug, Clone)]
@@ -64,6 +67,13 @@ pub struct ServeConfig {
     /// Where stream checkpoints live; `None` disables checkpointing (a
     /// restarted server then starts with no open streams).
     pub stream_checkpoint_dir: Option<PathBuf>,
+    /// `Some(bytes)` switches the streaming layer to the memory-budgeted
+    /// fleet tier: resident engines are capped at this many bytes globally
+    /// (0 = fleet tier with no cap), idle streams are evicted to
+    /// generation-numbered checkpoints and rehydrated bit-identically on
+    /// the next touch, and drift-triggered refits run in the background
+    /// through the model registry. `None` keeps the flat tier.
+    pub fleet_budget_bytes: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -82,18 +92,100 @@ impl Default for ServeConfig {
             stream_shards: 2,
             stream_queue: 1024,
             stream_checkpoint_dir: None,
+            fleet_budget_bytes: None,
+        }
+    }
+}
+
+/// The streaming layer behind the `stream.*` verbs: the flat
+/// [`StreamManager`] (every open stream stays resident) or the
+/// memory-budgeted [`FleetManager`]. Same verb surface either way — the
+/// fleet tier's evictions and rehydrations are invisible in responses.
+enum StreamTier {
+    Flat(StreamManager),
+    Fleet(FleetManager),
+}
+
+impl StreamTier {
+    fn open(&self, stream: &str, model: &str) -> Result<(), StreamError> {
+        match self {
+            StreamTier::Flat(m) => m.open(stream, model),
+            StreamTier::Fleet(m) => m.open(stream, model),
+        }
+    }
+
+    fn push(&self, stream: &str, points: &[f64]) -> Result<PushTicket, StreamError> {
+        match self {
+            StreamTier::Flat(m) => m.push(stream, points),
+            StreamTier::Fleet(m) => m.push(stream, points),
+        }
+    }
+
+    fn poll(&self, stream: &str) -> Result<StreamStatus, StreamError> {
+        match self {
+            StreamTier::Flat(m) => m.poll(stream),
+            StreamTier::Fleet(m) => m.poll(stream),
+        }
+    }
+
+    fn close(&self, stream: &str) -> Result<CloseReport, StreamError> {
+        match self {
+            StreamTier::Flat(m) => m.close(stream),
+            StreamTier::Fleet(m) => m.close(stream),
+        }
+    }
+
+    fn checkpoint(&self, stream: Option<&str>) -> Result<usize, StreamError> {
+        match self {
+            StreamTier::Flat(m) => m.checkpoint(stream),
+            StreamTier::Fleet(m) => m.checkpoint(stream),
+        }
+    }
+
+    fn streams(&self) -> Vec<String> {
+        match self {
+            StreamTier::Flat(m) => m.streams(),
+            StreamTier::Fleet(m) => m.streams(),
+        }
+    }
+
+    fn shard_of(&self, stream: &str) -> usize {
+        match self {
+            StreamTier::Flat(m) => m.shard_of(stream),
+            StreamTier::Fleet(m) => m.shard_of(stream),
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        match self {
+            StreamTier::Flat(m) => m.shard_count(),
+            StreamTier::Fleet(m) => m.shard_count(),
+        }
+    }
+
+    fn shard_metrics(&self) -> &[Arc<ShardMetrics>] {
+        match self {
+            StreamTier::Flat(m) => m.shard_metrics(),
+            StreamTier::Fleet(m) => m.shard_metrics(),
+        }
+    }
+
+    fn fleet_stats(&self) -> Option<FleetStats> {
+        match self {
+            StreamTier::Flat(_) => None,
+            StreamTier::Fleet(m) => Some(m.fleet_stats()),
         }
     }
 }
 
 /// State shared by the accept loop, workers, and executors.
 struct Shared {
-    registry: RwLock<ModelRegistry>,
+    registry: Arc<RwLock<ModelRegistry>>,
     metrics: Arc<Metrics>,
     batcher: Batcher,
     /// Online streaming layer; stream engines live on its shard threads,
     /// loading models from the same `models_dir` as the registry.
-    streams: StreamManager,
+    streams: StreamTier,
     shutdown: AtomicBool,
     addr: SocketAddr,
     request_timeout: Duration,
@@ -191,17 +283,52 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
             })
             .map_err(|e| format!("load model {name:?}: {e}"))
     });
-    let streams = StreamManager::new(
-        ManagerConfig {
-            shards: cfg.stream_shards.max(1),
-            queue_capacity: cfg.stream_queue.max(1),
-            checkpoint_dir: cfg.stream_checkpoint_dir.clone(),
-            ..Default::default()
-        },
-        loader,
-    );
+    let registry = Arc::new(RwLock::new(registry));
+    let streams = match cfg.fleet_budget_bytes {
+        None => StreamTier::Flat(StreamManager::new(
+            ManagerConfig {
+                shards: cfg.stream_shards.max(1),
+                queue_capacity: cfg.stream_queue.max(1),
+                checkpoint_dir: cfg.stream_checkpoint_dir.clone(),
+                ..Default::default()
+            },
+            loader,
+        )),
+        Some(budget) => {
+            // Drift-triggered refits fit on the refit thread and persist
+            // through the registry, so the refreshed model is immediately
+            // visible to `list`/`detect` and to the shard loader above.
+            let refit_registry = Arc::clone(&registry);
+            let refitter: Refitter = Arc::new(move |req: &RefitRequest| {
+                let fitted = TriAd::new(req.config.clone())
+                    .fit(&req.train)
+                    .map_err(|e| format!("refit {:?}: {e}", req.new_model))?;
+                refit_registry
+                    .write()
+                    .map_err(|_| "registry poisoned".to_string())?
+                    .save_fitted(&req.new_model, fitted)
+            });
+            let store_dir = cfg
+                .stream_checkpoint_dir
+                .clone()
+                .unwrap_or_else(|| cfg.models_dir.join("_fleet"));
+            let fleet = FleetManager::new(
+                FleetConfig {
+                    shards: cfg.stream_shards.max(1),
+                    queue_capacity: cfg.stream_queue.max(1),
+                    store_dir,
+                    budget_bytes: budget as usize,
+                    ..FleetConfig::default()
+                },
+                loader,
+                Some(refitter),
+            )
+            .map_err(io::Error::other)?;
+            StreamTier::Fleet(fleet)
+        }
+    };
     let shared = Arc::new(Shared {
-        registry: RwLock::new(registry),
+        registry,
         metrics: Arc::clone(&metrics),
         batcher: Batcher::new(policy),
         streams,
@@ -686,8 +813,27 @@ fn handle_stream(shared: &Arc<Shared>, verb: &str, req: &Value, id: Option<&Valu
     }
 }
 
+/// Fleet-tier counter list shared by both expositions (JSON field names
+/// and `triad_fleet_*` text metric suffixes).
+fn fleet_counters(s: &FleetStats) -> [(&'static str, u64); 12] {
+    [
+        ("budget_bytes", s.budget_bytes),
+        ("resident_bytes", s.resident_bytes),
+        ("resident_streams", s.resident_streams),
+        ("evicted_streams", s.evicted_streams),
+        ("evictions", s.evictions),
+        ("rehydrations", s.rehydrations),
+        ("rehydrate_failures", s.rehydrate_failures),
+        ("compacted_files", s.compacted_files),
+        ("drift_events", s.drift_events),
+        ("refits_requested", s.refits_requested),
+        ("refits_completed", s.refits_completed),
+        ("refits_failed", s.refits_failed),
+    ]
+}
+
 /// Per-shard streaming counters for the `stats` verb's JSON payload.
-fn stream_metrics_json(mgr: &StreamManager) -> Value {
+fn stream_metrics_json(mgr: &StreamTier) -> Value {
     let mut shards = Vec::with_capacity(mgr.shard_count());
     let mut open_total = 0u64;
     for (i, m) in mgr.shard_metrics().iter().enumerate() {
@@ -702,14 +848,22 @@ fn stream_metrics_json(mgr: &StreamManager) -> Value {
         ));
         shards.push(Value::Obj(fields));
     }
-    Value::Obj(vec![
+    let mut fields = vec![
         ("shards".into(), Value::Arr(shards)),
         ("open_streams".into(), Value::Num(open_total as f64)),
-    ])
+    ];
+    if let Some(stats) = mgr.fleet_stats() {
+        let fleet: Vec<(String, Value)> = fleet_counters(&stats)
+            .into_iter()
+            .map(|(name, v)| (name.into(), Value::Num(v as f64)))
+            .collect();
+        fields.push(("fleet".into(), Value::Obj(fleet)));
+    }
+    Value::Obj(fields)
 }
 
 /// Per-shard streaming counters in the text exposition format.
-fn render_stream_metrics(mgr: &StreamManager, out: &mut String) {
+fn render_stream_metrics(mgr: &StreamTier, out: &mut String) {
     use std::fmt::Write;
     for (i, m) in mgr.shard_metrics().iter().enumerate() {
         for (name, counter) in shard_counters(m) {
@@ -726,9 +880,14 @@ fn render_stream_metrics(mgr: &StreamManager, out: &mut String) {
             out,
         );
     }
+    if let Some(stats) = mgr.fleet_stats() {
+        for (name, v) in fleet_counters(&stats) {
+            let _ = writeln!(out, "triad_fleet_{name} {v}");
+        }
+    }
 }
 
-fn shard_counters(m: &ShardMetrics) -> [(&'static str, &std::sync::atomic::AtomicU64); 8] {
+fn shard_counters(m: &ShardMetrics) -> [(&'static str, &std::sync::atomic::AtomicU64); 9] {
     [
         ("ingested", &m.ingested),
         ("dropped_backpressure", &m.dropped_backpressure),
@@ -736,6 +895,7 @@ fn shard_counters(m: &ShardMetrics) -> [(&'static str, &std::sync::atomic::Atomi
         ("windows_scored", &m.windows_scored),
         ("events_opened", &m.events_opened),
         ("checkpoints_written", &m.checkpoints_written),
+        ("checkpoints_skipped_clean", &m.checkpoints_skipped_clean),
         ("checkpoint_failures", &m.checkpoint_failures),
         ("open_streams", &m.open_streams),
     ]
@@ -922,6 +1082,100 @@ mod tests {
             "streamed detection differs from offline"
         );
         assert!(c.stream_poll("s1").is_err(), "closed stream still polls");
+
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_tier_serves_stream_verbs_under_budget_and_exposes_counters() {
+        use crate::client::Client;
+        use std::f64::consts::PI;
+
+        let dir = std::env::temp_dir().join(format!("triad_server_fleet_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        let train: Vec<f64> = (0..560)
+            .map(|i| (2.0 * PI * i as f64 / 32.0).sin() + 0.3 * (4.0 * PI * i as f64 / 32.0).sin())
+            .collect();
+        let fitted = TriAd::new(TriadConfig {
+            epochs: 2,
+            depth: 2,
+            hidden: 8,
+            batch: 4,
+            merlin_step: 4,
+            ..Default::default()
+        })
+        .fit(&train)
+        .expect("fit");
+        persist::save_file(&dir.join("m.triad"), &fitted).expect("save model");
+        let test = &train[..380];
+
+        // A budget far below one engine's footprint: every batch ends with
+        // the shard evicting, so the verbs exercise rehydration constantly.
+        let handle = start(ServeConfig {
+            models_dir: dir.clone(),
+            workers: 2,
+            executors: 1,
+            stream_shards: 2,
+            fleet_budget_bytes: Some(16 * 1024),
+            ..Default::default()
+        })
+        .expect("start");
+        let mut c = Client::connect(handle.addr(), Duration::from_secs(300)).expect("connect");
+
+        for name in ["f1", "f2", "f3"] {
+            c.stream_open(name, "m").expect("open");
+        }
+        for chunk in test.chunks(64) {
+            for name in ["f1", "f2", "f3"] {
+                let t = c.stream_push(name, chunk).expect("push");
+                assert_eq!(t.get("queued").and_then(Value::as_bool), Some(true));
+            }
+        }
+        for name in ["f1", "f2", "f3"] {
+            let mut drained = false;
+            for _ in 0..600 {
+                let p = c.stream_poll(name).expect("poll");
+                if p.get("seq").and_then(Value::as_u64) == Some(test.len() as u64) {
+                    drained = true;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            assert!(drained, "stream {name} never drained");
+        }
+
+        // The fleet section rides along in both stats expositions.
+        let stats = c.stats().expect("stats");
+        let fleet = stats
+            .get("streams")
+            .and_then(|s| s.get("fleet"))
+            .expect("fleet counters in stats");
+        assert_eq!(
+            fleet.get("budget_bytes").and_then(Value::as_u64),
+            Some(16 * 1024)
+        );
+        let evictions = fleet.get("evictions").and_then(Value::as_u64).unwrap_or(0);
+        assert!(evictions > 0, "tiny budget must evict: {fleet:?}");
+        let resident = fleet
+            .get("resident_bytes")
+            .and_then(Value::as_u64)
+            .unwrap_or(u64::MAX);
+        assert!(resident <= 16 * 1024, "residency over budget: {resident}");
+        let text = c.stats_text().expect("stats text");
+        assert!(text.contains("triad_fleet_evictions"), "{text}");
+
+        // Eviction/rehydration is invisible in the close-time detection.
+        let closed = c.stream_close("f1").expect("close");
+        assert_eq!(closed.get("finalize_error"), Some(&Value::Null));
+        let offline = detection_fields("f1", &fitted.detect(test));
+        assert_eq!(
+            closed.get("detection").map(|v| v.to_string()),
+            Some(offline.to_string()),
+            "fleet-streamed detection differs from offline"
+        );
 
         handle.shutdown();
         let _ = std::fs::remove_dir_all(&dir);

@@ -424,6 +424,12 @@ impl StreamEngine {
         if self.ring.is_empty() {
             return Err(StreamError::Empty);
         }
+        // A rebound engine (fleet refit swapped the model mid-stream) holds
+        // rankings only for the post-swap suffix of the grid, so the offline
+        // replay below would disagree with them.
+        if self.window_starts.len() < self.expected_grid_windows() {
+            return Err(StreamError::ModelSwapped);
+        }
         let series = self.ring.to_vec();
         let n = series.len();
         let windows = Segmenter::new(self.window, self.stride).segment_clamped(n);
@@ -442,6 +448,102 @@ impl StreamEngine {
         }
         let rankings = ranker.rankings(fitted.config().top_z);
         Ok(fitted.detect_from_rankings(&series, &windows, rankings))
+    }
+
+    /// How many on-stride windows the grid has completed for `seq` samples.
+    /// A healthy engine has scored exactly this many; fewer means the ranker
+    /// was reset mid-stream (see [`rebind`](StreamEngine::rebind)).
+    fn expected_grid_windows(&self) -> usize {
+        let n = self.ring.end_seq();
+        let l = self.window as u64;
+        if n >= l {
+            ((n - l) / self.stride as u64) as usize + 1
+        } else {
+            0
+        }
+    }
+
+    /// Cheap change stamp: two engines of the same stream have equal stamps
+    /// iff no sample (accepted or rejected) arrived between them. Used by
+    /// checkpoint sweeps to skip streams that are clean since the last save.
+    pub fn state_stamp(&self) -> (u64, u64) {
+        (self.ring.end_seq(), self.rejected_nonfinite)
+    }
+
+    /// Deterministic estimate of this engine's resident heap footprint in
+    /// bytes. Derived from collection *lengths* only (never allocator
+    /// details), so every run — and every thread count — agrees on when a
+    /// fleet budget is exceeded.
+    pub fn estimated_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let (rows, sums) = self.ranker.state();
+        let ranker_bytes: usize = rows
+            .iter()
+            .map(|domain| {
+                domain
+                    .iter()
+                    .map(|row| row.len() * size_of::<f32>() + size_of::<Vec<f32>>())
+                    .sum::<usize>()
+            })
+            .sum::<usize>()
+            + sums
+                .iter()
+                .map(|s| s.len() * size_of::<f64>())
+                .sum::<usize>();
+        size_of::<Self>()
+            + self.ring.len() * size_of::<f64>()
+            + ranker_bytes
+            + self.window_starts.len() * size_of::<u64>()
+            + self.events.len() * size_of::<StreamEvent>()
+            + self.phase_sums.len() * (size_of::<f64>() + size_of::<u64>())
+            + self.residuals.len() * size_of::<f64>()
+            + self.cfg.tracked_bins.min(self.window) * 2 * size_of::<f64>()
+    }
+
+    /// The last `min(max_len, retained)` samples, oldest first — the
+    /// deterministic training slice a drift-triggered refit fits on.
+    pub fn recent(&self, max_len: usize) -> Vec<f64> {
+        let take = max_len.min(self.ring.len());
+        let start = self.ring.end_seq() - take as u64;
+        self.ring.slice_to_vec(start, take).unwrap_or_default()
+    }
+
+    /// Swap in a refreshed model mid-stream (fleet drift refit).
+    ///
+    /// The replacement must share the window/stride/period geometry of the
+    /// model the engine was opened with — the ring, rolling moments, phase
+    /// means, and hysteresis events all carry over untouched. The ranker is
+    /// restarted empty: similarity scores must not mix embeddings from two
+    /// different encoders. Consequently the first post-swap window has no
+    /// peers (deviance `None`, same as a stream's very first window) and
+    /// [`finalize`](StreamEngine::finalize) reports
+    /// [`StreamError::ModelSwapped`] from then on.
+    pub fn rebind(&mut self, fitted: &FittedTriad) -> Result<(), StreamError> {
+        if fitted.window_len() != self.window {
+            return Err(StreamError::ModelMismatch(format!(
+                "rebind: window {} != engine window {}",
+                fitted.window_len(),
+                self.window
+            )));
+        }
+        if fitted.segmenter().stride != self.stride {
+            return Err(StreamError::ModelMismatch(format!(
+                "rebind: stride {} != engine stride {}",
+                fitted.segmenter().stride,
+                self.stride
+            )));
+        }
+        if fitted.period().max(1) != self.period {
+            return Err(StreamError::ModelMismatch(format!(
+                "rebind: period {} != engine period {}",
+                fitted.period().max(1),
+                self.period
+            )));
+        }
+        self.ranker = fitted.online_ranker();
+        self.window_starts.clear();
+        self.last_deviance = None;
+        Ok(())
     }
 }
 

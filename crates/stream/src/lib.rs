@@ -72,6 +72,11 @@ pub enum StreamError {
     ModelLoad(String),
     /// The shard worker is gone (manager shut down or worker died).
     ShardUnavailable,
+    /// The engine was rebound to a refreshed model mid-stream (fleet refit),
+    /// so an offline-equivalent `finalize` no longer exists: the incremental
+    /// rankings cover only the windows scored since the swap. Live scores
+    /// and hysteresis events remain valid.
+    ModelSwapped,
 }
 
 impl fmt::Display for StreamError {
@@ -94,6 +99,10 @@ impl fmt::Display for StreamError {
             StreamError::BadName(msg) => write!(f, "stream: {msg}"),
             StreamError::ModelLoad(msg) => write!(f, "stream: model load failed: {msg}"),
             StreamError::ShardUnavailable => write!(f, "stream: shard worker unavailable"),
+            StreamError::ModelSwapped => write!(
+                f,
+                "stream: model was swapped mid-stream; offline-equivalent finalize unavailable"
+            ),
         }
     }
 }

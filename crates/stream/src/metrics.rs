@@ -26,6 +26,9 @@ pub struct ShardMetrics {
     pub events_opened: AtomicU64,
     /// Checkpoints written.
     pub checkpoints_written: AtomicU64,
+    /// Streams skipped by a checkpoint sweep because their state stamp was
+    /// unchanged since the last save (the on-disk file is already current).
+    pub checkpoints_skipped_clean: AtomicU64,
     /// Checkpoint restores that failed CRC/format validation.
     pub checkpoint_failures: AtomicU64,
     /// Streams currently open on this shard.
@@ -43,6 +46,7 @@ impl ShardMetrics {
             windows_scored: AtomicU64::new(0),
             events_opened: AtomicU64::new(0),
             checkpoints_written: AtomicU64::new(0),
+            checkpoints_skipped_clean: AtomicU64::new(0),
             checkpoint_failures: AtomicU64::new(0),
             open_streams: AtomicU64::new(0),
             score_latency_us: Histogram::new(&[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000]),

@@ -23,7 +23,7 @@ use crate::engine::{StreamConfig, StreamEngine, StreamStatus};
 use crate::metrics::ShardMetrics;
 use crate::StreamError;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 use std::sync::Arc;
@@ -45,6 +45,10 @@ pub struct ManagerConfig {
     pub checkpoint_dir: Option<PathBuf>,
     /// Per-stream engine defaults for newly opened streams.
     pub stream_defaults: StreamConfig,
+    /// Most fitted models each shard keeps cached (LRU beyond that). Many
+    /// streams naming distinct models must not grow shard memory without
+    /// bound; an evicted model is transparently reloaded on next use.
+    pub model_cache_cap: usize,
 }
 
 impl Default for ManagerConfig {
@@ -54,6 +58,7 @@ impl Default for ManagerConfig {
             queue_capacity: 1024,
             checkpoint_dir: None,
             stream_defaults: StreamConfig::default(),
+            model_cache_cap: 8,
         }
     }
 }
@@ -122,7 +127,10 @@ pub struct StreamManager {
     checkpoint_dir: Option<PathBuf>,
 }
 
-fn fnv1a(name: &str) -> u64 {
+/// FNV-1a over the stream name: the shard-routing hash. Public so the
+/// fleet tier routes identically (a name lands on the same shard index in
+/// either manager).
+pub fn fnv1a(name: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in name.bytes() {
         h ^= u64::from(b);
@@ -132,8 +140,9 @@ fn fnv1a(name: &str) -> u64 {
 }
 
 /// Stream and model names become file names and hash keys; keep them to a
-/// safe registry-style charset and reject path tricks like `..`.
-fn validate_name(name: &str, what: &str) -> Result<(), StreamError> {
+/// safe registry-style charset and reject path tricks like `..`. Public
+/// because the fleet tier enforces the same discipline over its own store.
+pub fn validate_name(name: &str, what: &str) -> Result<(), StreamError> {
     if name.is_empty() || name.len() > 64 {
         return Err(StreamError::BadName(format!(
             "{what} name must be 1–64 characters, got {}",
@@ -194,6 +203,7 @@ impl StreamManager {
             let worker_loader = Arc::clone(&loader);
             let worker_dir = cfg.checkpoint_dir.clone();
             let defaults = cfg.stream_defaults.clone();
+            let cache_cap = cfg.model_cache_cap.max(1);
             let handle = std::thread::Builder::new()
                 .name(format!("triad-stream-shard-{shard_id}"))
                 .spawn(move || {
@@ -203,6 +213,7 @@ impl StreamManager {
                         worker_loader,
                         worker_dir,
                         defaults,
+                        cache_cap,
                         restore,
                     )
                 })
@@ -391,6 +402,16 @@ impl Drop for StreamManager {
 struct OpenStream {
     engine: StreamEngine,
     model: String,
+    /// Engine stamp at the last successful checkpoint of this stream;
+    /// `None` until one exists. Sweeps skip streams whose stamp is
+    /// unchanged (the on-disk file is already bit-identical).
+    saved: Option<(u64, u64)>,
+}
+
+/// One entry of the per-shard model cache, with its logical LRU stamp.
+struct CachedModel {
+    fitted: Rc<FittedTriad>,
+    last_used: u64,
 }
 
 struct ShardState {
@@ -398,7 +419,11 @@ struct ShardState {
     streams: BTreeMap<String, OpenStream>,
     /// Per-shard model cache; `Rc` because several streams on this shard
     /// may share one model (and `FittedTriad` never leaves the thread).
-    models: HashMap<String, Rc<FittedTriad>>,
+    /// Bounded to `cache_cap` entries, least-recently-used evicted first
+    /// (logical use counter, never wall clock).
+    models: BTreeMap<String, CachedModel>,
+    model_clock: u64,
+    cache_cap: usize,
     loader: ModelLoader,
     dir: Option<PathBuf>,
     metrics: Arc<ShardMetrics>,
@@ -407,12 +432,37 @@ struct ShardState {
 
 impl ShardState {
     fn model(&mut self, name: &str) -> Result<Rc<FittedTriad>, StreamError> {
-        if let Some(m) = self.models.get(name) {
-            return Ok(Rc::clone(m));
+        self.model_clock += 1;
+        if let Some(entry) = self.models.get_mut(name) {
+            entry.last_used = self.model_clock;
+            return Ok(Rc::clone(&entry.fitted));
         }
         let fitted = (self.loader)(name).map_err(StreamError::ModelLoad)?;
         let rc = Rc::new(fitted);
-        self.models.insert(name.to_string(), Rc::clone(&rc));
+        self.models.insert(
+            name.to_string(),
+            CachedModel {
+                fitted: Rc::clone(&rc),
+                last_used: self.model_clock,
+            },
+        );
+        // Evict least-recently-used entries beyond the cap. Streams bound
+        // to an evicted model keep working: the next push/close reloads it
+        // through the loader (use counters are unique, so the victim is
+        // deterministic for a given command sequence).
+        while self.models.len() > self.cache_cap.max(1) {
+            let victim = self
+                .models
+                .iter()
+                .min_by_key(|(_, m)| m.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    self.models.remove(&k);
+                }
+                None => break,
+            }
+        }
         Ok(rc)
     }
 
@@ -445,14 +495,62 @@ impl ShardState {
         let model_name = state.model.clone();
         let fitted = self.model(&model_name)?;
         let engine = state.into_engine(&fitted)?;
+        // The engine equals the file it was read from: mark it clean so the
+        // next sweep does not rewrite an identical checkpoint.
+        let saved = Some(engine.state_stamp());
         self.streams.insert(
             name.clone(),
             OpenStream {
                 engine,
                 model: model_name,
+                saved,
             },
         );
         Ok(name)
+    }
+
+    /// Checkpoint one stream and record its stamp so sweeps can skip it
+    /// while it stays clean.
+    fn checkpoint_stream(&mut self, name: &str) -> Result<(), StreamError> {
+        let Some(open) = self.streams.get(name) else {
+            return Err(StreamError::UnknownStream(name.to_string()));
+        };
+        let stamp = open.engine.state_stamp();
+        self.write_checkpoint(name, open)?;
+        if let Some(open) = self.streams.get_mut(name) {
+            open.saved = Some(stamp);
+        }
+        Ok(())
+    }
+
+    /// Sweep every stream on this shard, skipping the clean ones (stamp
+    /// unchanged since their last save — the on-disk bytes are already
+    /// identical, so rewriting them is pure I/O waste at fleet scale).
+    fn checkpoint_all(&mut self) -> (usize, Option<StreamError>) {
+        let names: Vec<String> = self.streams.keys().cloned().collect();
+        let mut written = 0usize;
+        let mut first_err = None;
+        for name in names {
+            let clean = self
+                .streams
+                .get(&name)
+                .is_some_and(|o| o.saved == Some(o.engine.state_stamp()));
+            if clean {
+                ShardMetrics::add(&self.metrics.checkpoints_skipped_clean, 1);
+                continue;
+            }
+            match self.checkpoint_stream(&name) {
+                Ok(()) => {
+                    written += 1;
+                    ShardMetrics::add(&self.metrics.checkpoints_written, 1);
+                }
+                Err(e) => {
+                    ShardMetrics::add(&self.metrics.checkpoint_failures, 1);
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        (written, first_err)
     }
 }
 
@@ -462,11 +560,14 @@ fn shard_main(
     loader: ModelLoader,
     dir: Option<PathBuf>,
     defaults: StreamConfig,
+    cache_cap: usize,
     restore: Vec<PathBuf>,
 ) {
     let mut st = ShardState {
         streams: BTreeMap::new(),
-        models: HashMap::new(),
+        models: BTreeMap::new(),
+        model_clock: 0,
+        cache_cap,
         loader,
         dir,
         metrics,
@@ -494,7 +595,14 @@ fn shard_main(
                 } else {
                     st.model(&model).map(|fitted| {
                         let engine = StreamEngine::new(&fitted, st.defaults.clone());
-                        st.streams.insert(stream, OpenStream { engine, model });
+                        st.streams.insert(
+                            stream,
+                            OpenStream {
+                                engine,
+                                model,
+                                saved: None,
+                            },
+                        );
                         ShardMetrics::set(&st.metrics.open_streams, st.streams.len() as u64);
                     })
                 };
@@ -504,10 +612,15 @@ fn shard_main(
                 // Unknown stream: the points were already counted as
                 // ingested at enqueue time; without an engine they can only
                 // be dropped. Poll/close on the name reports UnknownStream.
-                let Some(open) = st.streams.get_mut(&stream) else {
+                let Some(model_name) = st.streams.get(&stream).map(|o| o.model.clone()) else {
                     continue;
                 };
-                let Some(fitted) = st.models.get(&open.model).map(Rc::clone) else {
+                // Reload on cache miss (the LRU cap may have evicted the
+                // model); only an actual loader failure drops the batch.
+                let Ok(fitted) = st.model(&model_name) else {
+                    continue;
+                };
+                let Some(open) = st.streams.get_mut(&stream) else {
                     continue;
                 };
                 let mut ingest_span = obs::span("shard-ingest");
@@ -548,14 +661,13 @@ fn shard_main(
                     Some(open) => {
                         ShardMetrics::set(&st.metrics.open_streams, st.streams.len() as u64);
                         let status = open.engine.status();
-                        let (detection, finalize_error) =
-                            match st.models.get(&open.model).map(Rc::clone) {
-                                None => (None, Some("model evicted from shard cache".into())),
-                                Some(fitted) => match open.engine.finalize(&fitted) {
-                                    Ok(det) => (Some(det), None),
-                                    Err(e) => (None, Some(e.to_string())),
-                                },
-                            };
+                        let (detection, finalize_error) = match st.model(&open.model) {
+                            Err(e) => (None, Some(e.to_string())),
+                            Ok(fitted) => match open.engine.finalize(&fitted) {
+                                Ok(det) => (Some(det), None),
+                                Err(e) => (None, Some(e.to_string())),
+                            },
+                        };
                         if let Some(path) = st.ckpt_path(&stream) {
                             let _ = std::fs::remove_file(path);
                         }
@@ -570,28 +682,14 @@ fn shard_main(
             }
             Command::Checkpoint { stream, reply } => {
                 let result = match stream {
-                    Some(name) => match st.streams.get(&name) {
-                        None => Err(StreamError::UnknownStream(name)),
-                        Some(open) => st.write_checkpoint(&name, open).map(|()| {
-                            ShardMetrics::add(&st.metrics.checkpoints_written, 1);
-                            1
-                        }),
-                    },
+                    // An explicitly named stream is always written, clean or
+                    // not — the caller asked for a fresh file on disk.
+                    Some(name) => st.checkpoint_stream(&name).map(|()| {
+                        ShardMetrics::add(&st.metrics.checkpoints_written, 1);
+                        1
+                    }),
                     None => {
-                        let mut written = 0usize;
-                        let mut first_err = None;
-                        for (name, open) in &st.streams {
-                            match st.write_checkpoint(name, open) {
-                                Ok(()) => {
-                                    written += 1;
-                                    ShardMetrics::add(&st.metrics.checkpoints_written, 1);
-                                }
-                                Err(e) => {
-                                    ShardMetrics::add(&st.metrics.checkpoint_failures, 1);
-                                    first_err.get_or_insert(e);
-                                }
-                            }
-                        }
+                        let (written, first_err) = st.checkpoint_all();
                         match first_err {
                             Some(e) if written == 0 && !st.streams.is_empty() => Err(e),
                             _ => Ok(written),
@@ -605,12 +703,9 @@ fn shard_main(
             }
             Command::Shutdown => {
                 if st.dir.is_some() {
-                    for (name, open) in &st.streams {
-                        match st.write_checkpoint(name, open) {
-                            Ok(()) => ShardMetrics::add(&st.metrics.checkpoints_written, 1),
-                            Err(_) => ShardMetrics::add(&st.metrics.checkpoint_failures, 1),
-                        }
-                    }
+                    // Dirty streams only: anything checkpointed since its
+                    // last sample is already bit-identical on disk.
+                    let _ = st.checkpoint_all();
                 }
                 break;
             }

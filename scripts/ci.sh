@@ -22,7 +22,9 @@ cargo test --release -q --test stream_soak -- --ignored
 echo "== triad bench --smoke (fixed-seed workloads at 1/2/4/8 threads)"
 BENCH_DIR=$(mktemp -d)
 TRACE_DIR=$(mktemp -d)
-trap 'rm -rf "$BENCH_DIR" "$TRACE_DIR"' EXIT
+FLEET_DIR_1=""
+FLEET_DIR_4=""
+trap 'rm -rf "$BENCH_DIR" "$TRACE_DIR" "$FLEET_DIR_1" "$FLEET_DIR_4"' EXIT
 cargo run -q --release -p triad-cli --bin triad -- bench --smoke --out-dir "$BENCH_DIR"
 for stage in train detect stream discord; do
     f="$BENCH_DIR/BENCH_$stage.json"
@@ -36,6 +38,41 @@ for stage in train detect stream discord; do
     done
 done
 echo "   BENCH_{train,detect,stream,discord}.json schema-complete"
+
+echo "== triad fleet --smoke (memory-budgeted soak; gates at TRIAD_THREADS=1 and 4)"
+# The verb itself sweeps worker-thread counts {1,4} and gates on
+# bit-identical outputs, residency <= budget, and >= 1 completed
+# drift-triggered refit per run. Running it under two ambient TRIAD_THREADS
+# values additionally proves the soak's own scheduling is
+# environment-invariant: the gated checksums must agree across both files.
+FLEET_DIR_1=$(mktemp -d)
+FLEET_DIR_4=$(mktemp -d)
+for t in 1 4; do
+    eval "dir=\$FLEET_DIR_$t"
+    TRIAD_THREADS=$t cargo run -q --release -p triad-cli --bin triad -- \
+        fleet --smoke --out-dir "$dir"
+    f="$dir/FLEET_soak.json"
+    [ -s "$f" ] || { echo "ERROR: missing $f" >&2; exit 1; }
+    for key in '"stage": "fleet-soak"' '"streams"' '"budget_bytes"' '"runs"' \
+               '"checksum"' '"resident_bytes_max"' '"evictions"' \
+               '"rehydrations"' '"drift_events"' '"refits_completed"' \
+               '"bit_identical": true' '"residency_ok": true' \
+               '"refits_ok": true'; do
+        grep -q "$key" "$f" || {
+            echo "ERROR: $f missing $key" >&2
+            exit 1
+        }
+    done
+done
+SOAK_SUM_1=$(grep -o '"checksum": "[0-9a-f]*"' "$FLEET_DIR_1/FLEET_soak.json" | sort -u)
+SOAK_SUM_4=$(grep -o '"checksum": "[0-9a-f]*"' "$FLEET_DIR_4/FLEET_soak.json" | sort -u)
+[ -n "$SOAK_SUM_1" ] && [ "$SOAK_SUM_1" = "$SOAK_SUM_4" ] || {
+    echo "ERROR: fleet soak checksums differ across TRIAD_THREADS envs:" >&2
+    echo "  t=1: $SOAK_SUM_1" >&2
+    echo "  t=4: $SOAK_SUM_4" >&2
+    exit 1
+}
+echo "   FLEET_soak.json schema-complete, gates green, checksums env-invariant"
 
 echo "== triad trace --smoke (fixed-seed traced workload; exports must validate)"
 # The verb itself validates both exports (unique ids, parent links, nesting,
