@@ -18,9 +18,11 @@
 use obs::now_instant;
 use std::path::PathBuf;
 
+use discord::fast::merlin_fast;
 use discord::merlin::{merlin, MerlinConfig};
-use triad_core::{persist, TriAd, TriadConfig, TriadDetection};
+use triad_core::{persist, NumericMode, TriAd, TriadConfig, TriadDetection};
 use triad_stream::{StreamConfig, StreamEngine};
+use tsops::mass::SelfJoinPlan;
 
 /// Worker-thread counts every stage is swept over.
 pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -31,8 +33,13 @@ pub struct BenchOptions {
     pub smoke: bool,
     /// Where the `BENCH_<stage>.json` files land.
     pub out_dir: PathBuf,
-    /// Subset of stages to run (empty = all of train/detect/stream/discord).
+    /// Subset of stages to run (empty = all of
+    /// train/detect/stream/discord/kernels).
     pub stages: Vec<String>,
+    /// Numeric kernel mode for the detect/stream stages. The discord stage
+    /// always measures *both* modes (that comparison is its whole point),
+    /// and train/kernels are mode-independent.
+    pub numeric_mode: NumericMode,
 }
 
 /// One timed run of a stage at a fixed thread count.
@@ -49,29 +56,52 @@ struct StageReport {
     smoke: bool,
     workload: String,
     runs: Vec<ThreadRun>,
+    /// Fast-numeric-mode sweep (discord stage only; empty elsewhere).
+    /// `runs` stays the exact-mode sweep so the schema and any baseline
+    /// comparisons against older files keep their meaning.
+    fast_runs: Vec<ThreadRun>,
     bit_identical: bool,
 }
 
+fn runs_json(runs: &[ThreadRun]) -> String {
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"threads\": {}, \"wall_ms\": {:.3}, \
+                 \"speedup_vs_serial\": {:.3}, \"checksum\": \"{:016x}\"}}",
+                r.threads, r.wall_ms, r.speedup_vs_serial, r.checksum
+            )
+        })
+        .collect();
+    rows.join(",\n")
+}
+
 impl StageReport {
+    /// Fast-mode serial time vs exact-mode serial time (discord only).
+    fn fast_speedup_vs_exact(&self) -> Option<f64> {
+        let exact = self.runs.first()?.wall_ms;
+        let fast = self.fast_runs.first()?.wall_ms;
+        (fast > 0.0).then(|| exact / fast)
+    }
+
     fn to_json(&self) -> String {
-        let runs: Vec<String> = self
-            .runs
-            .iter()
-            .map(|r| {
-                format!(
-                    "    {{\"threads\": {}, \"wall_ms\": {:.3}, \
-                     \"speedup_vs_serial\": {:.3}, \"checksum\": \"{:016x}\"}}",
-                    r.threads, r.wall_ms, r.speedup_vs_serial, r.checksum
-                )
-            })
-            .collect();
+        let fast = match self.fast_speedup_vs_exact() {
+            Some(s) => format!(
+                "  \"fast_runs\": [\n{}\n  ],\n  \"fast_speedup_vs_exact\": {:.3},\n",
+                runs_json(&self.fast_runs),
+                s
+            ),
+            None => String::new(),
+        };
         format!(
             "{{\n  \"stage\": \"{}\",\n  \"smoke\": {},\n  \"workload\": \"{}\",\n  \
-             \"runs\": [\n{}\n  ],\n  \"bit_identical\": {}\n}}\n",
+             \"runs\": [\n{}\n  ],\n{}  \"bit_identical\": {}\n}}\n",
             self.stage,
             self.smoke,
             self.workload,
-            runs.join(",\n"),
+            runs_json(&self.runs),
+            fast,
             self.bit_identical
         )
     }
@@ -84,9 +114,16 @@ impl StageReport {
             .find(|r| r.threads == 4)
             .map(|r| r.speedup_vs_serial)
             .unwrap_or(1.0);
+        let fast = match self.fast_speedup_vs_exact() {
+            Some(s) => format!(
+                ", fast 1t {:.1} ms ({s:.1}x vs exact)",
+                self.fast_runs[0].wall_ms
+            ),
+            None => String::new(),
+        };
         format!(
-            "{:7} : 1t {:9.1} ms, 4t speedup {:.2}x, bit-identical {} → BENCH_{}.json",
-            self.stage, serial, at4, self.bit_identical, self.stage
+            "{:7} : 1t {:9.1} ms, 4t speedup {:.2}x{}, bit-identical {} → BENCH_{}.json",
+            self.stage, serial, at4, fast, self.bit_identical, self.stage
         )
     }
 }
@@ -109,6 +146,9 @@ impl Fnv {
     }
     fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
+    }
+    fn f32(&mut self, v: f32) {
+        self.u64(v.to_bits() as u64);
     }
     fn usize(&mut self, v: usize) {
         self.u64(v as u64);
@@ -213,8 +253,19 @@ fn report(stage: &'static str, smoke: bool, workload: String, runs: Vec<ThreadRu
         smoke,
         workload,
         runs,
+        fast_runs: Vec::new(),
         bit_identical,
     }
+}
+
+/// Attach a fast-mode sweep to a report. Bit-identity is demanded *within*
+/// each mode (the modes' checksums legitimately differ — that is what
+/// "tolerance-equivalent" means).
+fn with_fast(mut rep: StageReport, fast_runs: Vec<ThreadRun>) -> StageReport {
+    rep.bit_identical =
+        rep.bit_identical && fast_runs.windows(2).all(|w| w[0].checksum == w[1].checksum);
+    rep.fast_runs = fast_runs;
+    rep
 }
 
 /// Train stage: full `fit` with sharded gradient accumulation
@@ -255,7 +306,7 @@ fn stage_train(smoke: bool, reps: usize) -> Result<StageReport, String> {
 
 /// Detect stage: one serial fit, then the full inference pipeline
 /// (embedding, ranking, selection, MERLIN, voting) timed per thread count.
-fn stage_detect(smoke: bool, reps: usize) -> Result<StageReport, String> {
+fn stage_detect(smoke: bool, reps: usize, mode: NumericMode) -> Result<StageReport, String> {
     let (n_train, n_test, period) = if smoke {
         (512, 512, 32)
     } else {
@@ -269,6 +320,7 @@ fn stage_detect(smoke: bool, reps: usize) -> Result<StageReport, String> {
         batch: 8,
         merlin_step: if smoke { 8 } else { 2 },
         seed: 7,
+        numeric_mode: mode,
         ..TriadConfig::default()
     };
     let mut fitted = TriAd::new(cfg).fit(&train)?;
@@ -282,14 +334,14 @@ fn stage_detect(smoke: bool, reps: usize) -> Result<StageReport, String> {
     Ok(report(
         "detect",
         smoke,
-        format!("fit n={n_train}, detect n={n_test} (period {period})"),
+        format!("fit n={n_train}, detect n={n_test} (period {period}, {mode})"),
         runs,
     ))
 }
 
 /// Stream stage: sample-at-a-time replay through the incremental engine
 /// plus the offline-equivalent `finalize`, per thread count.
-fn stage_stream(smoke: bool, reps: usize) -> Result<StageReport, String> {
+fn stage_stream(smoke: bool, reps: usize, mode: NumericMode) -> Result<StageReport, String> {
     let (n_train, n_test, period) = if smoke {
         (512, 512, 32)
     } else {
@@ -303,6 +355,7 @@ fn stage_stream(smoke: bool, reps: usize) -> Result<StageReport, String> {
         batch: 8,
         merlin_step: if smoke { 8 } else { 2 },
         seed: 7,
+        numeric_mode: mode,
         ..TriadConfig::default()
     };
     let mut fitted = TriAd::new(cfg).fit(&train)?;
@@ -332,12 +385,14 @@ fn stage_stream(smoke: bool, reps: usize) -> Result<StageReport, String> {
     Ok(report(
         "stream",
         smoke,
-        format!("replay n={n_test} + finalize (period {period})"),
+        format!("replay n={n_test} + finalize (period {period}, {mode})"),
         runs,
     ))
 }
 
-/// Discord stage: the MERLIN length sweep alone, at bench scale.
+/// Discord stage: the MERLIN length sweep alone, at bench scale. Both
+/// numeric modes are always measured — `runs` is the exact ladder, the
+/// extra `fast_runs`/`fast_speedup_vs_exact` keys are the MASS kernels.
 fn stage_discord(smoke: bool, reps: usize) -> Result<StageReport, String> {
     let (n, min_len, max_len, step) = if smoke {
         (300, 8, 32, 4)
@@ -346,29 +401,330 @@ fn stage_discord(smoke: bool, reps: usize) -> Result<StageReport, String> {
     };
     let (series, _) = make_series(n, 0, 25);
     let mcfg = MerlinConfig::new(min_len, max_len).with_step(step);
-    let runs = sweep("discord", reps, |t| {
-        let found = parallel::with_ambient(t, || merlin(&series, mcfg));
+    let hash_discords = |found: &[discord::Discord]| {
         let mut h = Fnv::new();
-        for d in &found {
+        for d in found {
             h.usize(d.index);
             h.usize(d.length);
             h.f64(d.distance);
         }
-        Ok(h.done())
+        h.done()
+    };
+    let runs = sweep("discord", reps, |t| {
+        Ok(hash_discords(&parallel::with_ambient(t, || {
+            merlin(&series, mcfg)
+        })))
     })?;
-    Ok(report(
-        "discord",
-        smoke,
-        format!("merlin n={n}, lengths {min_len}..={max_len} step {step}"),
-        runs,
+    let fast_runs = sweep("discord (fast)", reps, |t| {
+        Ok(hash_discords(&parallel::with_ambient(t, || {
+            merlin_fast(&series, mcfg)
+        })))
+    })?;
+    Ok(with_fast(
+        report(
+            "discord",
+            smoke,
+            format!("merlin n={n}, lengths {min_len}..={max_len} step {step}"),
+            runs,
+        ),
+        fast_runs,
     ))
+}
+
+/// One kernel-vs-naive comparison in `BENCH_kernels.json`.
+struct KernelRun {
+    kernel: &'static str,
+    workload: String,
+    naive_ms: f64,
+    fast_ms: f64,
+    checksum: u64,
+}
+
+/// Everything written to `BENCH_kernels.json`. Same top-level shape as a
+/// [`StageReport`] (stage/smoke/workload/runs/bit_identical, hex checksum
+/// strings) so the CI schema check treats every bench file alike; the per-run
+/// speedup is `speedup_vs_naive` because the reference here is the scalar
+/// kernel, not a serial thread count.
+struct KernelReport {
+    smoke: bool,
+    runs: Vec<KernelRun>,
+    bit_identical: bool,
+}
+
+impl KernelReport {
+    fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"kernel\": \"{}\", \"workload\": \"{}\", \"naive_ms\": {:.3}, \
+                     \"fast_ms\": {:.3}, \"speedup_vs_naive\": {:.3}, \"checksum\": \"{:016x}\"}}",
+                    r.kernel,
+                    r.workload,
+                    r.naive_ms,
+                    r.fast_ms,
+                    if r.fast_ms > 0.0 {
+                        r.naive_ms / r.fast_ms
+                    } else {
+                        0.0
+                    },
+                    r.checksum
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"stage\": \"kernels\",\n  \"smoke\": {},\n  \
+             \"workload\": \"hot kernels vs scalar references\",\n  \
+             \"runs\": [\n{}\n  ],\n  \"bit_identical\": {}\n}}\n",
+            self.smoke,
+            rows.join(",\n"),
+            self.bit_identical
+        )
+    }
+
+    fn summary(&self) -> String {
+        let per: Vec<String> = self
+            .runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} {:.1}x",
+                    r.kernel,
+                    if r.fast_ms > 0.0 {
+                        r.naive_ms / r.fast_ms
+                    } else {
+                        0.0
+                    }
+                )
+            })
+            .collect();
+        format!(
+            "kernels : {}, bit-identical {} → BENCH_kernels.json",
+            per.join(", "),
+            self.bit_identical
+        )
+    }
+}
+
+/// Deterministic pseudo-random fill in [-0.5, 0.5) — no RNG dependency, and
+/// the pattern has no structure a kernel could shortcut on.
+fn synth(i: usize, salt: usize) -> f64 {
+    (((i * 37 + salt * 101) % 997) as f64) / 997.0 - 0.5
+}
+
+/// Time `run` over `reps` repetitions (best-of), demanding a stable
+/// checksum, and return `(best_ms, checksum)`.
+fn time_best(reps: usize, mut run: impl FnMut() -> u64, label: &str) -> Result<(f64, u64), String> {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0u64;
+    for rep in 0..reps.max(1) {
+        let t0 = now_instant();
+        let c = run();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if rep == 0 {
+            checksum = c;
+        } else if c != checksum {
+            return Err(format!(
+                "kernels/{label}: output changed between repetitions"
+            ));
+        }
+        best = best.min(ms);
+    }
+    Ok((best, checksum))
+}
+
+/// Kernels stage: each hot kernel against a scalar reference on the same
+/// data. Speedups are informational; what is *gated* is that each kernel's
+/// output is reproduction-stable and thread-count-invariant, and that it
+/// agrees with its reference (bit-identically for the blocked f32 kernels,
+/// which reorder nothing per output element; within FFT tolerance for the
+/// sliding-dot kernel).
+fn stage_kernels(smoke: bool, reps: usize) -> Result<KernelReport, String> {
+    let mut runs = Vec::new();
+    let mut identical = true;
+
+    // --- sliding dot products: SelfJoinPlan (FFT) vs the naive O(n·m) loop.
+    {
+        let (n, m) = if smoke { (2048, 64) } else { (16384, 256) };
+        let series: Vec<f64> = (0..n).map(|i| synth(i, 1)).collect();
+        let query = &series[..m];
+        let (naive_ms, _) = time_best(
+            reps,
+            || {
+                let mut h = Fnv::new();
+                for i in 0..=n - m {
+                    let dot: f64 = series[i..i + m]
+                        .iter()
+                        .zip(query)
+                        .map(|(&a, &b)| a * b)
+                        .sum();
+                    h.f64(dot);
+                }
+                h.done()
+            },
+            "sliding_dot naive",
+        )?;
+        let plan = SelfJoinPlan::new(&series, m);
+        let (fast_ms, checksum) = time_best(
+            reps,
+            || {
+                let dots = plan.sliding_dots(query);
+                let mut h = Fnv::new();
+                for &d in &dots {
+                    h.f64(d);
+                }
+                h.done()
+            },
+            "sliding_dot fast",
+        )?;
+        // Tolerance gate: the FFT path must agree with the naive loop.
+        let dots = plan.sliding_dots(query);
+        for (i, &d) in dots.iter().enumerate() {
+            let naive: f64 = series[i..i + m]
+                .iter()
+                .zip(query)
+                .map(|(&a, &b)| a * b)
+                .sum();
+            if (d - naive).abs() > 1e-6 * (1.0 + naive.abs()) {
+                return Err(format!(
+                    "kernels/sliding_dot: FFT dot diverged at {i}: {d} vs {naive}"
+                ));
+            }
+        }
+        runs.push(KernelRun {
+            kernel: "sliding_dot",
+            workload: format!("n={n} m={m}"),
+            naive_ms,
+            fast_ms,
+            checksum,
+        });
+    }
+
+    // --- matmul: the blocked graph kernel vs the textbook scalar loop.
+    {
+        let d = if smoke { 48 } else { 160 };
+        let a: Vec<f32> = (0..d * d).map(|i| synth(i, 2) as f32).collect();
+        let b: Vec<f32> = (0..d * d).map(|i| synth(i, 3) as f32).collect();
+        let (naive_ms, naive_sum) = time_best(
+            reps,
+            || {
+                let mut h = Fnv::new();
+                for i in 0..d {
+                    for j in 0..d {
+                        let mut acc = 0.0f32;
+                        for kk in 0..d {
+                            acc += a[i * d + kk] * b[kk * d + j];
+                        }
+                        h.f32(acc);
+                    }
+                }
+                h.done()
+            },
+            "matmul naive",
+        )?;
+        let run_graph = |threads: usize| {
+            parallel::with_ambient(threads, || {
+                let mut g = neuro::Graph::new();
+                let na = g.input(neuro::Tensor::from_vec(&[d, d], a.clone()));
+                let nb = g.input(neuro::Tensor::from_vec(&[d, d], b.clone()));
+                let out = g.matmul(na, nb);
+                let mut h = Fnv::new();
+                for &v in g.value(out).data() {
+                    h.f32(v);
+                }
+                h.done()
+            })
+        };
+        let (fast_ms, checksum) = time_best(reps, || run_graph(1), "matmul fast")?;
+        // The blocked kernel accumulates each element in the same k-ascending
+        // order as the scalar loop, so agreement is bit-exact — and so is the
+        // parallel split (row-disjoint).
+        identical &= checksum == naive_sum && run_graph(4) == checksum;
+        runs.push(KernelRun {
+            kernel: "matmul",
+            workload: format!("{d}x{d}x{d}"),
+            naive_ms,
+            fast_ms,
+            checksum,
+        });
+    }
+
+    // --- conv1d: the zipped-slice graph kernel vs the guarded scalar loop.
+    {
+        let (bsz, cin, cout, l, k, dilation) = if smoke {
+            (2, 4, 4, 128, 5, 2)
+        } else {
+            (8, 8, 8, 512, 9, 4)
+        };
+        let x: Vec<f32> = (0..bsz * cin * l).map(|i| synth(i, 4) as f32).collect();
+        let w: Vec<f32> = (0..cout * cin * k).map(|i| synth(i, 5) as f32).collect();
+        let bias: Vec<f32> = (0..cout).map(|i| synth(i, 6) as f32).collect();
+        let half = (k / 2) * dilation;
+        let (naive_ms, naive_sum) = time_best(
+            reps,
+            || {
+                let mut h = Fnv::new();
+                for bi in 0..bsz {
+                    for co in 0..cout {
+                        let mut orow = vec![bias[co]; l];
+                        for ci in 0..cin {
+                            for kk in 0..k {
+                                let wk = w[(co * cin + ci) * k + kk];
+                                for (t, o) in orow.iter_mut().enumerate() {
+                                    let src = t + kk * dilation;
+                                    if src >= half && src - half < l {
+                                        *o += wk * x[(bi * cin + ci) * l + src - half];
+                                    }
+                                }
+                            }
+                        }
+                        for &v in &orow {
+                            h.f32(v);
+                        }
+                    }
+                }
+                h.done()
+            },
+            "conv1d naive",
+        )?;
+        let run_graph = |threads: usize| {
+            parallel::with_ambient(threads, || {
+                let mut g = neuro::Graph::new();
+                let nx = g.input(neuro::Tensor::from_vec(&[bsz, cin, l], x.clone()));
+                let nw = g.input(neuro::Tensor::from_vec(&[cout, cin, k], w.clone()));
+                let nb = g.input(neuro::Tensor::from_vec(&[cout], bias.clone()));
+                let out = g.conv1d(nx, nw, nb, dilation);
+                let mut h = Fnv::new();
+                for &v in g.value(out).data() {
+                    h.f32(v);
+                }
+                h.done()
+            })
+        };
+        let (fast_ms, checksum) = time_best(reps, || run_graph(1), "conv1d fast")?;
+        identical &= checksum == naive_sum && run_graph(4) == checksum;
+        runs.push(KernelRun {
+            kernel: "conv1d",
+            workload: format!("B={bsz} Cin={cin} Cout={cout} L={l} K={k} d={dilation}"),
+            naive_ms,
+            fast_ms,
+            checksum,
+        });
+    }
+
+    Ok(KernelReport {
+        smoke,
+        runs,
+        bit_identical: identical,
+    })
 }
 
 /// Run the harness; returns human-readable summary lines (one per stage).
 /// Errors if a stage's outputs are not bit-identical across thread counts —
 /// the files are still written first so the discrepancy can be inspected.
 pub fn run_bench(opts: &BenchOptions) -> Result<Vec<String>, String> {
-    const ALL: [&str; 4] = ["train", "detect", "stream", "discord"];
+    const ALL: [&str; 5] = ["train", "detect", "stream", "discord", "kernels"];
     for s in &opts.stages {
         if !ALL.contains(&s.as_str()) {
             return Err(format!(
@@ -386,10 +742,20 @@ pub fn run_bench(opts: &BenchOptions) -> Result<Vec<String>, String> {
         if !wanted(stage) {
             continue;
         }
+        if stage == "kernels" {
+            let rep = stage_kernels(opts.smoke, reps)?;
+            let path = opts.out_dir.join("BENCH_kernels.json");
+            std::fs::write(&path, rep.to_json()).map_err(|e| format!("{path:?}: {e}"))?;
+            if !rep.bit_identical {
+                broken.push("kernels");
+            }
+            out.push(rep.summary());
+            continue;
+        }
         let rep = match stage {
             "train" => stage_train(opts.smoke, reps)?,
-            "detect" => stage_detect(opts.smoke, reps)?,
-            "stream" => stage_stream(opts.smoke, reps)?,
+            "detect" => stage_detect(opts.smoke, reps, opts.numeric_mode)?,
+            "stream" => stage_stream(opts.smoke, reps, opts.numeric_mode)?,
             _ => stage_discord(opts.smoke, reps)?,
         };
         let path = opts.out_dir.join(format!("BENCH_{}.json", rep.stage));
@@ -435,6 +801,7 @@ mod tests {
             smoke: true,
             out_dir: dir.clone(),
             stages: vec!["discord".into()],
+            numeric_mode: NumericMode::Exact,
         };
         let lines = run_bench(&opts).expect("smoke bench");
         assert_eq!(lines.len(), 1);
@@ -447,6 +814,38 @@ mod tests {
             "\"threads\"",
             "\"wall_ms\"",
             "\"speedup_vs_serial\"",
+            "\"checksum\"",
+            "\"fast_runs\"",
+            "\"fast_speedup_vs_exact\"",
+            "\"bit_identical\": true",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn smoke_kernels_stage_writes_schema_complete_file() {
+        let dir = std::env::temp_dir().join(format!("triad_bench_k_{}", std::process::id()));
+        let opts = BenchOptions {
+            smoke: true,
+            out_dir: dir.clone(),
+            stages: vec!["kernels".into()],
+            numeric_mode: NumericMode::Exact,
+        };
+        let lines = run_bench(&opts).expect("kernels bench");
+        assert_eq!(lines.len(), 1);
+        let text = std::fs::read_to_string(dir.join("BENCH_kernels.json")).unwrap();
+        for key in [
+            "\"stage\": \"kernels\"",
+            "\"workload\"",
+            "\"runs\"",
+            "\"kernel\": \"sliding_dot\"",
+            "\"kernel\": \"matmul\"",
+            "\"kernel\": \"conv1d\"",
+            "\"naive_ms\"",
+            "\"fast_ms\"",
+            "\"speedup_vs_naive\"",
             "\"checksum\"",
             "\"bit_identical\": true",
         ] {
@@ -461,6 +860,7 @@ mod tests {
             smoke: true,
             out_dir: std::env::temp_dir(),
             stages: vec!["bogus".into()],
+            numeric_mode: NumericMode::Exact,
         };
         assert!(run_bench(&opts).is_err());
     }

@@ -25,7 +25,7 @@ mod trace_cmd;
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
-use triad_core::{persist, FittedTriad, TriAd, TriadConfig};
+use triad_core::{persist, FittedTriad, NumericMode, TriAd, TriadConfig};
 use triad_serve::{Client, ServeConfig, Value};
 use triad_stream::{checkpoint, StreamConfig, StreamEngine};
 
@@ -92,26 +92,29 @@ triad — self-supervised tri-domain time-series anomaly detection
 USAGE:
   triad fit    --train FILE --model FILE [--epochs N] [--seed N] [--threads N]
   triad detect --test FILE (--train FILE [--epochs N] | --model FILE)
-               [--labels FILE] [--threads N]
+               [--labels FILE] [--threads N] [--numeric-mode exact|fast]
   triad gen    --out FILE [--seed N] [--id N]
   triad eval   --pred FILE --labels FILE
   triad serve  [--addr HOST:PORT] [--models DIR] [--workers N] [--executors N]
                [--max-batch N] [--max-delay-ms N] [--cache N] [--threads N]
                [--stream-shards N] [--stream-queue N] [--stream-checkpoints DIR]
-               [--fleet-budget BYTES]
+               [--fleet-budget BYTES] [--numeric-mode exact|fast]
   triad client --verb VERB [--addr HOST:PORT] [--model NAME]
                [--series FILE] [--train FILE] [--epochs N] [--seed N]
   triad stream --test FILE (--model FILE | --train FILE [--epochs N])
                [--chunk N] [--enter X] [--exit X] [--checkpoint-at N] [--threads N]
+               [--numeric-mode exact|fast]
   triad stream --addr HOST:PORT --model NAME --test FILE
                [--stream NAME] [--chunk N]
   triad bench  [--smoke] [--out-dir DIR] [--stages LIST]
+               [--numeric-mode exact|fast]
   triad fleet  [--smoke] [--out-dir DIR] [--streams N] [--budget BYTES]
-               [--points N]
+               [--points N] [--numeric-mode exact|fast]
   triad evalbed [--smoke] [--out-dir DIR] [--datasets SPEC] [--methods LIST]
                [--metrics LIST] [--epochs N] [--seed N] [--archive-seed N]
                [--threads N] [--resume] [--no-cache] [--models DIR]
                [--stride-sweep] [--check FILE] [--tolerance X]
+               [--numeric-mode exact|fast]
   triad trace  [--smoke] [--out-dir DIR] [--seed N] [--threads N]
   triad lint   [--root DIR] [--json | --sarif] [--deny] [--baseline FILE]
                [--include-vendor] [--fixture]
@@ -134,10 +137,16 @@ final offline-equivalent detection. Without --addr it runs in-process
 --threads N sets the worker count for the parallel runtime (0 = auto,
 capped; TRIAD_THREADS overrides the auto choice). Results are bit-identical
 at any thread count.
+--numeric-mode picks the detection kernels: `exact` (default) keeps the
+bit-exact reference ladder, `fast` switches the discord search to the
+FFT-backed MASS kernels — same discords within a 1e-6 tolerance, still
+bit-identical across thread counts within the mode.
 `bench` runs the fixed-seed perf harness (train/detect/stream/discord
-workloads at 1/2/4/8 threads) and writes one BENCH_<stage>.json per stage
-into --out-dir (default `.`); --smoke shrinks the workloads for CI and
---stages narrows to a comma-separated subset.
+workloads at 1/2/4/8 threads, plus a `kernels` micro-stage comparing the
+blocked/FFT kernels against scalar references) and writes one
+BENCH_<stage>.json per stage into --out-dir (default `.`); the discord
+stage always measures both numeric modes; --smoke shrinks the workloads
+for CI and --stages narrows to a comma-separated subset.
 `fleet` soaks the memory-budgeted fleet tier: opens --streams streams (far
 more than --budget resident-engine bytes can hold), pushes an archive-style
 workload with a sustained regime shift through them at each sweep thread
@@ -183,12 +192,20 @@ pub fn read_labels(path: &Path) -> Result<Vec<bool>, String> {
     Ok(read_series(path)?.into_iter().map(|v| v != 0.0).collect())
 }
 
+fn numeric_mode_from(cli: &Cli) -> Result<NumericMode, String> {
+    match cli.get("numeric-mode") {
+        Some(v) => v.parse(),
+        None => Ok(NumericMode::Exact),
+    }
+}
+
 fn config_from(cli: &Cli) -> Result<TriadConfig, String> {
     Ok(TriadConfig {
         epochs: cli.get_num("epochs", 10usize)?,
         seed: cli.get_num("seed", 0u64)?,
         merlin_step: cli.get_num("merlin-step", 2usize)?,
         threads: cli.get_num("threads", 0usize)?,
+        numeric_mode: numeric_mode_from(cli)?,
         ..TriadConfig::default()
     })
 }
@@ -238,6 +255,7 @@ fn cmd_detect(cli: &Cli) -> Result<Vec<String>, String> {
         (None, None) => return Err("detect needs --model or --train".into()),
     };
     fitted.set_threads(cli.get_num("threads", 0usize)?);
+    fitted.set_numeric_mode(numeric_mode_from(cli)?);
     let det = fitted.detect(&test);
     let mut out = vec![
         format!("selected window : {:?}", det.selected_window),
@@ -348,6 +366,7 @@ fn cmd_serve(cli: &Cli) -> Result<Vec<String>, String> {
             None => None,
         },
         threads: cli.get_num("threads", 0usize)?,
+        numeric_mode: numeric_mode_from(cli)?,
     };
     let models_dir = cfg.models_dir.clone();
     let handle = triad_serve::start(cfg).map_err(|e| format!("serve: {e}"))?;
@@ -436,6 +455,7 @@ fn cmd_stream(cli: &Cli) -> Result<Vec<String>, String> {
         }
     };
     fitted.set_threads(cli.get_num("threads", 0usize)?);
+    fitted.set_numeric_mode(numeric_mode_from(cli)?);
     let chunk = cli.get_num("chunk", 64usize)?.max(1);
     let defaults = StreamConfig::default();
     let cfg = StreamConfig {
@@ -599,6 +619,7 @@ fn cmd_bench(cli: &Cli) -> Result<Vec<String>, String> {
         smoke: cli.get("smoke").is_some(),
         out_dir: PathBuf::from(cli.get("out-dir").unwrap_or(".")),
         stages,
+        numeric_mode: numeric_mode_from(cli)?,
     };
     bench::perf::run_bench(&opts)
 }
@@ -612,6 +633,7 @@ fn cmd_fleet(cli: &Cli) -> Result<Vec<String>, String> {
         streams: cli.get_num("streams", 0usize)?,
         budget_bytes: cli.get_num("budget", 0usize)?,
         points: cli.get_num("points", 0usize)?,
+        numeric_mode: numeric_mode_from(cli)?,
     };
     bench::fleet::run_fleet(&opts)
 }
@@ -643,6 +665,7 @@ fn cmd_evalbed(cli: &Cli) -> Result<Vec<String>, String> {
     opts.stride_sweep = cli.get("stride-sweep").is_some();
     opts.models_dir = cli.get("models").map(PathBuf::from);
     opts.check = cli.get("check").map(PathBuf::from);
+    opts.numeric_mode = numeric_mode_from(cli)?;
 
     let outcome = evalbed::run(&opts)?;
     let mut out = vec![

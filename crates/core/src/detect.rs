@@ -6,8 +6,8 @@ use crate::error::DetectError;
 use crate::features::FeatureExtractor;
 use crate::train::Model;
 use crate::Domain;
-use discord::merlin::{merlin, MerlinConfig};
-use discord::Discord;
+use discord::merlin::MerlinConfig;
+use discord::{merlin_mode, Discord};
 use std::ops::Range;
 use tsops::window::{Segmenter, Windows};
 
@@ -428,7 +428,7 @@ fn detect_from_rankings_inner(
     let discords: Vec<Discord> = {
         let mut s = obs::span("discord");
         s.add_field("region_len", region.len());
-        let found: Vec<Discord> = merlin(region, sweep)
+        let found: Vec<Discord> = merlin_mode(region, sweep, cfg.numeric_mode)
             .into_iter()
             .map(|d| Discord {
                 index: d.index + region_start,

@@ -74,19 +74,22 @@ impl FeatureExtractor {
             assert_eq!(w.len(), l, "ragged batch");
         }
         let par = parallel::ambient().for_work(windows.len(), 4);
-        let rows = parallel::map_indexed(par, windows, |_, w| {
-            let chans = self.extract(w, domain);
-            debug_assert_eq!(chans.len(), c);
-            let mut row = Vec::with_capacity(c * l);
-            for ch in &chans {
-                row.extend(ch.iter().map(|&v| v as f32));
+        // Each worker writes its windows' rows straight into the batch
+        // buffer (no per-row intermediate, no reassembly copy); row content
+        // depends only on the window index, so the fill is bit-identical at
+        // any worker count.
+        let mut data = vec![0.0f32; windows.len() * c * l];
+        parallel::fill_rows(par, &mut data, c * l, |rows, chunk| {
+            for (i, row) in rows.zip(chunk.chunks_mut(c * l)) {
+                let chans = self.extract(windows[i], domain);
+                debug_assert_eq!(chans.len(), c);
+                for (ch, dst) in chans.iter().zip(row.chunks_mut(l)) {
+                    for (d, &v) in dst.iter_mut().zip(ch) {
+                        *d = v as f32;
+                    }
+                }
             }
-            row
         });
-        let mut data = Vec::with_capacity(windows.len() * c * l);
-        for row in rows {
-            data.extend(row);
-        }
         Tensor::from_vec(&[windows.len(), c, l], data)
     }
 }

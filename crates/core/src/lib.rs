@@ -65,6 +65,7 @@ pub use config::TriadConfig;
 pub use detect::{detect_from_rankings, DomainRanking, OnlineRanker, TriadDetection};
 pub use error::{DetectError, PersistError};
 pub use pipeline::{FittedTriad, TriAd};
+pub use tsops::NumericMode;
 
 /// The three feature domains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -53,6 +53,21 @@ impl MerlinConfig {
     }
 }
 
+/// The lengths a sweep over `series_len` points actually visits: ascending
+/// from `min_len` by `step`, stopping at the first length the series cannot
+/// hold two non-overlapping subsequences of. Shared by the exact ladder
+/// ([`merlin`]) and the fast profile kernel ([`crate::fast::merlin_fast`]) so
+/// both modes explore the identical candidate length order.
+pub fn swept_lengths(series_len: usize, cfg: MerlinConfig) -> Vec<usize> {
+    let mut lengths = Vec::new();
+    let mut w = cfg.min_len;
+    while w <= cfg.max_len && series_len >= 2 * w {
+        lengths.push(w);
+        w += cfg.step;
+    }
+    lengths
+}
+
 /// Run MERLIN over `series`. Returns the top discord found at each swept
 /// length (lengths the series is too short for are skipped).
 ///
@@ -149,12 +164,7 @@ pub(crate) fn merlin_with(
     // Swept lengths the series is long enough for (at least two
     // non-overlapping subsequences); lengths ascend, so stop at the first
     // too-long one exactly as the serial loop's `break` did.
-    let mut lengths = Vec::new();
-    let mut w = cfg.min_len;
-    while w <= cfg.max_len && series.len() >= 2 * w {
-        lengths.push(w);
-        w += cfg.step;
-    }
+    let lengths = swept_lengths(series.len(), cfg);
     let mut span = obs::span("merlin-sweep");
     span.add_field("n", series.len());
     span.add_field("lengths", lengths.len());

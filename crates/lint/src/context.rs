@@ -75,6 +75,11 @@ pub struct FileContext<'a> {
     pub symbols: Symbols,
     /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
     test_regions: Vec<(usize, usize)>,
+    /// Byte ranges of items sanctioned by `// numeric-mode(fast): reason`
+    /// markers — fast-numeric kernels whose parallel float reductions are
+    /// tolerance-gated by tests rather than bit-exact by construction.
+    /// Only populated in kernel-crate files.
+    fast_numeric_regions: Vec<(usize, usize)>,
     /// All suppression annotations found in comments.
     pub suppressions: Vec<Suppression>,
     /// rule-id → lines it is suppressed on.
@@ -99,6 +104,13 @@ impl<'a> FileContext<'a> {
         let tree = parser::parse(&tokens, src);
         let symbols = scope::analyze(src, &tokens, &sig);
         let test_regions = find_test_regions(src, &tokens, &sig);
+        // The fast-numeric sanction is a kernel-crate privilege: elsewhere
+        // the marker is inert prose and the rules stay at full strictness.
+        let fast_numeric_regions = if class == FileClass::Kernel {
+            find_fast_numeric_regions(src, &tokens)
+        } else {
+            Vec::new()
+        };
         let suppressions = find_suppressions(src, &tokens);
         let mut suppressed_lines: HashMap<String, Vec<(u32, u32)>> = HashMap::new();
         for s in &suppressions {
@@ -122,6 +134,7 @@ impl<'a> FileContext<'a> {
             tree,
             symbols,
             test_regions,
+            fast_numeric_regions,
             suppressions,
             suppressed_lines,
         }
@@ -156,6 +169,16 @@ impl<'a> FileContext<'a> {
                 .test_regions
                 .iter()
                 .any(|&(s, e)| byte >= s && byte < e)
+    }
+
+    /// Is this byte inside an item sanctioned by `// numeric-mode(fast):
+    /// reason`? Such items opt out of the bit-exact reduction-order
+    /// contract (their equivalence is tolerance-tested instead); the
+    /// sanction exists only in kernel crates and only with a reason.
+    pub fn in_fast_numeric(&self, byte: usize) -> bool {
+        self.fast_numeric_regions
+            .iter()
+            .any(|&(s, e)| byte >= s && byte < e)
     }
 
     /// Is `rule` suppressed (with a reason) on `line`?
@@ -289,6 +312,60 @@ fn find_test_regions(src: &[u8], tokens: &[Tok], sig: &[usize]) -> Vec<(usize, u
         i += 1;
     }
     regions
+}
+
+/// Find byte ranges of items introduced by a `// numeric-mode(fast): reason`
+/// marker comment. Like suppressions, the marker must open the comment body
+/// and carry a non-empty reason; like test regions, the covered range runs
+/// from the marker to the end of the item it introduces — the matching `}`
+/// of the first `{` opened after it, or the first top-level `;`.
+fn find_fast_numeric_regions(src: &[u8], tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (ti, t) in tokens.iter().enumerate() {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let body = t.text(src);
+        let trimmed = body
+            .trim_start_matches(|c: char| c == '/' || c == '*' || c == '!' || c.is_whitespace());
+        let Some(rest) = trimmed.strip_prefix("numeric-mode(fast)") else {
+            continue;
+        };
+        let has_reason = rest
+            .strip_prefix(':')
+            .map(|r| !r.trim().is_empty())
+            .unwrap_or(false);
+        if !has_reason {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut end = src.len();
+        for n in &tokens[ti + 1..] {
+            if matches!(
+                n.kind,
+                TokKind::Ws | TokKind::LineComment | TokKind::BlockComment
+            ) {
+                continue;
+            }
+            match n.text(src).as_ref() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = n.end;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    end = n.end;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        out.push((t.start, end));
+    }
+    out
 }
 
 /// Scan comments for `lint-allow(rule[, rule…]): reason` and the
@@ -465,6 +542,41 @@ mod tests {
         let cx = FileContext::new("crates/core/src/x.rs", src);
         assert!(cx.is_suppressed("no-panic", 3));
         assert!(!cx.is_suppressed("no-panic", 4));
+    }
+
+    #[test]
+    fn fast_numeric_marker_covers_the_item_it_introduces() {
+        let src = b"// numeric-mode(fast): diagonal partials merge by max\nfn kernel() { hot(); }\nfn other() { cold(); }\n";
+        let cx = FileContext::new("crates/tsops/src/x.rs", src);
+        let hot = src.windows(3).position(|w| w == b"hot").expect("hot");
+        let cold = src.windows(4).position(|w| w == b"cold").expect("cold");
+        assert!(cx.in_fast_numeric(hot));
+        assert!(!cx.in_fast_numeric(cold));
+    }
+
+    #[test]
+    fn fast_numeric_marker_requires_a_reason() {
+        let src = b"// numeric-mode(fast)\nfn kernel() { hot(); }\n";
+        let cx = FileContext::new("crates/tsops/src/x.rs", src);
+        let hot = src.windows(3).position(|w| w == b"hot").expect("hot");
+        assert!(!cx.in_fast_numeric(hot));
+    }
+
+    #[test]
+    fn fast_numeric_marker_is_inert_outside_kernel_crates() {
+        let src =
+            b"// numeric-mode(fast): not a kernel crate, no sanction\nfn kernel() { hot(); }\n";
+        let cx = FileContext::new("crates/core/src/x.rs", src);
+        let hot = src.windows(3).position(|w| w == b"hot").expect("hot");
+        assert!(!cx.in_fast_numeric(hot));
+    }
+
+    #[test]
+    fn prose_mentioning_fast_numeric_marker_is_inert() {
+        let src = b"/// Sanction with `numeric-mode(fast): reason` above the item.\nfn doc() { hot(); }\n";
+        let cx = FileContext::new("crates/tsops/src/x.rs", src);
+        let hot = src.windows(3).position(|w| w == b"hot").expect("hot");
+        assert!(!cx.in_fast_numeric(hot));
     }
 
     #[test]

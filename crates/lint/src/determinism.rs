@@ -16,7 +16,10 @@
 //!   not associative, so the reduction order must not depend on work
 //!   partitioning; route the arithmetic through `parallel::reduce::*`
 //!   (exact serial order, and the helpers' spellings do not match the
-//!   flagged patterns).
+//!   flagged patterns). Sanctioned: items under a `// numeric-mode(fast):
+//!   reason` marker in kernel crates — the opt-in fast-numeric kernels,
+//!   whose equivalence to the exact path is tolerance-tested and whose
+//!   thread-count invariance is proved by its own bit-identity tests.
 //! * **`ambient-entropy`** — `SystemTime::now`, `RandomState` (the seeded
 //!   per-process hasher), `env::var` reads outside the sanctioned config
 //!   layer (`parallel`, `obs`, `neuro` own the three TRIAD_* knobs), and —
@@ -406,6 +409,14 @@ fn float_reduce_order(cx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
         let entry = cx.stext(i).into_owned();
         let mut j = i + 2;
         while j < close {
+            // Items under a `// numeric-mode(fast): reason` marker are the
+            // sanctioned fast-numeric kernels: their reductions are
+            // tolerance-gated against the exact path by tests (and still
+            // thread-count-invariant by construction), not bit-exact.
+            if cx.in_fast_numeric(cx.stok(j).start) {
+                j += 1;
+                continue;
+            }
             let s = cx.stext(j);
             if (s == "sum" || s == "fold") && j >= 1 && cx.stext(j - 1) == "." {
                 if float_accumulation(cx, j, i + 2, close) {
@@ -706,6 +717,18 @@ mod tests {
     #[test]
     fn float_reduce_order_fires_inside_parallel_closures() {
         let src = "fn f(par: Parallelism, rows: &[Vec<f32>]) -> Vec<f64> {\n    parallel::map_indexed(par, rows, |_, r| {\n        r.iter().map(|x| *x as f64).sum::<f64>()\n    })\n}\n";
+        assert_eq!(
+            rules_of(&check("crates/core/src/f.rs", src)),
+            vec!["float-reduce-order"]
+        );
+    }
+
+    #[test]
+    fn float_reduce_order_respects_fast_numeric_sanction() {
+        let src = "// numeric-mode(fast): FFT kernel, tolerance-gated against exact\nfn f(par: Parallelism, rows: &[Vec<f32>]) -> Vec<f64> {\n    parallel::map_indexed(par, rows, |_, r| {\n        r.iter().map(|x| *x as f64).sum::<f64>()\n    })\n}\n";
+        // Sanctioned in a kernel crate…
+        assert!(check("crates/tsops/src/f.rs", src).is_empty());
+        // …inert everywhere else: the accumulation is still flagged.
         assert_eq!(
             rules_of(&check("crates/core/src/f.rs", src)),
             vec!["float-reduce-order"]

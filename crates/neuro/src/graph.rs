@@ -107,6 +107,13 @@ fn kernel_par(work: usize) -> parallel::Parallelism {
     parallel::ambient().for_work(work, PAR_MIN_WORK)
 }
 
+/// Output rows processed together by the matmul kernels: every `B` row
+/// fetched from cache feeds `ROW_TILE` output rows instead of one. Within a
+/// tile the `kk` loop stays outermost, so each `out[i, j]` still accumulates
+/// its terms in ascending `kk` order — the tiling is bit-identical to the
+/// untiled loop, it only changes the memory traffic.
+const ROW_TILE: usize = 4;
+
 fn matmul_raw(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
@@ -120,15 +127,18 @@ fn matmul_raw(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
     parallel::fill_rows(kernel_par(m * n * k), &mut out, n, |rows, chunk| {
-        for (i, orow) in rows.zip(chunk.chunks_mut(n)) {
-            let arow = &ad[i * k..(i + 1) * k];
-            for (kk, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
+        for (tile_i, tile) in chunk.chunks_mut(ROW_TILE * n).enumerate() {
+            let base = rows.start + tile_i * ROW_TILE;
+            for kk in 0..k {
                 let brow = &bd[kk * n..(kk + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
+                for (r, orow) in tile.chunks_mut(n).enumerate() {
+                    let av = ad[(base + r) * k + kk];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
                 }
             }
         }
@@ -136,10 +146,10 @@ fn matmul_raw(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::from_vec(&[m, n], out)
 }
 
-/// `Aᵀ × B` without materialising the transpose. Row-major over the output
-/// (i outer) with `kk` ascending inside: every `out[i, j]` accumulates its
-/// `kk` terms in the same order as the historical kk-outer loop, so the
-/// reordering is exact.
+/// `Aᵀ × B` without materialising the transpose. Row-tiled over the output
+/// with `kk` ascending inside: every `out[i, j]` accumulates its `kk` terms
+/// in the same order as the historical kk-outer loop, so the reordering is
+/// exact.
 fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
@@ -147,15 +157,18 @@ fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
     parallel::fill_rows(kernel_par(m * n * k), &mut out, n, |rows, chunk| {
-        for (i, orow) in rows.zip(chunk.chunks_mut(n)) {
+        for (tile_i, tile) in chunk.chunks_mut(ROW_TILE * n).enumerate() {
+            let base = rows.start + tile_i * ROW_TILE;
             for kk in 0..k {
-                let av = ad[kk * m + i];
-                if av == 0.0 {
-                    continue;
-                }
                 let brow = &bd[kk * n..(kk + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
+                for (r, orow) in tile.chunks_mut(n).enumerate() {
+                    let av = ad[kk * m + base + r];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
                 }
             }
         }
@@ -745,8 +758,18 @@ impl Graph {
                             let shift = kk * dilation;
                             let t_lo = half.saturating_sub(shift);
                             let t_hi = (l + half).saturating_sub(shift).min(l);
-                            for t in t_lo..t_hi {
-                                orow[t] += wk * xrow[t + shift - half];
+                            // The tap can fall entirely outside the row for
+                            // short L / large dilation.
+                            if t_hi <= t_lo {
+                                continue;
+                            }
+                            // Zipped sub-slices: same per-element accumulation
+                            // order as indexing `orow[t]`/`xrow[t+shift-half]`,
+                            // but bounds-check-free and autovectorizable.
+                            let x_lo = t_lo + shift - half;
+                            let xs = &xrow[x_lo..x_lo + (t_hi - t_lo)];
+                            for (o, &xv) in orow[t_lo..t_hi].iter_mut().zip(xs) {
+                                *o += wk * xv;
                             }
                         }
                     }

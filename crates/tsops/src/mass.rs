@@ -81,6 +81,82 @@ pub fn mass(query: &[f64], series: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// A reusable FFT plan for repeated sliding-dot-product scans against one
+/// fixed series (the self-join pattern of MERLIN's length sweep).
+///
+/// [`sliding_dot_products`] spends two of its three FFTs on the series, which
+/// never changes across the sweep. The plan pads the series once to a power of
+/// two large enough for the longest query and caches its spectrum, so each
+/// subsequent query costs one forward FFT plus one inverse FFT.
+///
+/// The padded transform size differs from what [`sliding_dot_products`] picks
+/// for short queries, so results agree to FFT round-off (~1e-9 relative), not
+/// bit-for-bit — which is why the plan only backs `fast`-mode kernels.
+pub struct SelfJoinPlan {
+    series_fft: Vec<Complex>,
+    series_len: usize,
+    max_query: usize,
+    size: usize,
+}
+
+impl SelfJoinPlan {
+    /// Build a plan for `series`, valid for any query of length `1..=max_query`.
+    pub fn new(series: &[f64], max_query: usize) -> Self {
+        assert!(max_query >= 1, "max_query must be >= 1");
+        assert!(!series.is_empty(), "empty series");
+        let size = (series.len() + max_query).next_power_of_two();
+        let mut a: Vec<Complex> = Vec::with_capacity(size);
+        a.extend(series.iter().map(|&v| Complex::new(v, 0.0)));
+        a.resize(size, Complex::ZERO);
+        SelfJoinPlan {
+            series_fft: fft(&a),
+            series_len: series.len(),
+            max_query,
+            size,
+        }
+    }
+
+    /// Length of the series the plan was built over.
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Longest query length the plan supports.
+    pub fn max_query(&self) -> usize {
+        self.max_query
+    }
+
+    /// Sliding dot products `⟨query, series[i..i+m]⟩` for all valid `i`,
+    /// reusing the cached series spectrum. Same output shape as
+    /// [`sliding_dot_products`]; values agree to FFT round-off.
+    pub fn sliding_dots(&self, query: &[f64]) -> Vec<f64> {
+        let m = query.len();
+        assert!(m >= 1, "empty query");
+        assert!(
+            m <= self.max_query,
+            "query length {m} exceeds plan max {}",
+            self.max_query
+        );
+        if self.series_len < m {
+            return Vec::new();
+        }
+        let mut b: Vec<Complex> = Vec::with_capacity(self.size);
+        b.extend(query.iter().rev().map(|&v| Complex::new(v, 0.0)));
+        b.resize(self.size, Complex::ZERO);
+        let fb = fft(&b);
+        let prod: Vec<Complex> = self
+            .series_fft
+            .iter()
+            .zip(&fb)
+            .map(|(&x, &y)| x * y)
+            .collect();
+        let conv = ifft(&prod);
+        (0..=self.series_len - m)
+            .map(|i| conv[m - 1 + i].re)
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +236,34 @@ mod tests {
     #[test]
     fn mass_short_series_is_empty() {
         assert!(mass(&[1.0, 2.0, 3.0], &[1.0, 2.0]).is_empty());
+    }
+
+    #[test]
+    fn self_join_plan_matches_one_shot_dots_across_lengths() {
+        let series = signal(257);
+        let plan = SelfJoinPlan::new(&series, 64);
+        assert_eq!(plan.series_len(), 257);
+        assert_eq!(plan.max_query(), 64);
+        for m in [2usize, 8, 31, 64] {
+            let query = &series[10..10 + m];
+            let planned = plan.sliding_dots(query);
+            let one_shot = sliding_dot_products(query, &series);
+            assert_eq!(planned.len(), one_shot.len());
+            for (i, (&p, &o)) in planned.iter().zip(&one_shot).enumerate() {
+                assert!(
+                    (p - o).abs() < 1e-7 * (1.0 + o.abs()),
+                    "m={m} i={i}: planned {p} vs one-shot {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_join_plan_handles_short_series_and_rejects_long_queries() {
+        let series = signal(20);
+        let plan = SelfJoinPlan::new(&series, 30);
+        assert!(plan.sliding_dots(&signal(25)).is_empty());
+        let res = std::panic::catch_unwind(|| plan.sliding_dots(&signal(31)));
+        assert!(res.is_err(), "query beyond max_query must panic");
     }
 }

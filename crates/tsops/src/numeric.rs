@@ -1,0 +1,90 @@
+//! Workspace-wide numeric-mode switch.
+//!
+//! TriAD's determinism contract (ROADMAP item 1) admits two kernel families:
+//!
+//! * [`NumericMode::Exact`] — the original scalar loops. Bit-identical output
+//!   at any thread count, and the byte-for-byte reference every other path is
+//!   judged against. This is the default everywhere.
+//! * [`NumericMode::Fast`] — MASS/FFT distance profiles and reassociating
+//!   reductions. Still bit-identical across thread counts *within* the mode
+//!   (every parallel merge uses an exactly associative operation), but float
+//!   summation order differs from `Exact`, so results are gated by the
+//!   tolerance-equivalence harness (`tests/numeric_equivalence.rs`) instead of
+//!   byte equality: same discord indices, distances within 1e-6 relative.
+//!
+//! The enum lives in `tsops` because it sits at the bottom of the dependency
+//! graph; `core` re-exports it so downstream crates (cli, serve, bench,
+//! evalbed) can name it without depending on `tsops` directly.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which kernel family the pipeline should use for tolerance-gated hot paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NumericMode {
+    /// Bit-identical scalar kernels (the default).
+    #[default]
+    Exact,
+    /// MASS/FFT kernels: tolerance-equivalent to `Exact`, bit-identical
+    /// across thread counts within the mode.
+    Fast,
+}
+
+impl NumericMode {
+    /// Canonical lowercase name, matching what [`FromStr`] accepts.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NumericMode::Exact => "exact",
+            NumericMode::Fast => "fast",
+        }
+    }
+
+    /// True when the tolerance-gated fast kernels are selected.
+    pub fn is_fast(self) -> bool {
+        matches!(self, NumericMode::Fast)
+    }
+}
+
+impl fmt::Display for NumericMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for NumericMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "exact" => Ok(NumericMode::Exact),
+            "fast" => Ok(NumericMode::Fast),
+            other => Err(format!(
+                "unknown numeric mode '{other}' (expected 'exact' or 'fast')"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_modes_case_insensitively() {
+        assert_eq!("exact".parse::<NumericMode>().unwrap(), NumericMode::Exact);
+        assert_eq!("Fast".parse::<NumericMode>().unwrap(), NumericMode::Fast);
+        assert_eq!(" FAST ".parse::<NumericMode>().unwrap(), NumericMode::Fast);
+        assert!("quick".parse::<NumericMode>().is_err());
+    }
+
+    #[test]
+    fn default_is_exact_and_round_trips() {
+        assert_eq!(NumericMode::default(), NumericMode::Exact);
+        for mode in [NumericMode::Exact, NumericMode::Fast] {
+            assert_eq!(mode.as_str().parse::<NumericMode>().unwrap(), mode);
+            assert_eq!(format!("{mode}"), mode.as_str());
+        }
+        assert!(NumericMode::Fast.is_fast());
+        assert!(!NumericMode::Exact.is_fast());
+    }
+}
